@@ -1,0 +1,47 @@
+// Reproduces Figure 1 of the paper: illustrations of the four evaluation
+// datasets, here rendered as ASCII density heatmaps of our synthetic
+// stand-ins (see DESIGN.md §2 for the substitution rationale).
+//
+// Paper expectation, per dataset:
+//   road     — two dense state-shaped regions, large blank areas;
+//   checkin  — world-map-like clusters with blank oceans;
+//   landmark — population-style spread over the continental US;
+//   storage  — the same spread at a tiny N = 9000.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/ascii_map.h"
+#include "data/generators.h"
+
+namespace dpgrid {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintConfig("bench_fig1_datasets (paper Figure 1)", config);
+
+  for (const DatasetSpec& spec : PaperDatasets(config.scale)) {
+    Rng rng(config.seed);
+    Dataset data = spec.make(spec.n, rng);
+    std::printf("\n(%s) %s-like dataset, N=%lld, domain %s\n",
+                spec.name, spec.name, static_cast<long long>(data.size()),
+                data.domain().ToString().c_str());
+    // Aspect-ratio-aware render width.
+    const double aspect = data.domain().Width() / data.domain().Height();
+    const size_t height = 22;
+    const size_t width =
+        static_cast<size_t>(std::min(110.0, height * aspect * 2.0));
+    std::fputs(RenderAsciiHeatmap(data, width, height).c_str(), stdout);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dpgrid
+
+int main() {
+  dpgrid::bench::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 2 of the paper: KD-standard and KD-hybrid versus the
+// uniform grid at several grid sizes, on all four datasets and both epsilon
+// values. For each scenario we print the per-query-size mean relative error
+// (the paper's line graphs) and the candlestick profile over all sizes.
+//
+// Paper expectation: a band of UG sizes around the Guideline-1 suggestion
+// performs best; KD-hybrid is comparable to the best UG (slightly worse on
+// road/storage); KD-standard is clearly worse; relative error peaks at
+// middle query sizes.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/factories.h"
+#include "grid/guidelines.h"
+#include "metrics/table.h"
+
+namespace dpgrid {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintConfig("bench_fig2_ug_vs_kd (paper Figure 2)", config);
+
+  for (const DatasetSpec& spec : PaperDatasets(config.scale)) {
+    for (double eps : {0.1, 1.0}) {
+      Scenario scenario = MakeScenario(spec, eps, config);
+      const double n = static_cast<double>(scenario.dataset.size());
+      const int suggested = ChooseUniformGridSize(n, eps);
+
+      // UG sizes bracketing the suggestion, mirroring the paper's sweeps.
+      std::set<int> sizes;
+      for (double f : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+        sizes.insert(std::max(2, static_cast<int>(std::lround(suggested * f))));
+      }
+
+      std::vector<MethodResult> methods;
+      methods.push_back(
+          RunMethod("Kst", MakeKdStandardFactory(), scenario, config));
+      methods.push_back(
+          RunMethod("Khy", MakeKdHybridFactory(), scenario, config));
+      methods.push_back(RunMethod(
+          "Qtr",
+          [](const Dataset& d, double eps, Rng& rng) {
+            return std::make_unique<KdTree>(d, eps, rng, QuadTreeOptions());
+          },
+          scenario, config));
+      for (int m : sizes) {
+        std::string name = "U" + std::to_string(m);
+        if (m == suggested) name += "*";  // Guideline-1 suggestion
+        methods.push_back(RunMethod(name, MakeUgFactory(m), scenario, config));
+      }
+
+      const std::string title = std::string("Fig.2 ") + spec.name +
+                                ", eps=" + FormatDouble(eps, 2) +
+                                " (* = Guideline 1)";
+      PrintPerSizeTable(title, scenario.workload.size_labels, methods);
+      PrintCandlestickTable(title, methods);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dpgrid
+
+int main() {
+  dpgrid::bench::Run();
+  return 0;
+}

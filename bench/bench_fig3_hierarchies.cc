@@ -1,0 +1,68 @@
+// Reproduces Figure 3 of the paper: the effect of building hierarchies (and
+// the Privelet wavelet) on top of a 360x360 uniform grid, on the checkin and
+// landmark datasets.
+//
+// Paper expectation: hierarchies H_{b,d} give only a small improvement over
+// the plain 360 grid in 2-D (the dimensionality analysis of §IV-C);
+// Privelet (W360) gives a clearer, but still modest, improvement.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/factories.h"
+#include "grid/guidelines.h"
+#include "metrics/table.h"
+
+namespace dpgrid {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintConfig("bench_fig3_hierarchies (paper Figure 3)", config);
+
+  for (const DatasetSpec& spec : PaperDatasets(config.scale)) {
+    const std::string name = spec.name;
+    if (name != "checkin" && name != "landmark") continue;  // as in paper
+    for (double eps : {0.1, 1.0}) {
+      Scenario scenario = MakeScenario(spec, eps, config);
+      const double n = static_cast<double>(scenario.dataset.size());
+      const int suggested = ChooseUniformGridSize(n, eps);
+
+      std::vector<MethodResult> methods;
+      methods.push_back(RunMethod("U" + std::to_string(suggested) + "*",
+                                  MakeUgFactory(suggested), scenario, config));
+      methods.push_back(
+          RunMethod("U360", MakeUgFactory(360), scenario, config));
+      methods.push_back(
+          RunMethod("W360", MakeWaveletFactory(360), scenario, config));
+      struct HierSpec {
+        int b;
+        int d;
+      };
+      for (const HierSpec h : {HierSpec{2, 4}, HierSpec{2, 3}, HierSpec{3, 3},
+                               HierSpec{4, 2}, HierSpec{5, 2}, HierSpec{6, 2}}) {
+        std::string label =
+            "H" + std::to_string(h.b) + "," + std::to_string(h.d);
+        methods.push_back(RunMethod(label, MakeHierFactory(360, h.b, h.d),
+                                    scenario, config));
+      }
+
+      const std::string title = std::string("Fig.3 ") + spec.name +
+                                ", eps=" + FormatDouble(eps, 2) +
+                                " (hierarchies over a 360x360 grid)";
+      PrintCandlestickTable(title, methods);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dpgrid
+
+int main() {
+  dpgrid::bench::Run();
+  return 0;
+}

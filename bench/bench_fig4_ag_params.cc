@@ -1,0 +1,93 @@
+// Reproduces Figure 4 of the paper: the AG parameter study on checkin and
+// landmark.
+//   Column 1: AG at several m1 values vs the suggested UG and Privelet,
+//             across query sizes.
+//   Column 2: sensitivity to m1 (candlesticks).
+//   Columns 3-4: sensitivity to alpha (0.25 / 0.5 / 0.75) and c2 (5/10/15)
+//             at two fixed m1 values.
+//
+// Paper expectation: AG beats UG and Privelet across all query sizes; AG is
+// less sensitive to m1 than UG is to m; c2 = 5 clearly beats 10 and 15;
+// alpha = 0.25 and 0.5 are similar, 0.75 is worse.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/factories.h"
+#include "grid/guidelines.h"
+#include "metrics/table.h"
+
+namespace dpgrid {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintConfig("bench_fig4_ag_params (paper Figure 4)", config);
+
+  for (const DatasetSpec& spec : PaperDatasets(config.scale)) {
+    const std::string name = spec.name;
+    if (name != "checkin" && name != "landmark") continue;  // as in paper
+    for (double eps : {0.1, 1.0}) {
+      Scenario scenario = MakeScenario(spec, eps, config);
+      const double n = static_cast<double>(scenario.dataset.size());
+      const int ug_suggested = ChooseUniformGridSize(n, eps);
+      const int m1_suggested = ChooseAdaptiveLevel1Size(n, eps);
+      const std::string title_base = std::string("Fig.4 ") + spec.name +
+                                     ", eps=" + FormatDouble(eps, 2);
+
+      // --- Columns 1-2: AG across m1, against UG and Privelet -------------
+      std::vector<MethodResult> methods;
+      methods.push_back(RunMethod("U" + std::to_string(ug_suggested),
+                                  MakeUgFactory(ug_suggested), scenario,
+                                  config));
+      methods.push_back(RunMethod("W" + std::to_string(ug_suggested),
+                                  MakeWaveletFactory(ug_suggested), scenario,
+                                  config));
+      std::set<int> m1_values;
+      for (double f : {0.4, 0.65, 1.0, 1.5, 2.5, 4.0}) {
+        m1_values.insert(
+            std::max(4, static_cast<int>(std::lround(m1_suggested * f))));
+      }
+      for (int m1 : m1_values) {
+        std::string label = "A" + std::to_string(m1) + ",5";
+        if (m1 == m1_suggested) label += "*";
+        methods.push_back(
+            RunMethod(label, MakeAgFactory(m1), scenario, config));
+      }
+      PrintPerSizeTable(title_base + " — vary m1 (suggested m1=" +
+                            std::to_string(m1_suggested) + ")",
+                        scenario.workload.size_labels, methods);
+      PrintCandlestickTable(title_base + " — vary m1", methods);
+
+      // --- Columns 3-4: alpha x c2 grids at two fixed m1 ------------------
+      for (int m1 : {m1_suggested, 2 * m1_suggested}) {
+        std::vector<MethodResult> param_methods;
+        for (double alpha : {0.25, 0.5, 0.75}) {
+          for (double c2 : {5.0, 10.0, 15.0}) {
+            std::string label = "a=" + FormatDouble(alpha, 2) +
+                                ",c2=" + FormatDouble(c2, 2);
+            param_methods.push_back(RunMethod(
+                label, MakeAgFactory(m1, alpha, c2), scenario, config));
+          }
+        }
+        PrintCandlestickTable(
+            title_base + " — fix m1=" + std::to_string(m1) +
+                ", vary alpha and c2",
+            param_methods);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dpgrid
+
+int main() {
+  dpgrid::bench::Run();
+  return 0;
+}

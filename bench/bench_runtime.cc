@@ -1,0 +1,147 @@
+// Runtime/efficiency benchmarks backing the paper's §IV-C claims: UG and AG
+// are conceptually simple and far cheaper to build than deep recursive
+// partitioning trees (KD-standard / KD-hybrid), and grid synopses answer
+// queries in (near-)constant time.
+//
+// This is a google-benchmark binary; all other bench_* binaries are accuracy
+// harnesses that print the paper's tables/figures.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "grid/adaptive_grid.h"
+#include "grid/uniform_grid.h"
+#include "hier/hierarchy_grid.h"
+#include "kd/kd_tree.h"
+#include "wavelet/privelet.h"
+
+namespace dpgrid {
+namespace {
+
+// Shared dataset: checkin-like, 200k points (kept moderate so the full
+// google-benchmark suite stays quick; scale the conclusions linearly).
+const Dataset& SharedDataset() {
+  static const Dataset* dataset = [] {
+    Rng rng(7);
+    return new Dataset(MakeCheckinLike(200000, rng));
+  }();
+  return *dataset;
+}
+
+void BM_BuildUniformGrid(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    UniformGrid ug(SharedDataset(), 1.0, rng);
+    benchmark::DoNotOptimize(ug.grid_size());
+  }
+}
+BENCHMARK(BM_BuildUniformGrid)->Unit(benchmark::kMillisecond);
+
+void BM_BuildAdaptiveGrid(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    AdaptiveGrid ag(SharedDataset(), 1.0, rng);
+    benchmark::DoNotOptimize(ag.level1_size());
+  }
+}
+BENCHMARK(BM_BuildAdaptiveGrid)->Unit(benchmark::kMillisecond);
+
+void BM_BuildPrivelet(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    Privelet w(SharedDataset(), 1.0, rng);
+    benchmark::DoNotOptimize(w.grid_size());
+  }
+}
+BENCHMARK(BM_BuildPrivelet)->Unit(benchmark::kMillisecond);
+
+void BM_BuildHierarchy360(benchmark::State& state) {
+  Rng rng(4);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 360;
+  opts.branching = 2;
+  opts.depth = 4;
+  for (auto _ : state) {
+    HierarchyGrid h(SharedDataset(), 1.0, rng, opts);
+    benchmark::DoNotOptimize(h.LevelSize(0));
+  }
+}
+BENCHMARK(BM_BuildHierarchy360)->Unit(benchmark::kMillisecond);
+
+void BM_BuildKdStandard(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    KdTree tree(SharedDataset(), 1.0, rng, KdStandardOptions());
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_BuildKdStandard)->Unit(benchmark::kMillisecond);
+
+void BM_BuildKdHybrid(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    KdTree tree(SharedDataset(), 1.0, rng, KdHybridOptions());
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_BuildKdHybrid)->Unit(benchmark::kMillisecond);
+
+// --- Query answering -------------------------------------------------------
+
+template <typename SynopsisT>
+const SynopsisT& SharedSynopsis() {
+  static const SynopsisT* synopsis = [] {
+    Rng rng(8);
+    return new SynopsisT(SharedDataset(), 1.0, rng);
+  }();
+  return *synopsis;
+}
+
+Rect RandomQuery(Rng& rng, const Rect& domain) {
+  double w = rng.Uniform(5.0, domain.Width() / 2);
+  double h = rng.Uniform(5.0, domain.Height() / 2);
+  double xlo = rng.Uniform(domain.xlo, domain.xhi - w);
+  double ylo = rng.Uniform(domain.ylo, domain.yhi - h);
+  return Rect{xlo, ylo, xlo + w, ylo + h};
+}
+
+void BM_QueryUniformGrid(benchmark::State& state) {
+  const auto& ug = SharedSynopsis<UniformGrid>();
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ug.Answer(RandomQuery(rng, SharedDataset().domain())));
+  }
+}
+BENCHMARK(BM_QueryUniformGrid);
+
+void BM_QueryAdaptiveGrid(benchmark::State& state) {
+  const auto& ag = SharedSynopsis<AdaptiveGrid>();
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ag.Answer(RandomQuery(rng, SharedDataset().domain())));
+  }
+}
+BENCHMARK(BM_QueryAdaptiveGrid);
+
+void BM_QueryKdHybrid(benchmark::State& state) {
+  static const KdTree* tree = [] {
+    Rng rng(11);
+    return new KdTree(SharedDataset(), 1.0, rng, KdHybridOptions());
+  }();
+  Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree->Answer(RandomQuery(rng, SharedDataset().domain())));
+  }
+}
+BENCHMARK(BM_QueryKdHybrid);
+
+}  // namespace
+}  // namespace dpgrid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Reproduces Table II of the paper: for every dataset and epsilon, the grid
+// size suggested by Guideline 1 versus the empirically best-performing UG
+// sizes, and the suggested AG m1 versus the best-performing m1 values.
+//
+// Paper expectation: the suggested UG size falls inside (or near) the
+// observed optimal range on every dataset except road (whose unusually high
+// uniformity favors smaller grids under relative error), and the best AG m1
+// range sits well below the UG range.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/factories.h"
+#include "grid/guidelines.h"
+#include "metrics/table.h"
+
+namespace dpgrid {
+namespace bench {
+namespace {
+
+// Geometric sweep around a center value.
+std::vector<int> SweepAround(int center, int floor_value) {
+  const double factors[] = {0.125, 0.1875, 0.25, 0.375, 0.5, 0.75,
+                            1.0,   1.5,    2.0,  3.0,   4.0};
+  std::set<int> sizes;
+  for (double f : factors) {
+    int v = std::max(floor_value,
+                     static_cast<int>(std::lround(center * f)));
+    sizes.insert(v);
+  }
+  return std::vector<int>(sizes.begin(), sizes.end());
+}
+
+// Range of sweep values whose mean relative error is within 20% of the best.
+std::string NearOptimalRange(const std::vector<int>& sizes,
+                             const std::vector<double>& errors) {
+  double best = *std::min_element(errors.begin(), errors.end());
+  int lo = 0;
+  int hi = 0;
+  bool first = true;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (errors[i] <= best * 1.2) {
+      if (first) {
+        lo = sizes[i];
+        first = false;
+      }
+      hi = sizes[i];
+    }
+  }
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintConfig("bench_table2_grid_sizes (paper Table II)", config);
+
+  TablePrinter table({"dataset", "N", "eps", "UG sugg.", "UG best range",
+                      "UG err@sugg", "AG m1 sugg.", "AG m1 best range"});
+
+  for (const DatasetSpec& spec : PaperDatasets(config.scale)) {
+    for (double eps : {1.0, 0.1}) {
+      Scenario scenario = MakeScenario(spec, eps, config);
+      const double n = static_cast<double>(scenario.dataset.size());
+      const int ug_suggested = ChooseUniformGridSize(n, eps);
+      const int m1_suggested = ChooseAdaptiveLevel1Size(n, eps);
+
+      // UG sweep.
+      std::vector<int> ug_sizes = SweepAround(ug_suggested, 2);
+      std::vector<double> ug_errors;
+      double err_at_suggested = 0.0;
+      for (int m : ug_sizes) {
+        MethodResult r = RunMethod("U" + std::to_string(m), MakeUgFactory(m),
+                                   scenario, config);
+        ug_errors.push_back(r.rel_summary.mean);
+        if (m == ug_suggested) err_at_suggested = r.rel_summary.mean;
+      }
+
+      // AG m1 sweep.
+      std::vector<int> m1_sizes = SweepAround(std::max(m1_suggested, 12), 4);
+      std::vector<double> m1_errors;
+      for (int m1 : m1_sizes) {
+        MethodResult r = RunMethod("A" + std::to_string(m1),
+                                   MakeAgFactory(m1), scenario, config);
+        m1_errors.push_back(r.rel_summary.mean);
+      }
+
+      table.AddRow({spec.name, std::to_string(scenario.dataset.size()),
+                    FormatDouble(eps, 2), std::to_string(ug_suggested),
+                    NearOptimalRange(ug_sizes, ug_errors),
+                    FormatDouble(err_at_suggested, 4),
+                    std::to_string(m1_suggested),
+                    NearOptimalRange(m1_sizes, m1_errors)});
+      std::printf("  done: %s eps=%g\n", spec.name, eps);
+    }
+  }
+  std::printf("\nTable II reproduction (ranges = sizes within 20%% of the "
+              "sweep's best mean relative error)\n");
+  std::printf("Paper values at full scale: road 400/126, checkin 316/100, "
+              "landmark 300/95, storage 30/10 (UG sugg., eps=1/eps=0.1)\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dpgrid
+
+int main() {
+  dpgrid::bench::Run();
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "metrics/table.h"
+#include "query/evaluator.h"
+
+namespace dpgrid {
+namespace bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoll(v);
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig c;
+  c.scale = EnvDouble("DPGRID_SCALE", 1.0);
+  c.trials = static_cast<int>(EnvInt("DPGRID_TRIALS", 3));
+  c.queries_per_size = static_cast<int>(EnvInt("DPGRID_QUERIES", 200));
+  c.seed = static_cast<uint64_t>(EnvInt("DPGRID_SEED", 20130408));
+  DPGRID_CHECK(c.scale > 0.0 && c.scale <= 1.0);
+  DPGRID_CHECK(c.trials >= 1);
+  DPGRID_CHECK(c.queries_per_size >= 1);
+  return c;
+}
+
+Scenario MakeScenario(const DatasetSpec& spec, double epsilon,
+                      const BenchConfig& config) {
+  Rng data_rng(config.seed);
+  Dataset dataset = spec.make(spec.n, data_rng);
+  RangeCountIndex truth(dataset);
+  Rng workload_rng(config.seed + 1);
+  Workload workload =
+      GenerateWorkload(dataset.domain(), spec.q_max_w, spec.q_max_h, 6,
+                       config.queries_per_size, workload_rng);
+  double rho = DefaultRho(static_cast<double>(dataset.size()));
+  return Scenario{spec.name, epsilon, std::move(dataset), std::move(truth),
+                  std::move(workload), rho};
+}
+
+MethodResult RunMethod(const std::string& name, const SynopsisFactory& factory,
+                       const Scenario& scenario, const BenchConfig& config) {
+  MethodResult result;
+  result.name = name;
+  const size_t num_sizes = scenario.workload.num_sizes();
+  result.mean_rel_by_size.assign(num_sizes, 0.0);
+  std::vector<double> pooled_rel;
+  std::vector<double> pooled_abs;
+  for (int t = 0; t < config.trials; ++t) {
+    Rng rng(config.seed + 977 * static_cast<uint64_t>(t + 1));
+    std::unique_ptr<Synopsis> synopsis =
+        factory(scenario.dataset, scenario.epsilon, rng);
+    auto errors = EvaluateSynopsis(*synopsis, scenario.workload,
+                                   scenario.truth, scenario.rho);
+    for (size_t s = 0; s < num_sizes; ++s) {
+      result.mean_rel_by_size[s] +=
+          Mean(errors[s].relative) / config.trials;
+    }
+    auto rel = PoolRelative(errors);
+    auto abs = PoolAbsolute(errors);
+    pooled_rel.insert(pooled_rel.end(), rel.begin(), rel.end());
+    pooled_abs.insert(pooled_abs.end(), abs.begin(), abs.end());
+  }
+  result.rel_summary = ComputeSummary(pooled_rel);
+  result.abs_summary = ComputeSummary(pooled_abs);
+  return result;
+}
+
+void PrintPerSizeTable(const std::string& title,
+                       const std::vector<std::string>& size_labels,
+                       const std::vector<MethodResult>& methods) {
+  std::printf("\n%s — mean relative error per query size\n", title.c_str());
+  std::vector<std::string> headers = {"method"};
+  headers.insert(headers.end(), size_labels.begin(), size_labels.end());
+  TablePrinter table(headers);
+  for (const MethodResult& m : methods) {
+    std::vector<std::string> row = {m.name};
+    for (double v : m.mean_rel_by_size) row.push_back(FormatDouble(v, 4));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void PrintCandlestickTable(const std::string& title,
+                           const std::vector<MethodResult>& methods,
+                           bool absolute) {
+  std::printf("\n%s — %s error profile over all query sizes\n", title.c_str(),
+              absolute ? "absolute" : "relative");
+  TablePrinter table({"method", "p25", "median", "p75", "p95", "mean"});
+  for (const MethodResult& m : methods) {
+    const Summary& s = absolute ? m.abs_summary : m.rel_summary;
+    table.AddRow({m.name, FormatDouble(s.p25, 4), FormatDouble(s.p50, 4),
+                  FormatDouble(s.p75, 4), FormatDouble(s.p95, 4),
+                  FormatDouble(s.mean, 4)});
+  }
+  table.Print();
+}
+
+void PrintConfig(const char* bench_name, const BenchConfig& config) {
+  std::printf(
+      "=== %s ===\n"
+      "scale=%.3g (of paper dataset sizes), trials=%d, queries/size=%d, "
+      "seed=%llu\n"
+      "(override via DPGRID_SCALE / DPGRID_TRIALS / DPGRID_QUERIES / "
+      "DPGRID_SEED)\n",
+      bench_name, config.scale, config.trials, config.queries_per_size,
+      static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace bench
+}  // namespace dpgrid

@@ -1,0 +1,86 @@
+#ifndef DPGRID_BENCH_BENCH_UTIL_H_
+#define DPGRID_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geo/dataset.h"
+#include "grid/synopsis.h"
+#include "index/range_count_index.h"
+#include "metrics/error.h"
+#include "query/workload.h"
+
+namespace dpgrid {
+namespace bench {
+
+/// Runtime knobs shared by every bench binary, read from the environment:
+///   DPGRID_SCALE    dataset scale in (0,1], default 1.0 (paper scale)
+///   DPGRID_TRIALS   fresh-noise trials per method, default 3
+///   DPGRID_QUERIES  queries per size, default 200 (the paper's value)
+///   DPGRID_SEED     base RNG seed, default 20130408
+struct BenchConfig {
+  double scale = 1.0;
+  int trials = 3;
+  int queries_per_size = 200;
+  uint64_t seed = 20130408;
+
+  static BenchConfig FromEnv();
+};
+
+/// Builds a synopsis for one trial. The rng is already forked per trial.
+using SynopsisFactory = std::function<std::unique_ptr<Synopsis>(
+    const Dataset& dataset, double epsilon, Rng& rng)>;
+
+/// Aggregated accuracy of one method on one (dataset, epsilon) scenario.
+struct MethodResult {
+  std::string name;
+  /// Mean relative error per query size (averaged over trials).
+  std::vector<double> mean_rel_by_size;
+  /// Candlestick stats over all sizes and trials.
+  Summary rel_summary;
+  Summary abs_summary;
+};
+
+/// One prepared evaluation scenario.
+struct Scenario {
+  std::string dataset_name;
+  double epsilon = 1.0;
+  Dataset dataset;
+  RangeCountIndex truth;
+  Workload workload;
+  double rho = 1.0;
+};
+
+/// Generates a scenario from a dataset spec. The workload shape follows the
+/// paper (6 sizes, Table II q6 extents).
+Scenario MakeScenario(const DatasetSpec& spec, double epsilon,
+                      const BenchConfig& config);
+
+/// Builds `factory` `config.trials` times with fresh noise and evaluates
+/// each build on the scenario's workload.
+MethodResult RunMethod(const std::string& name, const SynopsisFactory& factory,
+                       const Scenario& scenario, const BenchConfig& config);
+
+/// Prints per-size mean relative errors (the paper's line graphs) for a set
+/// of methods.
+void PrintPerSizeTable(const std::string& title,
+                       const std::vector<std::string>& size_labels,
+                       const std::vector<MethodResult>& methods);
+
+/// Prints candlestick summaries over all query sizes (the paper's
+/// candlestick plots), for relative or absolute error.
+void PrintCandlestickTable(const std::string& title,
+                           const std::vector<MethodResult>& methods,
+                           bool absolute = false);
+
+/// Prints the bench configuration banner.
+void PrintConfig(const char* bench_name, const BenchConfig& config);
+
+}  // namespace bench
+}  // namespace dpgrid
+
+#endif  // DPGRID_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+#ifndef DPGRID_BENCH_FACTORIES_H_
+#define DPGRID_BENCH_FACTORIES_H_
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "grid/adaptive_grid.h"
+#include "grid/uniform_grid.h"
+#include "hier/hierarchy_grid.h"
+#include "kd/kd_tree.h"
+#include "wavelet/privelet.h"
+
+namespace dpgrid {
+namespace bench {
+
+/// UG with a fixed grid size (0 = Guideline 1).
+inline SynopsisFactory MakeUgFactory(int grid_size = 0) {
+  return [grid_size](const Dataset& d, double eps, Rng& rng) {
+    UniformGridOptions opts;
+    opts.grid_size = grid_size;
+    return std::make_unique<UniformGrid>(d, eps, rng, opts);
+  };
+}
+
+/// AG with fixed m1 (0 = suggested), alpha and c2.
+inline SynopsisFactory MakeAgFactory(int m1 = 0, double alpha = 0.5,
+                                     double c2 = 5.0) {
+  return [m1, alpha, c2](const Dataset& d, double eps, Rng& rng) {
+    AdaptiveGridOptions opts;
+    opts.level1_size = m1;
+    opts.alpha = alpha;
+    opts.c2 = c2;
+    return std::make_unique<AdaptiveGrid>(d, eps, rng, opts);
+  };
+}
+
+/// Privelet on a fixed base grid size (0 = Guideline 1).
+inline SynopsisFactory MakeWaveletFactory(int grid_size = 0) {
+  return [grid_size](const Dataset& d, double eps, Rng& rng) {
+    PriveletOptions opts;
+    opts.grid_size = grid_size;
+    return std::make_unique<Privelet>(d, eps, rng, opts);
+  };
+}
+
+/// H_{b,d} grid hierarchy over an m x m leaf grid.
+inline SynopsisFactory MakeHierFactory(int leaf_size, int branching,
+                                       int depth) {
+  return [leaf_size, branching, depth](const Dataset& d, double eps,
+                                       Rng& rng) {
+    HierarchyGridOptions opts;
+    opts.leaf_size = leaf_size;
+    opts.branching = branching;
+    opts.depth = depth;
+    return std::make_unique<HierarchyGrid>(d, eps, rng, opts);
+  };
+}
+
+/// KD-standard baseline.
+inline SynopsisFactory MakeKdStandardFactory() {
+  return [](const Dataset& d, double eps, Rng& rng) {
+    return std::make_unique<KdTree>(d, eps, rng, KdStandardOptions());
+  };
+}
+
+/// KD-hybrid baseline.
+inline SynopsisFactory MakeKdHybridFactory() {
+  return [](const Dataset& d, double eps, Rng& rng) {
+    return std::make_unique<KdTree>(d, eps, rng, KdHybridOptions());
+  };
+}
+
+}  // namespace bench
+}  // namespace dpgrid
+
+#endif  // DPGRID_BENCH_FACTORIES_H_

@@ -1,0 +1,65 @@
+// private_heatmap: publish a privacy-preserving synthetic version of a
+// location dataset — the paper's "generate a synthetic dataset" use of a DP
+// synopsis (§II-B).
+//
+// Builds an Adaptive Grid synopsis of a landmark-style dataset, samples a
+// synthetic point cloud from the noisy cells, writes it to CSV, and renders
+// side-by-side ASCII density heatmaps of the original and synthetic data so
+// the spatial structure is visible at a glance.
+//
+//   $ ./examples/private_heatmap [epsilon]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+#include "data/ascii_map.h"
+#include "data/generators.h"
+#include "grid/adaptive_grid.h"
+#include "synth/synthesize.h"
+
+namespace {
+
+using namespace dpgrid;
+
+void PrintHeatmap(const char* title, const Dataset& data, size_t w, size_t h) {
+  std::printf("%s\n", title);
+  std::fputs(RenderAsciiHeatmap(data, w, h).c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpgrid;
+  const double epsilon = (argc > 1) ? std::atof(argv[1]) : 0.5;
+
+  Rng rng(7);
+  Dataset original = MakeLandmarkLike(400000, rng);
+  std::printf("original: %lld points, epsilon = %.2f\n\n",
+              static_cast<long long>(original.size()), epsilon);
+
+  // The entire release pipeline: synopsis -> synthetic points. Everything
+  // after the synopsis is post-processing, so the synthetic dataset is as
+  // private as the synopsis itself.
+  AdaptiveGrid synopsis(original, epsilon, rng);
+  Dataset synthetic = SynthesizeFromSynopsis(synopsis, original.domain(),
+                                             original.size(), rng);
+
+  const std::string out_path = "private_heatmap_points.csv";
+  if (SaveCsvPoints(out_path, synthetic)) {
+    std::printf("wrote %lld synthetic points to %s\n\n",
+                static_cast<long long>(synthetic.size()), out_path.c_str());
+  }
+
+  PrintHeatmap("original data", original, 72, 24);
+  std::printf("\n");
+  PrintHeatmap(("synthetic data (" + synopsis.Name() + ", eps=" +
+                std::to_string(epsilon) + ")")
+                   .c_str(),
+               synthetic, 72, 24);
+  std::printf(
+      "\nDense metros survive; fine structure blurs at lower epsilon. "
+      "Try: ./private_heatmap 0.05\n");
+  return 0;
+}

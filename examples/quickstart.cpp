@@ -1,0 +1,67 @@
+// Quickstart: build a differentially private synopsis of a geospatial
+// dataset and answer range-count queries.
+//
+//   $ ./examples/quickstart
+//
+// Demonstrates the two methods from the paper: the Uniform Grid (UG) with
+// the Guideline-1 grid size, and the Adaptive Grid (AG), plus explicit
+// privacy-budget accounting.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "dp/budget.h"
+#include "grid/adaptive_grid.h"
+#include "grid/uniform_grid.h"
+
+int main() {
+  using namespace dpgrid;
+
+  // 1. A dataset: 200k check-in style points over a world-sized domain.
+  //    (Use LoadCsvPoints to bring your own "x,y" file instead.)
+  Rng rng(42);
+  Dataset dataset = MakeCheckinLike(200000, rng);
+  std::printf("dataset: N=%lld points, domain %s\n",
+              static_cast<long long>(dataset.size()),
+              dataset.domain().ToString().c_str());
+
+  // 2. A privacy budget. Everything below consumes it exactly once.
+  const double epsilon = 1.0;
+
+  // 3. Uniform Grid with the paper's Guideline 1 (m = sqrt(N*eps/10)).
+  PrivacyBudget ug_budget(epsilon);
+  UniformGrid ug(dataset, ug_budget, rng);
+  std::printf("built %s (Guideline-1 grid size %d), budget left %.3g\n",
+              ug.Name().c_str(), ug.grid_size(), ug_budget.remaining());
+
+  // 4. Adaptive Grid: coarse level-1 grid + per-cell adaptive refinement +
+  //    constrained inference (the paper's main contribution).
+  PrivacyBudget ag_budget(epsilon);
+  AdaptiveGrid ag(dataset, ag_budget, rng);
+  std::printf("built %s (m1=%d, %lld leaf cells)\n", ag.Name().c_str(),
+              ag.level1_size(), static_cast<long long>(ag.TotalLeafCells()));
+  for (const auto& entry : ag_budget.ledger()) {
+    std::printf("  budget ledger: %-18s eps=%.3f\n", entry.label.c_str(),
+                entry.epsilon);
+  }
+
+  // 5. Answer some range-count queries and compare with the truth.
+  const Rect queries[] = {
+      {-130.0, 20.0, -60.0, 55.0},   // North-America-sized
+      {-10.0, 35.0, 30.0, 60.0},     // Europe-sized
+      {100.0, -10.0, 150.0, 30.0},   // Southeast-Asia-sized
+      {-30.0, -60.0, 10.0, -20.0},   // South-Atlantic (mostly empty)
+  };
+  std::printf("\n%-34s %10s %12s %12s\n", "query", "true", "UG est", "AG est");
+  for (const Rect& q : queries) {
+    std::printf("%-34s %10lld %12.1f %12.1f\n", q.ToString().c_str(),
+                static_cast<long long>(dataset.CountInRect(q)), ug.Answer(q),
+                ag.Answer(q));
+  }
+  std::printf(
+      "\nBoth synopses satisfy %.1f-differential privacy; AG estimates are "
+      "typically closer to the truth.\n",
+      epsilon);
+  return 0;
+}

@@ -1,0 +1,38 @@
+#ifndef DPGRID_COMMON_CHECK_H_
+#define DPGRID_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros in the style of database engines (RocksDB,
+// Arrow): library code does not throw; violated preconditions abort with a
+// source location. DPGRID_CHECK is always on; DPGRID_DCHECK compiles out in
+// NDEBUG builds and is meant for hot paths.
+
+#define DPGRID_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "DPGRID_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define DPGRID_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "DPGRID_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define DPGRID_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define DPGRID_DCHECK(cond) DPGRID_CHECK(cond)
+#endif
+
+#endif  // DPGRID_COMMON_CHECK_H_

@@ -1,0 +1,91 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+double Rng::Uniform(double lo, double hi) {
+  DPGRID_DCHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform01() { return Uniform(0.0, 1.0); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DPGRID_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Laplace(double scale) {
+  DPGRID_DCHECK(scale > 0.0);
+  // Inverse-CDF sampling: u uniform in (-1/2, 1/2),
+  // x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = Uniform01() - 0.5;
+  double sign = (u >= 0.0) ? 1.0 : -1.0;
+  double mag = std::abs(u);
+  // 1 - 2*mag is in (0, 1]; log is finite except at mag = 0.5 which has
+  // probability zero under a real RNG but we guard anyway.
+  double inner = 1.0 - 2.0 * mag;
+  if (inner <= 0.0) inner = std::numeric_limits<double>::min();
+  return -scale * sign * std::log(inner);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  DPGRID_DCHECK(stddev >= 0.0);
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double lambda) {
+  DPGRID_DCHECK(lambda > 0.0);
+  std::exponential_distribution<double> dist(lambda);
+  return dist(engine_);
+}
+
+int64_t Rng::TwoSidedGeometric(double alpha) {
+  DPGRID_DCHECK(alpha > 0.0 && alpha < 1.0);
+  // X = G1 - G2 where G1, G2 are iid geometric(1 - alpha) on {0, 1, ...}
+  // gives the two-sided geometric distribution Pr[X=k] ∝ alpha^{|k|}.
+  std::geometric_distribution<int64_t> dist(1.0 - alpha);
+  return dist(engine_) - dist(engine_);
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  DPGRID_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DPGRID_DCHECK(w >= 0.0);
+    total += w;
+  }
+  DPGRID_CHECK_MSG(total > 0.0, "all weights are zero");
+  double target = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // Floating point slack: return the last index.
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  for (size_t i = n; i > 1; --i) {
+    size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Fork() {
+  uint64_t child_seed = engine_();
+  return Rng(child_seed);
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,71 @@
+#ifndef DPGRID_COMMON_RANDOM_H_
+#define DPGRID_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dpgrid {
+
+/// Deterministic random number generator used by every randomized component
+/// in the library.
+///
+/// All mechanisms, generators and workloads take an explicit `Rng&` so that
+/// experiments are reproducible from a single seed. The engine is
+/// `std::mt19937_64`; the class adds the distributions needed by the paper
+/// (uniform, Laplace, Gaussian, Zipf-like power-law, two-sided geometric).
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Sample from Laplace(scale b): density (1/2b)·exp(-|x|/b).
+  /// Sampled by inverse CDF; variance is 2·b².
+  double Laplace(double scale);
+
+  /// Standard normal times `stddev`, plus `mean`.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda);
+
+  /// Two-sided geometric with parameter alpha in (0,1):
+  /// Pr[X = k] ∝ alpha^{|k|}. This is the integer ("geometric") analogue of
+  /// the Laplace distribution used by the geometric mechanism.
+  int64_t TwoSidedGeometric(double alpha);
+
+  /// Samples index i in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative and not all zero.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Returns a random permutation of {0, ..., n-1}.
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Derives an independent child generator. Useful for giving each trial or
+  /// each sub-component its own stream.
+  Rng Fork();
+
+  /// Underlying engine, for interoperating with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_COMMON_RANDOM_H_

@@ -1,0 +1,29 @@
+#include "data/ascii_map.h"
+
+#include <algorithm>
+
+#include "grid/grid_counts.h"
+
+namespace dpgrid {
+
+std::string RenderAsciiHeatmap(const Dataset& dataset, size_t width,
+                               size_t height) {
+  GridCounts grid = GridCounts::FromDataset(dataset, width, height);
+  double max_count = 1.0;
+  for (double v : grid.values()) max_count = std::max(max_count, v);
+  static const char kShades[] = " .:-=+*#%@";
+  std::string out;
+  out.reserve((width + 3) * height);
+  for (size_t iy = height; iy-- > 0;) {
+    out += "  ";
+    for (size_t ix = 0; ix < width; ++ix) {
+      double frac = grid.at(ix, iy) / max_count;
+      int shade = static_cast<int>(frac * 9.0 + 0.5);
+      out += kShades[std::clamp(shade, 0, 9)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,19 @@
+#ifndef DPGRID_DATA_ASCII_MAP_H_
+#define DPGRID_DATA_ASCII_MAP_H_
+
+#include <string>
+
+#include "geo/dataset.h"
+
+namespace dpgrid {
+
+/// Renders a w × h ASCII density heatmap of a dataset (top row = highest
+/// y). Shades run from ' ' (empty) to '@' (the densest cell). Used to
+/// reproduce the paper's Figure 1 dataset illustrations and by the
+/// private_heatmap example.
+std::string RenderAsciiHeatmap(const Dataset& dataset, size_t width,
+                               size_t height);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_DATA_ASCII_MAP_H_

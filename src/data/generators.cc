@@ -1,0 +1,178 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+namespace {
+
+Point2 ClampIntoDomain(Point2 p, const Rect& domain) {
+  p.x = std::clamp(p.x, domain.xlo, domain.xhi);
+  p.y = std::clamp(p.y, domain.ylo, domain.yhi);
+  return p;
+}
+
+// Zipf-style weights w_k = 1 / (k+1)^s.
+std::vector<double> ZipfWeights(size_t count, double s) {
+  std::vector<double> w(count);
+  for (size_t k = 0; k < count; ++k) {
+    w[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  return w;
+}
+
+// Random clusters with centers uniform in `area` and stddevs uniform in
+// [s_lo, s_hi], weighted Zipf(s_zipf).
+std::vector<Cluster> RandomClusters(const Rect& area, size_t count,
+                                    double s_lo, double s_hi, double s_zipf,
+                                    Rng& rng) {
+  std::vector<double> weights = ZipfWeights(count, s_zipf);
+  std::vector<Cluster> clusters(count);
+  for (size_t k = 0; k < count; ++k) {
+    clusters[k].cx = rng.Uniform(area.xlo, area.xhi);
+    clusters[k].cy = rng.Uniform(area.ylo, area.yhi);
+    clusters[k].sx = rng.Uniform(s_lo, s_hi);
+    clusters[k].sy = rng.Uniform(s_lo, s_hi);
+    clusters[k].weight = weights[k];
+  }
+  return clusters;
+}
+
+}  // namespace
+
+Dataset MakeUniformDataset(const Rect& domain, int64_t n, Rng& rng) {
+  DPGRID_CHECK(n >= 0);
+  std::vector<Point2> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    points.push_back(Point2{rng.Uniform(domain.xlo, domain.xhi),
+                            rng.Uniform(domain.ylo, domain.yhi)});
+  }
+  return Dataset(domain, std::move(points));
+}
+
+Dataset MakeGaussianMixture(const Rect& domain, int64_t n,
+                            const std::vector<Cluster>& clusters,
+                            double background_fraction, Rng& rng) {
+  DPGRID_CHECK(n >= 0);
+  DPGRID_CHECK(background_fraction >= 0.0 && background_fraction <= 1.0);
+  DPGRID_CHECK(!clusters.empty() || background_fraction == 1.0);
+  std::vector<double> weights;
+  weights.reserve(clusters.size());
+  for (const Cluster& c : clusters) weights.push_back(c.weight);
+
+  std::vector<Point2> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (clusters.empty() || rng.Uniform01() < background_fraction) {
+      points.push_back(Point2{rng.Uniform(domain.xlo, domain.xhi),
+                              rng.Uniform(domain.ylo, domain.yhi)});
+      continue;
+    }
+    const Cluster& c = clusters[rng.Discrete(weights)];
+    Point2 p{rng.Gaussian(c.cx, c.sx), rng.Gaussian(c.cy, c.sy)};
+    points.push_back(ClampIntoDomain(p, domain));
+  }
+  return Dataset(domain, std::move(points));
+}
+
+Dataset MakeRoadLike(int64_t n, Rng& rng) {
+  const Rect domain{0.0, 0.0, 25.0, 20.0};
+  // Two dense "states" (paper: Washington + New Mexico) with quasi-uniform
+  // road grids plus town clusters; the rest of the domain is blank.
+  const Rect state_a{1.5, 10.5, 10.5, 19.0};
+  const Rect state_b{13.0, 1.0, 23.5, 9.5};
+
+  auto town_clusters = [&rng](const Rect& area, size_t count) {
+    return RandomClusters(area, count, 0.15, 0.45, 0.6, rng);
+  };
+  std::vector<Cluster> towns_a = town_clusters(state_a, 14);
+  std::vector<Cluster> towns_b = town_clusters(state_b, 12);
+  std::vector<double> weights_a;
+  std::vector<double> weights_b;
+  for (const Cluster& c : towns_a) weights_a.push_back(c.weight);
+  for (const Cluster& c : towns_b) weights_b.push_back(c.weight);
+
+  auto sample_state = [&rng](const Rect& area,
+                             const std::vector<Cluster>& towns,
+                             const std::vector<double>& weights) {
+    // Road intersections: largely uniform within the state (the paper calls
+    // road "unusually high uniformity"), with some town densification.
+    if (rng.Uniform01() < 0.75) {
+      return Point2{rng.Uniform(area.xlo, area.xhi),
+                    rng.Uniform(area.ylo, area.yhi)};
+    }
+    const Cluster& c = towns[rng.Discrete(weights)];
+    Point2 p{rng.Gaussian(c.cx, c.sx), rng.Gaussian(c.cy, c.sy)};
+    p.x = std::clamp(p.x, area.xlo, area.xhi);
+    p.y = std::clamp(p.y, area.ylo, area.yhi);
+    return p;
+  };
+
+  std::vector<Point2> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double pick = rng.Uniform01();
+    if (pick < 0.55) {
+      points.push_back(sample_state(state_a, towns_a, weights_a));
+    } else if (pick < 0.98) {
+      points.push_back(sample_state(state_b, towns_b, weights_b));
+    } else {
+      points.push_back(Point2{rng.Uniform(domain.xlo, domain.xhi),
+                              rng.Uniform(domain.ylo, domain.yhi)});
+    }
+  }
+  return Dataset(domain, std::move(points));
+}
+
+Dataset MakeCheckinLike(int64_t n, Rng& rng) {
+  const Rect domain{-180.0, -65.0, 180.0, 85.0};
+  // Power-law "cities" concentrated in a land band; oceans stay blank.
+  const Rect land_band{-170.0, -50.0, 170.0, 75.0};
+  std::vector<Cluster> cities =
+      RandomClusters(land_band, 80, 0.8, 6.0, 1.1, rng);
+  return MakeGaussianMixture(domain, n, cities,
+                             /*background_fraction=*/0.015, rng);
+}
+
+Dataset MakeLandmarkLike(int64_t n, Rng& rng) {
+  const Rect domain{-130.0, 20.0, -70.0, 60.0};
+  const Rect populated{-125.0, 25.0, -72.0, 50.0};
+  std::vector<Cluster> towns =
+      RandomClusters(populated, 350, 0.2, 1.5, 0.8, rng);
+  return MakeGaussianMixture(domain, n, towns,
+                             /*background_fraction=*/0.08, rng);
+}
+
+Dataset MakeStorageLike(int64_t n, Rng& rng) {
+  const Rect domain{-130.0, 20.0, -70.0, 60.0};
+  const Rect populated{-125.0, 25.0, -72.0, 50.0};
+  std::vector<Cluster> sites =
+      RandomClusters(populated, 150, 0.3, 1.2, 0.9, rng);
+  return MakeGaussianMixture(domain, n, sites,
+                             /*background_fraction=*/0.10, rng);
+}
+
+std::vector<DatasetSpec> PaperDatasets(double scale) {
+  DPGRID_CHECK(scale > 0.0 && scale <= 1.0);
+  auto scaled = [scale](int64_t n, int64_t floor_n) {
+    return std::max<int64_t>(floor_n,
+                             static_cast<int64_t>(std::llround(
+                                 static_cast<double>(n) * scale)));
+  };
+  return {
+      // Table II: name, N, q6 size.
+      DatasetSpec{"road", scaled(1600000, 10000), 16.0, 16.0, &MakeRoadLike},
+      DatasetSpec{"checkin", scaled(1000000, 10000), 192.0, 96.0,
+                  &MakeCheckinLike},
+      DatasetSpec{"landmark", scaled(870000, 10000), 40.0, 20.0,
+                  &MakeLandmarkLike},
+      DatasetSpec{"storage", scaled(9000, 2000), 40.0, 20.0,
+                  &MakeStorageLike},
+  };
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,67 @@
+#ifndef DPGRID_DATA_GENERATORS_H_
+#define DPGRID_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/dataset.h"
+
+namespace dpgrid {
+
+/// One Gaussian component of a mixture generator.
+struct Cluster {
+  double cx = 0.0;
+  double cy = 0.0;
+  double sx = 1.0;  // stddev along x
+  double sy = 1.0;  // stddev along y
+  double weight = 1.0;
+};
+
+/// N points uniform over the domain.
+Dataset MakeUniformDataset(const Rect& domain, int64_t n, Rng& rng);
+
+/// A Gaussian mixture with a uniform background: each point is uniform over
+/// the domain with probability `background_fraction`, otherwise sampled from
+/// a weight-proportional cluster and clamped into the domain.
+Dataset MakeGaussianMixture(const Rect& domain, int64_t n,
+                            const std::vector<Cluster>& clusters,
+                            double background_fraction, Rng& rng);
+
+/// Synthetic stand-ins for the paper's four evaluation datasets (§V-A).
+/// Each matches the paper dataset's size, domain extent and qualitative
+/// distribution; see DESIGN.md §2 for the substitution rationale.
+
+/// "road"-like: two dense state-shaped regions with quasi-uniform interiors
+/// plus town clusters; large blank areas; 25 × 20 domain. Paper N = 1.6M.
+Dataset MakeRoadLike(int64_t n, Rng& rng);
+
+/// "checkin"-like: world-map style power-law city clusters over a 360 × 150
+/// domain with mostly-empty oceans. Paper N = 1M.
+Dataset MakeCheckinLike(int64_t n, Rng& rng);
+
+/// "landmark"-like: several hundred population-style clusters over a
+/// 60 × 40 domain with a moderate background. Paper N = 0.87M.
+Dataset MakeLandmarkLike(int64_t n, Rng& rng);
+
+/// "storage"-like: the same spatial style as landmark but tiny
+/// (paper N = 9000); exercises the small-N regime.
+Dataset MakeStorageLike(int64_t n, Rng& rng);
+
+/// Everything a bench needs to run one paper dataset.
+struct DatasetSpec {
+  const char* name;
+  int64_t n;           // paper dataset size (already scaled)
+  double q_max_w;      // paper's q6 width (Table II)
+  double q_max_h;      // paper's q6 height
+  Dataset (*make)(int64_t, Rng&);
+};
+
+/// The four paper datasets with Table II parameters. `scale` in (0, 1]
+/// shrinks every dataset proportionally (storage has a floor of 2000 points)
+/// for quick runs.
+std::vector<DatasetSpec> PaperDatasets(double scale = 1.0);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_DATA_GENERATORS_H_

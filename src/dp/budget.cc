@@ -1,0 +1,39 @@
+#include "dp/budget.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+namespace {
+// Relative tolerance for floating-point accumulation of spends.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+PrivacyBudget::PrivacyBudget(double total_epsilon)
+    : total_(total_epsilon), remaining_(total_epsilon) {
+  DPGRID_CHECK_MSG(total_epsilon > 0.0, "total epsilon must be positive");
+}
+
+double PrivacyBudget::Spend(double epsilon, const std::string& label) {
+  DPGRID_CHECK_MSG(epsilon >= 0.0, "cannot spend negative epsilon");
+  DPGRID_CHECK_MSG(epsilon <= remaining_ + kSlack * total_,
+                   "privacy budget overspent");
+  remaining_ -= epsilon;
+  if (remaining_ < 0.0) remaining_ = 0.0;
+  ledger_.push_back(Entry{label, epsilon});
+  return epsilon;
+}
+
+double PrivacyBudget::SpendFraction(double fraction, const std::string& label) {
+  DPGRID_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  return Spend(fraction * total_, label);
+}
+
+double PrivacyBudget::SpendRemaining(const std::string& label) {
+  double eps = remaining_;
+  return Spend(eps, label);
+}
+
+}  // namespace dpgrid

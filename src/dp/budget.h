@@ -1,0 +1,60 @@
+#ifndef DPGRID_DP_BUDGET_H_
+#define DPGRID_DP_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+namespace dpgrid {
+
+/// Explicit ε-budget accountant for sequential composition.
+///
+/// Every differentially-private primitive in the library draws its ε from a
+/// `PrivacyBudget`. Sequential composition then holds by construction: the
+/// sum of all `Spend` calls can never exceed the total ε the accountant was
+/// created with (checked, with a small floating-point tolerance).
+///
+/// A ledger of named spends is kept so experiments can print exactly where
+/// the budget went.
+class PrivacyBudget {
+ public:
+  /// One ledger entry: `epsilon` spent under `label`.
+  struct Entry {
+    std::string label;
+    double epsilon;
+  };
+
+  /// Creates an accountant holding `total_epsilon > 0`.
+  explicit PrivacyBudget(double total_epsilon);
+
+  /// Withdraws `epsilon` from the budget. Aborts if the budget would go
+  /// negative (beyond a 1e-9 relative tolerance). Returns `epsilon` for
+  /// convenient inline use.
+  double Spend(double epsilon, const std::string& label = "");
+
+  /// Withdraws `fraction` of the *total* budget.
+  double SpendFraction(double fraction, const std::string& label = "");
+
+  /// Withdraws everything that is left; returns the amount.
+  double SpendRemaining(const std::string& label = "");
+
+  /// ε still available.
+  double remaining() const { return remaining_; }
+
+  /// ε the accountant was created with.
+  double total() const { return total_; }
+
+  /// Sum of all spends so far.
+  double spent() const { return total_ - remaining_; }
+
+  /// Ledger of all spends, in order.
+  const std::vector<Entry>& ledger() const { return ledger_; }
+
+ private:
+  double total_;
+  double remaining_;
+  std::vector<Entry> ledger_;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_DP_BUDGET_H_

@@ -1,0 +1,52 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        Rng& rng) {
+  DPGRID_CHECK(sensitivity > 0.0);
+  DPGRID_CHECK(epsilon > 0.0);
+  return value + rng.Laplace(sensitivity / epsilon);
+}
+
+void LaplaceMechanismInPlace(std::vector<double>& values, double sensitivity,
+                             double epsilon, Rng& rng) {
+  DPGRID_CHECK(sensitivity > 0.0);
+  DPGRID_CHECK(epsilon > 0.0);
+  const double scale = sensitivity / epsilon;
+  for (double& v : values) {
+    v += rng.Laplace(scale);
+  }
+}
+
+double LaplaceStddev(double sensitivity, double epsilon) {
+  DPGRID_CHECK(epsilon > 0.0);
+  return std::sqrt(2.0) * sensitivity / epsilon;
+}
+
+double LaplaceVariance(double sensitivity, double epsilon) {
+  DPGRID_CHECK(epsilon > 0.0);
+  double b = sensitivity / epsilon;
+  return 2.0 * b * b;
+}
+
+int64_t GeometricMechanism(int64_t value, double sensitivity, double epsilon,
+                           Rng& rng) {
+  DPGRID_CHECK(sensitivity > 0.0);
+  DPGRID_CHECK(epsilon > 0.0);
+  double alpha = std::exp(-epsilon / sensitivity);
+  return value + rng.TwoSidedGeometric(alpha);
+}
+
+double GeometricVariance(double sensitivity, double epsilon) {
+  DPGRID_CHECK(epsilon > 0.0);
+  double alpha = std::exp(-epsilon / sensitivity);
+  double one_minus = 1.0 - alpha;
+  return 2.0 * alpha / (one_minus * one_minus);
+}
+
+}  // namespace dpgrid

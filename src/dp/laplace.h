@@ -1,0 +1,48 @@
+#ifndef DPGRID_DP_LAPLACE_H_
+#define DPGRID_DP_LAPLACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dpgrid {
+
+/// The Laplace mechanism (Dwork et al.): to release g(D) with L1 sensitivity
+/// `sensitivity` under ε-DP, add Lap(sensitivity/ε) noise.
+///
+/// These are free functions rather than a class: the mechanism has no state
+/// beyond the caller's `Rng`.
+
+/// Returns `value + Lap(sensitivity/epsilon)`.
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        Rng& rng);
+
+/// Adds iid Lap(sensitivity/epsilon) noise to every element in place.
+/// This is the vector form used to release all cells of a histogram, whose
+/// joint sensitivity under add/remove-one-tuple neighbours is `sensitivity`
+/// (1 for disjoint count cells).
+void LaplaceMechanismInPlace(std::vector<double>& values, double sensitivity,
+                             double epsilon, Rng& rng);
+
+/// Standard deviation of Lap(sensitivity/epsilon): sqrt(2)·sensitivity/ε.
+double LaplaceStddev(double sensitivity, double epsilon);
+
+/// Variance of Lap(sensitivity/epsilon): 2·(sensitivity/ε)².
+double LaplaceVariance(double sensitivity, double epsilon);
+
+/// The geometric mechanism (Ghosh et al.): integer-valued analogue of the
+/// Laplace mechanism. Adds two-sided geometric noise with
+/// alpha = exp(-epsilon/sensitivity), yielding ε-DP integer counts.
+/// Provided as an extension; the paper's experiments use the Laplace
+/// mechanism.
+int64_t GeometricMechanism(int64_t value, double sensitivity, double epsilon,
+                           Rng& rng);
+
+/// Variance of the two-sided geometric noise with alpha=exp(-ε/sensitivity):
+/// 2α/(1-α)².
+double GeometricVariance(double sensitivity, double epsilon);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_DP_LAPLACE_H_

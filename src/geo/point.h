@@ -1,0 +1,18 @@
+#ifndef DPGRID_GEO_POINT_H_
+#define DPGRID_GEO_POINT_H_
+
+namespace dpgrid {
+
+/// A point in the plane. Plain data carrier.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline bool operator==(const Point2& a, const Point2& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_GEO_POINT_H_

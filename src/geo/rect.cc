@@ -1,0 +1,61 @@
+#include "geo/rect.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dpgrid {
+
+double Rect::Area() const {
+  if (IsEmpty()) return 0.0;
+  return Width() * Height();
+}
+
+bool Rect::ContainsPoint(const Point2& p) const {
+  return p.x >= xlo && p.x < xhi && p.y >= ylo && p.y < yhi;
+}
+
+bool Rect::ContainsRect(const Rect& other) const {
+  if (other.IsEmpty()) return true;
+  return other.xlo >= xlo && other.xhi <= xhi && other.ylo >= ylo &&
+         other.yhi <= yhi;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  return !Intersection(other).IsEmpty();
+}
+
+Rect Rect::Intersection(const Rect& other) const {
+  Rect r;
+  r.xlo = std::max(xlo, other.xlo);
+  r.ylo = std::max(ylo, other.ylo);
+  r.xhi = std::min(xhi, other.xhi);
+  r.yhi = std::min(yhi, other.yhi);
+  return r;
+}
+
+double Rect::IntersectionArea(const Rect& other) const {
+  return Intersection(other).Area();
+}
+
+double Rect::OverlapFraction(const Rect& other) const {
+  double area = Area();
+  if (area <= 0.0) return 0.0;
+  return IntersectionArea(other) / area;
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%g,%g)x[%g,%g)", xlo, xhi, ylo, yhi);
+  return std::string(buf);
+}
+
+Rect RectFromCenter(double cx, double cy, double width, double height) {
+  Rect r;
+  r.xlo = cx - width / 2.0;
+  r.xhi = cx + width / 2.0;
+  r.ylo = cy - height / 2.0;
+  r.yhi = cy + height / 2.0;
+  return r;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,66 @@
+#ifndef DPGRID_GEO_RECT_H_
+#define DPGRID_GEO_RECT_H_
+
+#include <string>
+
+#include "geo/point.h"
+
+namespace dpgrid {
+
+/// An axis-aligned rectangle [xlo, xhi) × [ylo, yhi).
+///
+/// Rectangles are half-open so a partition of the domain into cells assigns
+/// every point to exactly one cell. A rectangle with xhi <= xlo or
+/// yhi <= ylo is empty.
+struct Rect {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = 0.0;
+  double yhi = 0.0;
+
+  /// Width (xhi - xlo); negative extents are treated as empty.
+  double Width() const { return xhi - xlo; }
+  /// Height (yhi - ylo).
+  double Height() const { return yhi - ylo; }
+
+  /// Area; 0 for empty rectangles.
+  double Area() const;
+
+  /// True if the rectangle has positive area.
+  bool IsEmpty() const { return xhi <= xlo || yhi <= ylo; }
+
+  /// True if point p lies in [xlo, xhi) × [ylo, yhi).
+  bool ContainsPoint(const Point2& p) const;
+
+  /// True if `other` is fully inside this rectangle (closed comparison:
+  /// shared edges count as contained).
+  bool ContainsRect(const Rect& other) const;
+
+  /// True if the two rectangles overlap with positive area.
+  bool Intersects(const Rect& other) const;
+
+  /// The intersection rectangle (possibly empty).
+  Rect Intersection(const Rect& other) const;
+
+  /// Area of the intersection with `other`.
+  double IntersectionArea(const Rect& other) const;
+
+  /// Fraction of *this rectangle's* area covered by `other`, in [0, 1].
+  /// Zero if this rectangle is empty.
+  double OverlapFraction(const Rect& other) const;
+
+  /// Human-readable form "[xlo,xhi)x[ylo,yhi)".
+  std::string ToString() const;
+};
+
+inline bool operator==(const Rect& a, const Rect& b) {
+  return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi && a.yhi == b.yhi;
+}
+
+/// Builds the rectangle from a center point and extents. Useful for query
+/// generation.
+Rect RectFromCenter(double cx, double cy, double width, double height);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_GEO_RECT_H_

@@ -1,0 +1,22 @@
+#include "grid/cell_synopsis.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+CellSynopsis::CellSynopsis(std::vector<SynopsisCell> cells, std::string name)
+    : cells_(std::move(cells)), name_(std::move(name)) {
+  DPGRID_CHECK_MSG(!cells_.empty(), "cell synopsis needs at least one cell");
+}
+
+double CellSynopsis::Answer(const Rect& query) const {
+  double total = 0.0;
+  for (const SynopsisCell& cell : cells_) {
+    total += cell.count * cell.region.OverlapFraction(query);
+  }
+  return total;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,41 @@
+#include "grid/error_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+double PredictedNoiseErrorStddev(int grid_size, double epsilon,
+                                 double query_fraction) {
+  DPGRID_CHECK(grid_size >= 1);
+  DPGRID_CHECK(epsilon > 0.0);
+  DPGRID_CHECK(query_fraction >= 0.0 && query_fraction <= 1.0);
+  return std::sqrt(2.0 * query_fraction) * grid_size / epsilon;
+}
+
+double PredictedNonUniformityError(int grid_size, double n,
+                                   double query_fraction, double c) {
+  DPGRID_CHECK(grid_size >= 1);
+  DPGRID_CHECK(c > 0.0);
+  const double c0 = c / std::sqrt(2.0);
+  return std::sqrt(query_fraction) * n / (c0 * grid_size);
+}
+
+double PredictedTotalError(int grid_size, double n, double epsilon,
+                           double query_fraction, double c) {
+  return PredictedNoiseErrorStddev(grid_size, epsilon, query_fraction) +
+         PredictedNonUniformityError(grid_size, n, query_fraction, c);
+}
+
+double ErrorModelOptimalGridSize(double n, double epsilon, double c) {
+  DPGRID_CHECK(epsilon > 0.0);
+  DPGRID_CHECK(c > 0.0);
+  if (n <= 0.0) return 0.0;
+  // argmin_m  a·m + b/m  =  sqrt(b/a)
+  // a = sqrt(2r)/eps, b = sqrt(r)·N·sqrt(2)/c  =>  m* = sqrt(N·eps/c);
+  // the query fraction r cancels.
+  return std::sqrt(n * epsilon / c);
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,40 @@
+#ifndef DPGRID_GRID_ERROR_MODEL_H_
+#define DPGRID_GRID_ERROR_MODEL_H_
+
+namespace dpgrid {
+
+/// Closed-form error model from the paper's §IV-A analysis, as executable
+/// code. Used by the guideline derivations, the budget_planner example,
+/// and tested against the empirical noise error of real synopses.
+///
+/// For an m×m grid, budget ε, and a query covering an `r` fraction of the
+/// domain area:
+///   * ~ r·m² cells fall inside the query; their independent Lap(1/ε)
+///     noises sum to a zero-mean error with standard deviation
+///     sqrt(2·r)·m/ε                       (noise error);
+///   * the query border crosses ~ 4·sqrt(r)·m cells holding
+///     ~ sqrt(r)·N/m points, a constant fraction of which is the expected
+///     uniformity-assumption error        (non-uniformity error).
+/// Their sum is minimized at m = sqrt(N·ε/c) — Guideline 1.
+
+/// Standard deviation of the query noise error: sqrt(2·r·m²)/ε.
+double PredictedNoiseErrorStddev(int grid_size, double epsilon,
+                                 double query_fraction);
+
+/// Expected magnitude of the non-uniformity error:
+/// sqrt(r)·N/(c0·m), with c0 = c/sqrt(2) per the paper's derivation.
+double PredictedNonUniformityError(int grid_size, double n,
+                                   double query_fraction, double c = 10.0);
+
+/// Total predicted error (noise stddev + non-uniformity magnitude) — the
+/// objective Guideline 1 minimizes over m.
+double PredictedTotalError(int grid_size, double n, double epsilon,
+                           double query_fraction, double c = 10.0);
+
+/// The m minimizing PredictedTotalError; equals UniformGridSizeReal and is
+/// exposed here to document that the model and the guideline agree.
+double ErrorModelOptimalGridSize(double n, double epsilon, double c = 10.0);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_GRID_ERROR_MODEL_H_

@@ -1,0 +1,85 @@
+#include "grid/grid_counts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+GridCounts::GridCounts(Rect domain, size_t nx, size_t ny)
+    : domain_(domain),
+      nx_(nx),
+      ny_(ny),
+      cell_w_(domain.Width() / static_cast<double>(nx)),
+      cell_h_(domain.Height() / static_cast<double>(ny)),
+      values_(nx * ny, 0.0) {
+  DPGRID_CHECK(nx > 0 && ny > 0);
+  DPGRID_CHECK_MSG(!domain.IsEmpty(), "grid domain must be non-empty");
+}
+
+GridCounts GridCounts::FromDataset(const Dataset& dataset, size_t nx,
+                                   size_t ny) {
+  GridCounts grid(dataset.domain(), nx, ny);
+  for (const Point2& p : dataset.points()) {
+    size_t ix = 0;
+    size_t iy = 0;
+    grid.CellOf(p, &ix, &iy);
+    grid.add(ix, iy, 1.0);
+  }
+  return grid;
+}
+
+Rect GridCounts::CellRect(size_t ix, size_t iy) const {
+  DPGRID_DCHECK(ix < nx_ && iy < ny_);
+  Rect r;
+  r.xlo = domain_.xlo + cell_w_ * static_cast<double>(ix);
+  r.xhi = domain_.xlo + cell_w_ * static_cast<double>(ix + 1);
+  r.ylo = domain_.ylo + cell_h_ * static_cast<double>(iy);
+  r.yhi = domain_.ylo + cell_h_ * static_cast<double>(iy + 1);
+  return r;
+}
+
+void GridCounts::CellOf(const Point2& p, size_t* ix, size_t* iy) const {
+  auto fx = static_cast<int64_t>(std::floor((p.x - domain_.xlo) / cell_w_));
+  auto fy = static_cast<int64_t>(std::floor((p.y - domain_.ylo) / cell_h_));
+  fx = std::clamp<int64_t>(fx, 0, static_cast<int64_t>(nx_) - 1);
+  fy = std::clamp<int64_t>(fy, 0, static_cast<int64_t>(ny_) - 1);
+  *ix = static_cast<size_t>(fx);
+  *iy = static_cast<size_t>(fy);
+}
+
+void GridCounts::AddLaplaceNoise(double epsilon, Rng& rng) {
+  DPGRID_CHECK(epsilon > 0.0);
+  const double scale = 1.0 / epsilon;
+  for (double& v : values_) v += rng.Laplace(scale);
+}
+
+void GridCounts::AddGeometricNoise(double epsilon, Rng& rng) {
+  DPGRID_CHECK(epsilon > 0.0);
+  const double alpha = std::exp(-epsilon);
+  for (double& v : values_) {
+    v += static_cast<double>(rng.TwoSidedGeometric(alpha));
+  }
+}
+
+void GridCounts::ClampNonNegative() {
+  for (double& v : values_) {
+    if (v < 0.0) v = 0.0;
+  }
+}
+
+void GridCounts::ToCellCoords(const Rect& query, double* x0, double* x1,
+                              double* y0, double* y1) const {
+  *x0 = (query.xlo - domain_.xlo) / cell_w_;
+  *x1 = (query.xhi - domain_.xlo) / cell_w_;
+  *y0 = (query.ylo - domain_.ylo) / cell_h_;
+  *y1 = (query.yhi - domain_.ylo) / cell_h_;
+}
+
+double GridCounts::Total() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+}  // namespace dpgrid

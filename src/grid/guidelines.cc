@@ -1,0 +1,40 @@
+#include "grid/guidelines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+double UniformGridSizeReal(double n, double epsilon, double c) {
+  DPGRID_CHECK(epsilon > 0.0);
+  DPGRID_CHECK(c > 0.0);
+  if (n <= 0.0) return 0.0;
+  return std::sqrt(n * epsilon / c);
+}
+
+int ChooseUniformGridSize(double n, double epsilon, double c, int min_size) {
+  DPGRID_CHECK(min_size >= 1);
+  double m = UniformGridSizeReal(n, epsilon, c);
+  int rounded = static_cast<int>(std::lround(m));
+  return std::max(min_size, rounded);
+}
+
+int ChooseAdaptiveLevel1Size(double n, double epsilon, double c) {
+  double m = UniformGridSizeReal(n, epsilon, c) / 4.0;
+  int rounded = static_cast<int>(std::lround(m));
+  return std::max(10, rounded);
+}
+
+int ChooseAdaptiveLevel2Size(double noisy_count, double remaining_epsilon,
+                             double c2) {
+  DPGRID_CHECK(remaining_epsilon > 0.0);
+  DPGRID_CHECK(c2 > 0.0);
+  if (noisy_count <= 0.0) return 1;
+  double m2 = std::sqrt(noisy_count * remaining_epsilon / c2);
+  int up = static_cast<int>(std::ceil(m2));
+  return std::max(1, up);
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,53 @@
+#ifndef DPGRID_GRID_GUIDELINES_H_
+#define DPGRID_GRID_GUIDELINES_H_
+
+#include <cstdint>
+
+namespace dpgrid {
+
+/// Grid-size selection rules from the paper (§IV).
+///
+/// Guideline 1: the uniform grid should use
+///     m = sqrt(N * epsilon / c),  c = 10,
+/// balancing noise error (grows with m) against non-uniformity error
+/// (shrinks with m).
+///
+/// Guideline 2: an adaptive-grid level-1 cell with noisy count N' should be
+/// partitioned into m2 × m2 leaf cells with
+///     m2 = ceil( sqrt( N' * (1 - alpha) * epsilon / c2 ) ),  c2 = c / 2.
+///
+/// The level-1 grid size is m1 = max(10, round(m_UG / 4)).
+///
+/// These reproduce every "UG sugg." entry of the paper's Table II
+/// (400/126, 316/100, 300/95, 30/10) and the suggested AG m1 values used in
+/// Figures 4–6 (100/32, 79/25, 75/24, 10/10).
+
+/// Default constant c of Guideline 1.
+inline constexpr double kDefaultGuidelineC = 10.0;
+
+/// Default alpha: fraction of the budget spent on the AG level-1 counts.
+inline constexpr double kDefaultAlpha = 0.5;
+
+/// Real-valued optimum of Guideline 1: sqrt(N * epsilon / c).
+double UniformGridSizeReal(double n, double epsilon,
+                           double c = kDefaultGuidelineC);
+
+/// Guideline 1 grid size: max(min_size, round(sqrt(N*eps/c))).
+/// The floor of 10 matches the paper's suggested sizes (Table II).
+int ChooseUniformGridSize(double n, double epsilon,
+                          double c = kDefaultGuidelineC, int min_size = 10);
+
+/// AG level-1 grid size: max(10, round(sqrt(N*eps/c)/4)) (§IV-B).
+int ChooseAdaptiveLevel1Size(double n, double epsilon,
+                             double c = kDefaultGuidelineC);
+
+/// Guideline 2 leaf grid size for a level-1 cell with noisy count
+/// `noisy_count` and remaining budget `remaining_epsilon` = (1-alpha)*eps:
+/// ceil(sqrt(noisy_count * remaining_epsilon / c2)), at least 1.
+/// Non-positive noisy counts yield 1 (no further partitioning).
+int ChooseAdaptiveLevel2Size(double noisy_count, double remaining_epsilon,
+                             double c2 = kDefaultGuidelineC / 2.0);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_GRID_GUIDELINES_H_

@@ -1,0 +1,40 @@
+#ifndef DPGRID_GRID_SYNOPSIS_H_
+#define DPGRID_GRID_SYNOPSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/rect.h"
+
+namespace dpgrid {
+
+/// A cell of a published synopsis: a region and its (noisy, possibly
+/// negative) count.
+struct SynopsisCell {
+  Rect region;
+  double count = 0.0;
+};
+
+/// A differentially private synopsis of a 2-D dataset.
+///
+/// Implementations publish a partition of the domain into cells with noisy
+/// counts, and answer rectangular count queries from those cells, using the
+/// uniformity assumption for partially covered cells (paper §II-B).
+class Synopsis {
+ public:
+  virtual ~Synopsis() = default;
+
+  /// Estimated number of points in `query`.
+  virtual double Answer(const Rect& query) const = 0;
+
+  /// Short method name for reports, e.g. "U256" or "A32,5".
+  virtual std::string Name() const = 0;
+
+  /// The published cells (finest level). Used to generate synthetic data and
+  /// to inspect the synopsis. Order is unspecified.
+  virtual std::vector<SynopsisCell> ExportCells() const = 0;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_GRID_SYNOPSIS_H_

@@ -1,0 +1,64 @@
+#include "hier/constrained_inference.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+std::vector<double> RunConstrainedInference(const TreeCounts& tree) {
+  const size_t n = tree.noisy.size();
+  DPGRID_CHECK(tree.variance.size() == n);
+  DPGRID_CHECK(tree.children.size() == n);
+  DPGRID_CHECK(tree.parent.size() == n);
+
+  std::vector<double> z(tree.noisy);     // pass-1 estimates
+  std::vector<double> zvar(tree.variance);
+
+  // Pass 1: bottom-up. Children have larger indices than parents, so a
+  // reverse scan visits children before parents.
+  for (size_t i = n; i-- > 0;) {
+    const auto& kids = tree.children[i];
+    if (kids.empty()) continue;
+    double child_sum = 0.0;
+    double child_var = 0.0;
+    for (int c : kids) {
+      DPGRID_DCHECK(static_cast<size_t>(c) > i);
+      child_sum += z[static_cast<size_t>(c)];
+      child_var += zvar[static_cast<size_t>(c)];
+    }
+    DPGRID_CHECK(zvar[i] > 0.0 && child_var > 0.0);
+    double w_own = (1.0 / zvar[i]) / (1.0 / zvar[i] + 1.0 / child_var);
+    z[i] = w_own * z[i] + (1.0 - w_own) * child_sum;
+    zvar[i] = 1.0 / (1.0 / zvar[i] + 1.0 / child_var);
+  }
+
+  // Pass 2: top-down. Forward scan visits parents before children.
+  std::vector<double> h(z);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& kids = tree.children[i];
+    if (kids.empty()) continue;
+    double child_sum = 0.0;
+    double var_total = 0.0;
+    for (int c : kids) {
+      child_sum += z[static_cast<size_t>(c)];
+      var_total += zvar[static_cast<size_t>(c)];
+    }
+    double residual = h[i] - child_sum;
+    for (int c : kids) {
+      auto ci = static_cast<size_t>(c);
+      h[ci] = z[ci] + residual * (zvar[ci] / var_total);
+    }
+  }
+  return h;
+}
+
+double HayOwnWeight(int branching, int level) {
+  DPGRID_CHECK(branching >= 2);
+  DPGRID_CHECK(level >= 1);
+  double bl = std::pow(branching, level);
+  double bl1 = std::pow(branching, level - 1);
+  return (bl - bl1) / (bl - 1.0);
+}
+
+}  // namespace dpgrid

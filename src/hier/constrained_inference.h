@@ -1,0 +1,48 @@
+#ifndef DPGRID_HIER_CONSTRAINED_INFERENCE_H_
+#define DPGRID_HIER_CONSTRAINED_INFERENCE_H_
+
+#include <vector>
+
+namespace dpgrid {
+
+/// A forest of noisy counts for constrained inference (Hay et al., VLDB'10),
+/// generalized to arbitrary branching and per-node noise variances.
+///
+/// Node indices must be topologically ordered: every parent index is smaller
+/// than all of its children's indices (level order satisfies this).
+struct TreeCounts {
+  /// Noisy observation y_v per node.
+  std::vector<double> noisy;
+  /// Noise variance of y_v (e.g. 2/ε² for Lap(1/ε)).
+  std::vector<double> variance;
+  /// children[v] lists v's child indices; empty for leaves.
+  std::vector<std::vector<int>> children;
+  /// parent[v]; -1 for roots.
+  std::vector<int> parent;
+};
+
+/// Runs two-pass constrained inference and returns the consistent estimates.
+///
+/// Pass 1 (bottom-up "weighted averaging"): each internal node combines its
+/// own observation with the sum of its children's refined estimates,
+/// weighting by inverse variance.
+/// Pass 2 (top-down "mean consistency"): each parent's final estimate is
+/// authoritative; the residual against the children's pass-1 sum is
+/// distributed across children proportionally to their pass-1 variances
+/// (equally, in the uniform-variance case — exactly Hay et al.).
+///
+/// The result satisfies estimate[parent] == sum(estimate[children]) for
+/// every internal node, and has no larger variance than the raw counts.
+std::vector<double> RunConstrainedInference(const TreeCounts& tree);
+
+/// Hay et al.'s closed-form pass-1 weight for a complete tree with
+/// branching factor B and uniform per-level noise variance. `level` follows
+/// Hay's convention: leaves are level 1 (weight 1), parents of leaves are
+/// level 2, etc. The weight given to the node's own observation is
+/// (B^l - B^(l-1)) / (B^l - 1) — e.g. B/(B+1) for a parent of leaves.
+/// Exposed for testing the generic implementation against the paper formula.
+double HayOwnWeight(int branching, int level);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_HIER_CONSTRAINED_INFERENCE_H_

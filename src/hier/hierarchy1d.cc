@@ -1,0 +1,99 @@
+#include "hier/hierarchy1d.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dp/laplace.h"
+#include "hier/constrained_inference.h"
+
+namespace dpgrid {
+
+namespace {
+
+int64_t IPow(int base, int exp) {
+  int64_t r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+Hierarchy1D::Hierarchy1D(const std::vector<double>& exact_bins, double epsilon,
+                         int branching, int depth, Rng& rng) {
+  const size_t n = exact_bins.size();
+  DPGRID_CHECK(n >= 1);
+  DPGRID_CHECK(depth >= 1);
+  DPGRID_CHECK(branching >= 2 || depth == 1);
+  DPGRID_CHECK(epsilon > 0.0);
+  DPGRID_CHECK_MSG(
+      n % static_cast<size_t>(IPow(branching, depth - 1)) == 0,
+      "bins must be divisible by branching^(depth-1)");
+
+  const double eps_level = epsilon / depth;
+  const double var = LaplaceVariance(1.0, eps_level);
+
+  // Level sizes, coarsest first.
+  std::vector<size_t> sizes(static_cast<size_t>(depth));
+  for (int l = 0; l < depth; ++l) {
+    sizes[static_cast<size_t>(l)] =
+        n / static_cast<size_t>(IPow(branching, depth - 1 - l));
+  }
+
+  // Noisy per-level sums.
+  std::vector<std::vector<double>> noisy(static_cast<size_t>(depth));
+  for (int l = 0; l < depth; ++l) {
+    const size_t ml = sizes[static_cast<size_t>(l)];
+    const size_t factor = n / ml;
+    std::vector<double>& level = noisy[static_cast<size_t>(l)];
+    level.assign(ml, 0.0);
+    for (size_t i = 0; i < n; ++i) level[i / factor] += exact_bins[i];
+    for (double& v : level) v += rng.Laplace(1.0 / eps_level);
+  }
+
+  if (depth == 1) {
+    leaves_ = std::move(noisy[0]);
+  } else {
+    TreeCounts tree;
+    std::vector<size_t> offsets(static_cast<size_t>(depth));
+    size_t total = 0;
+    for (int l = 0; l < depth; ++l) {
+      offsets[static_cast<size_t>(l)] = total;
+      total += sizes[static_cast<size_t>(l)];
+    }
+    tree.noisy.resize(total);
+    tree.variance.assign(total, var);
+    tree.children.resize(total);
+    tree.parent.assign(total, -1);
+    for (int l = 0; l < depth; ++l) {
+      const size_t ml = sizes[static_cast<size_t>(l)];
+      const size_t off = offsets[static_cast<size_t>(l)];
+      for (size_t i = 0; i < ml; ++i) {
+        tree.noisy[off + i] = noisy[static_cast<size_t>(l)][i];
+        if (l + 1 < depth) {
+          const size_t child_off = offsets[static_cast<size_t>(l) + 1];
+          const auto bb = static_cast<size_t>(branching);
+          for (size_t c = i * bb; c < (i + 1) * bb; ++c) {
+            tree.children[off + i].push_back(static_cast<int>(child_off + c));
+            tree.parent[child_off + c] = static_cast<int>(off + i);
+          }
+        }
+      }
+    }
+    std::vector<double> refined = RunConstrainedInference(tree);
+    const size_t leaf_off = offsets[static_cast<size_t>(depth - 1)];
+    leaves_.assign(refined.begin() + static_cast<long>(leaf_off),
+                   refined.begin() + static_cast<long>(leaf_off + n));
+  }
+
+  prefix_.assign(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix_[i + 1] = prefix_[i] + leaves_[i];
+}
+
+double Hierarchy1D::AnswerRange(size_t begin, size_t end) const {
+  begin = std::min(begin, leaves_.size());
+  end = std::min(end, leaves_.size());
+  if (end <= begin) return 0.0;
+  return prefix_[end] - prefix_[begin];
+}
+
+}  // namespace dpgrid

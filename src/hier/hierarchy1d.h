@@ -1,0 +1,39 @@
+#ifndef DPGRID_HIER_HIERARCHY1D_H_
+#define DPGRID_HIER_HIERARCHY1D_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace dpgrid {
+
+/// A 1-dimensional noisy-histogram hierarchy, used by the dimensionality
+/// ablation (paper §IV-C): binary-style hierarchies help a lot for 1-D range
+/// queries but provide little benefit in 2-D.
+///
+/// Builds d levels over an n-bin histogram (n divisible by b^(d-1)), spends
+/// ε/d per level, and applies constrained inference. Ranges are answered
+/// from the refined leaf bins.
+class Hierarchy1D {
+ public:
+  /// `exact_bins`: the non-private histogram. depth >= 1; depth == 1 is the
+  /// flat (no-hierarchy) baseline.
+  Hierarchy1D(const std::vector<double>& exact_bins, double epsilon,
+              int branching, int depth, Rng& rng);
+
+  /// Estimated total of bins [begin, end).
+  double AnswerRange(size_t begin, size_t end) const;
+
+  /// Refined leaf bins.
+  const std::vector<double>& leaves() const { return leaves_; }
+
+  size_t num_bins() const { return leaves_.size(); }
+
+ private:
+  std::vector<double> leaves_;
+  std::vector<double> prefix_;  // size n+1
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_HIER_HIERARCHY1D_H_

@@ -1,0 +1,129 @@
+#include "index/range_count_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+RangeCountIndex::RangeCountIndex(const Dataset& dataset, int bins_per_axis)
+    : domain_(dataset.domain()) {
+  if (bins_per_axis <= 0) {
+    double suggested = std::sqrt(static_cast<double>(dataset.size()));
+    bins_per_axis = static_cast<int>(std::clamp(suggested, 16.0, 1024.0));
+  }
+  bins_ = bins_per_axis;
+  inv_bin_w_ = bins_ / domain_.Width();
+  inv_bin_h_ = bins_ / domain_.Height();
+
+  const auto& pts = dataset.points();
+  const size_t n = pts.size();
+  const size_t num_bins = static_cast<size_t>(bins_) * bins_;
+
+  // Counting sort points into bins (CSR).
+  std::vector<int64_t> counts(num_bins, 0);
+  std::vector<size_t> bin_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t bx = BinOf(pts[i].x, domain_.xlo, inv_bin_w_);
+    size_t by = BinOf(pts[i].y, domain_.ylo, inv_bin_h_);
+    size_t b = by * bins_ + bx;
+    bin_of[i] = b;
+    ++counts[b];
+  }
+  offsets_.assign(num_bins + 1, 0);
+  for (size_t b = 0; b < num_bins; ++b) offsets_[b + 1] = offsets_[b] + counts[b];
+  points_.resize(n);
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    points_[static_cast<size_t>(cursor[bin_of[i]]++)] = pts[i];
+  }
+
+  // 2-D prefix sums of per-bin counts.
+  const size_t stride = static_cast<size_t>(bins_) + 1;
+  count_prefix_.assign(stride * stride, 0);
+  for (int iy = 0; iy < bins_; ++iy) {
+    int64_t row = 0;
+    for (int ix = 0; ix < bins_; ++ix) {
+      row += counts[static_cast<size_t>(iy) * bins_ + ix];
+      count_prefix_[(iy + 1) * stride + (ix + 1)] =
+          count_prefix_[static_cast<size_t>(iy) * stride + (ix + 1)] + row;
+    }
+  }
+}
+
+size_t RangeCountIndex::BinOf(double coord, double lo, double inv_width) const {
+  double f = (coord - lo) * inv_width;
+  auto b = static_cast<int64_t>(std::floor(f));
+  b = std::clamp<int64_t>(b, 0, bins_ - 1);
+  return static_cast<size_t>(b);
+}
+
+int64_t RangeCountIndex::BlockCount(int ix0, int ix1, int iy0, int iy1) const {
+  ix0 = std::clamp(ix0, 0, bins_);
+  ix1 = std::clamp(ix1, 0, bins_);
+  iy0 = std::clamp(iy0, 0, bins_);
+  iy1 = std::clamp(iy1, 0, bins_);
+  if (ix1 <= ix0 || iy1 <= iy0) return 0;
+  const size_t stride = static_cast<size_t>(bins_) + 1;
+  return count_prefix_[static_cast<size_t>(iy1) * stride + ix1] -
+         count_prefix_[static_cast<size_t>(iy0) * stride + ix1] -
+         count_prefix_[static_cast<size_t>(iy1) * stride + ix0] +
+         count_prefix_[static_cast<size_t>(iy0) * stride + ix0];
+}
+
+int64_t RangeCountIndex::Count(const Rect& query) const {
+  Rect q = query.Intersection(
+      Rect{domain_.xlo, domain_.ylo, domain_.xhi, domain_.yhi});
+  if (q.IsEmpty()) {
+    // The query may still contain boundary points exactly at the domain edge;
+    // fall back to testing every bin touching the query. Cheap: empty
+    // intersection means at most an edge line.
+    q = query;
+  }
+
+  // Continuous bin coordinates of the query.
+  double fx0 = (q.xlo - domain_.xlo) * inv_bin_w_;
+  double fx1 = (q.xhi - domain_.xlo) * inv_bin_w_;
+  double fy0 = (q.ylo - domain_.ylo) * inv_bin_h_;
+  double fy1 = (q.yhi - domain_.ylo) * inv_bin_h_;
+
+  int bx0 = std::clamp(static_cast<int>(std::floor(fx0)), 0, bins_ - 1);
+  int bx1 = std::clamp(static_cast<int>(std::ceil(fx1)) - 1, 0, bins_ - 1);
+  int by0 = std::clamp(static_cast<int>(std::floor(fy0)), 0, bins_ - 1);
+  int by1 = std::clamp(static_cast<int>(std::ceil(fy1)) - 1, 0, bins_ - 1);
+  if (bx1 < bx0 || by1 < by0) return 0;
+
+  // Interior bins: fully covered by the query *and* not in the last row or
+  // column (whose bins may hold clamped points exactly on the domain's upper
+  // edge, which half-open queries must exclude).
+  int ix_full0 = (fx0 <= bx0) ? bx0 : bx0 + 1;
+  int ix_full1 = (fx1 >= bx1 + 1) ? bx1 + 1 : bx1;  // one-past-last
+  int iy_full0 = (fy0 <= by0) ? by0 : by0 + 1;
+  int iy_full1 = (fy1 >= by1 + 1) ? by1 + 1 : by1;
+  ix_full1 = std::min(ix_full1, bins_ - 1);
+  iy_full1 = std::min(iy_full1, bins_ - 1);
+
+  int64_t total = 0;
+  bool has_interior = ix_full1 > ix_full0 && iy_full1 > iy_full0;
+  if (has_interior) {
+    total += BlockCount(ix_full0, ix_full1, iy_full0, iy_full1);
+  }
+
+  // Boundary bins: everything in [bx0, bx1] x [by0, by1] not in the interior
+  // block. Test their points exactly.
+  for (int by = by0; by <= by1; ++by) {
+    for (int bx = bx0; bx <= bx1; ++bx) {
+      bool interior = has_interior && bx >= ix_full0 && bx < ix_full1 &&
+                      by >= iy_full0 && by < iy_full1;
+      if (interior) continue;
+      size_t b = static_cast<size_t>(by) * bins_ + bx;
+      for (int64_t i = offsets_[b]; i < offsets_[b + 1]; ++i) {
+        if (query.ContainsPoint(points_[static_cast<size_t>(i)])) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,53 @@
+#ifndef DPGRID_INDEX_RANGE_COUNT_INDEX_H_
+#define DPGRID_INDEX_RANGE_COUNT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/dataset.h"
+#include "geo/rect.h"
+
+namespace dpgrid {
+
+/// Exact rectangular range-count index over a point dataset.
+///
+/// Used to compute ground-truth answers A(r) for the error metrics. Points
+/// are binned into a uniform B×B grid in CSR layout; a query is answered by
+/// summing fully-covered bins through integer prefix sums and testing the
+/// points of the O(B) boundary bins individually — exact, and fast enough
+/// for millions of points × thousands of queries.
+class RangeCountIndex {
+ public:
+  /// Builds the index. `bins_per_axis` defaults to a resolution derived from
+  /// the dataset size (≈ sqrt(N), clamped to [16, 1024]).
+  explicit RangeCountIndex(const Dataset& dataset, int bins_per_axis = 0);
+
+  /// Exact number of dataset points p with
+  /// query.xlo <= p.x < query.xhi and query.ylo <= p.y < query.yhi.
+  int64_t Count(const Rect& query) const;
+
+  /// Total number of points indexed.
+  int64_t total() const { return static_cast<int64_t>(points_.size()); }
+
+  int bins_per_axis() const { return bins_; }
+
+ private:
+  // Bin index of a point (clamped into the grid).
+  size_t BinOf(double coord, double lo, double inv_width) const;
+
+  Rect domain_;
+  int bins_;
+  double inv_bin_w_;
+  double inv_bin_h_;
+  // CSR: points_ grouped by bin, offsets_[b]..offsets_[b+1] delimit bin b.
+  std::vector<Point2> points_;
+  std::vector<int64_t> offsets_;
+  // Prefix sums of per-bin counts: (bins+1)^2 row-major.
+  std::vector<int64_t> count_prefix_;
+
+  int64_t BlockCount(int ix0, int ix1, int iy0, int iy1) const;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_INDEX_RANGE_COUNT_INDEX_H_

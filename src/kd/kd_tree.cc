@@ -1,0 +1,289 @@
+#include "kd/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dp/laplace.h"
+#include "hier/constrained_inference.h"
+#include "kd/noisy_median.h"
+
+namespace dpgrid {
+
+KdTreeOptions KdStandardOptions() {
+  KdTreeOptions o;
+  o.quad_levels = 0;
+  o.median_fraction = 0.3;
+  o.geometric_budget = false;
+  o.constrained_inference = false;
+  o.display_name = "Kst";
+  return o;
+}
+
+KdTreeOptions KdHybridOptions() {
+  KdTreeOptions o;
+  o.quad_levels = 3;
+  o.median_fraction = 0.15;
+  o.geometric_budget = true;
+  o.constrained_inference = true;
+  o.display_name = "Khy";
+  return o;
+}
+
+KdTreeOptions QuadTreeOptions() {
+  KdTreeOptions o;
+  o.quad_levels = 1 << 20;  // clamped to the tree depth: all levels quad
+  o.median_fraction = 0.0;
+  o.geometric_budget = true;
+  o.constrained_inference = true;
+  o.display_name = "Qtr";
+  return o;
+}
+
+KdTree::KdTree(const Dataset& dataset, PrivacyBudget& budget, Rng& rng,
+               const KdTreeOptions& options)
+    : options_(options) {
+  Build(dataset, budget, rng);
+}
+
+KdTree::KdTree(const Dataset& dataset, double epsilon, Rng& rng,
+               const KdTreeOptions& options)
+    : options_(options) {
+  PrivacyBudget budget(epsilon);
+  Build(dataset, budget, rng);
+}
+
+namespace {
+
+// Recursion context shared across Split calls.
+struct BuildContext {
+  std::vector<Point2>* points = nullptr;
+  std::vector<double>* count_eps = nullptr;  // per level 0..depth
+  double median_eps_per_level = 0.0;
+  int depth = 0;
+  int quad_levels = 0;
+  Rng* rng = nullptr;
+};
+
+}  // namespace
+
+void KdTree::Build(const Dataset& dataset, PrivacyBudget& budget, Rng& rng) {
+  // -- Depth selection -------------------------------------------------------
+  depth_ = options_.depth;
+  if (depth_ <= 0) {
+    // Auto depth: target ~2^h leaf regions with h scaled to N (Cormode et
+    // al. report ~16 levels as common for 1M points). A quadtree level
+    // quadruples the leaf count, so it consumes two units of h.
+    double n = std::max<double>(2.0, static_cast<double>(dataset.size()));
+    int h = static_cast<int>(
+        std::clamp(std::lround(std::log2(n)) - 5, long{4}, long{16}));
+    depth_ = 0;
+    for (int remaining = h; remaining > 0; ++depth_) {
+      remaining -= (depth_ < options_.quad_levels) ? 2 : 1;
+    }
+  }
+  const int quad_levels = std::clamp(options_.quad_levels, 0, depth_);
+  const int kd_levels = depth_ - quad_levels;
+
+  // -- Budget allocation -----------------------------------------------------
+  const double total_eps = budget.remaining();
+  double median_total = 0.0;
+  double median_per_level = 0.0;
+  if (kd_levels > 0 && options_.median_fraction > 0.0) {
+    median_total = budget.Spend(options_.median_fraction * total_eps,
+                                "kd/noisy-medians");
+    median_per_level = median_total / kd_levels;
+  }
+  const double counts_total = budget.SpendRemaining("kd/node-counts");
+  const int count_levels = depth_ + 1;  // root included
+  std::vector<double> count_eps(static_cast<size_t>(count_levels), 0.0);
+  if (options_.geometric_budget) {
+    // eps_i proportional to 2^(i/3), increasing toward the leaves
+    // (Cormode et al.'s allocation).
+    double sum = 0.0;
+    for (int i = 0; i < count_levels; ++i) sum += std::pow(2.0, i / 3.0);
+    for (int i = 0; i < count_levels; ++i) {
+      count_eps[static_cast<size_t>(i)] =
+          counts_total * std::pow(2.0, i / 3.0) / sum;
+    }
+  } else {
+    for (int i = 0; i < count_levels; ++i) {
+      count_eps[static_cast<size_t>(i)] = counts_total / count_levels;
+    }
+  }
+
+  // -- Top-down construction -------------------------------------------------
+  std::vector<Point2> points = dataset.points();
+  nodes_.clear();
+  nodes_.push_back(Node{dataset.domain(), 0.0, -1, 0, 0});
+  std::vector<double> raw_counts;  // parallel to nodes_
+  raw_counts.push_back(
+      LaplaceMechanism(static_cast<double>(points.size()), 1.0,
+                       count_eps[0], rng));
+
+  // Iterative DFS over (node index, point range).
+  struct Frame {
+    size_t node;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0, points.size()});
+
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const int level = nodes_[f.node].level;
+    if (level >= depth_) continue;  // leaf
+    const Rect region = nodes_[f.node].region;
+
+    // Child regions + point ranges.
+    std::vector<Rect> child_regions;
+    std::vector<std::pair<size_t, size_t>> child_ranges;
+
+    if (level < quad_levels) {
+      // Quadtree split at the midpoint; free of budget.
+      const double mx = (region.xlo + region.xhi) / 2.0;
+      const double my = (region.ylo + region.yhi) / 2.0;
+      auto mid_y = static_cast<size_t>(
+          std::partition(points.begin() + static_cast<long>(f.begin),
+                         points.begin() + static_cast<long>(f.end),
+                         [my](const Point2& p) { return p.y < my; }) -
+          points.begin());
+      auto mid_x_lo = static_cast<size_t>(
+          std::partition(points.begin() + static_cast<long>(f.begin),
+                         points.begin() + static_cast<long>(mid_y),
+                         [mx](const Point2& p) { return p.x < mx; }) -
+          points.begin());
+      auto mid_x_hi = static_cast<size_t>(
+          std::partition(points.begin() + static_cast<long>(mid_y),
+                         points.begin() + static_cast<long>(f.end),
+                         [mx](const Point2& p) { return p.x < mx; }) -
+          points.begin());
+      child_regions = {
+          Rect{region.xlo, region.ylo, mx, my},
+          Rect{mx, region.ylo, region.xhi, my},
+          Rect{region.xlo, my, mx, region.yhi},
+          Rect{mx, my, region.xhi, region.yhi},
+      };
+      child_ranges = {{f.begin, mid_x_lo},
+                      {mid_x_lo, mid_y},
+                      {mid_y, mid_x_hi},
+                      {mid_x_hi, f.end}};
+    } else {
+      // KD split along the longer axis at a noisy median (midpoint when no
+      // median budget was reserved).
+      const bool split_x = region.Width() >= region.Height();
+      const double lo = split_x ? region.xlo : region.ylo;
+      const double hi = split_x ? region.xhi : region.yhi;
+      double split = (lo + hi) / 2.0;
+      if (median_per_level > 0.0) {
+        std::vector<double> coords;
+        coords.reserve(f.end - f.begin);
+        for (size_t i = f.begin; i < f.end; ++i) {
+          coords.push_back(split_x ? points[i].x : points[i].y);
+        }
+        split = ExponentialMechanismMedian(std::move(coords), lo, hi,
+                                           median_per_level, rng);
+      }
+      // Keep both halves non-degenerate.
+      const double margin = (hi - lo) * 1e-9;
+      split = std::clamp(split, lo + margin, hi - margin);
+      auto mid = static_cast<size_t>(
+          std::partition(points.begin() + static_cast<long>(f.begin),
+                         points.begin() + static_cast<long>(f.end),
+                         [split_x, split](const Point2& p) {
+                           return (split_x ? p.x : p.y) < split;
+                         }) -
+          points.begin());
+      if (split_x) {
+        child_regions = {Rect{region.xlo, region.ylo, split, region.yhi},
+                         Rect{split, region.ylo, region.xhi, region.yhi}};
+      } else {
+        child_regions = {Rect{region.xlo, region.ylo, region.xhi, split},
+                         Rect{region.xlo, split, region.xhi, region.yhi}};
+      }
+      child_ranges = {{f.begin, mid}, {mid, f.end}};
+    }
+
+    const int first_child = static_cast<int>(nodes_.size());
+    nodes_[f.node].first_child = first_child;
+    nodes_[f.node].num_children = static_cast<int>(child_regions.size());
+    const double eps_c = count_eps[static_cast<size_t>(level + 1)];
+    for (size_t c = 0; c < child_regions.size(); ++c) {
+      nodes_.push_back(Node{child_regions[c], 0.0, -1, 0, level + 1});
+      double true_count =
+          static_cast<double>(child_ranges[c].second - child_ranges[c].first);
+      raw_counts.push_back(LaplaceMechanism(true_count, 1.0, eps_c, rng));
+    }
+    // Push children for further splitting (reverse order irrelevant).
+    for (size_t c = 0; c < child_regions.size(); ++c) {
+      stack.push_back(Frame{static_cast<size_t>(first_child) + c,
+                            child_ranges[c].first, child_ranges[c].second});
+    }
+  }
+
+  // -- Estimates: raw or constrained inference -------------------------------
+  if (options_.constrained_inference) {
+    TreeCounts tree;
+    const size_t n = nodes_.size();
+    tree.noisy = raw_counts;
+    tree.variance.resize(n);
+    tree.children.resize(n);
+    tree.parent.assign(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+      tree.variance[i] = LaplaceVariance(
+          1.0, count_eps[static_cast<size_t>(nodes_[i].level)]);
+      for (int c = 0; c < nodes_[i].num_children; ++c) {
+        int child = nodes_[i].first_child + c;
+        tree.children[i].push_back(child);
+        tree.parent[static_cast<size_t>(child)] = static_cast<int>(i);
+      }
+    }
+    std::vector<double> refined = RunConstrainedInference(tree);
+    for (size_t i = 0; i < n; ++i) nodes_[i].estimate = refined[i];
+  } else {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].estimate = raw_counts[i];
+    }
+  }
+}
+
+double KdTree::AnswerNode(size_t node, const Rect& query) const {
+  const Node& nd = nodes_[node];
+  Rect overlap = nd.region.Intersection(query);
+  if (overlap.IsEmpty()) return 0.0;
+  if (query.ContainsRect(nd.region)) return nd.estimate;
+  if (nd.num_children == 0) {
+    return nd.estimate * nd.region.OverlapFraction(query);
+  }
+  double total = 0.0;
+  for (int c = 0; c < nd.num_children; ++c) {
+    total += AnswerNode(static_cast<size_t>(nd.first_child + c), query);
+  }
+  return total;
+}
+
+double KdTree::Answer(const Rect& query) const {
+  return AnswerNode(0, query);
+}
+
+std::vector<SynopsisCell> KdTree::ExportCells() const {
+  std::vector<SynopsisCell> cells;
+  for (const Node& nd : nodes_) {
+    if (nd.num_children == 0) {
+      cells.push_back(SynopsisCell{nd.region, nd.estimate});
+    }
+  }
+  return cells;
+}
+
+size_t KdTree::num_leaves() const {
+  size_t count = 0;
+  for (const Node& nd : nodes_) {
+    if (nd.num_children == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace dpgrid

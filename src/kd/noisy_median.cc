@@ -1,0 +1,61 @@
+#include "kd/noisy_median.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+double ExponentialMechanismMedian(std::vector<double> values, double lo,
+                                  double hi, double epsilon, Rng& rng) {
+  DPGRID_CHECK(hi > lo);
+  DPGRID_CHECK(epsilon > 0.0);
+
+  // Drop values outside [lo, hi] and sort.
+  std::vector<double> v;
+  v.reserve(values.size());
+  for (double x : values) {
+    if (x >= lo && x <= hi) v.push_back(x);
+  }
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  if (n == 0) return rng.Uniform(lo, hi);
+
+  // Candidate intervals I_k = [b_k, b_{k+1}], k = 0..n, where b_0 = lo,
+  // b_{n+1} = hi, and b_{k} = v[k-1] for 1 <= k <= n. Every split point in
+  // I_k has rank k, hence utility u_k = -|k - n/2|.
+  const double half_n = static_cast<double>(n) / 2.0;
+  // Numerical stabilization: subtract the maximum utility (0 when n is even,
+  // -1/2 when odd -- cheap either way).
+  std::vector<double> weights(n + 1, 0.0);
+  double max_u = -1e300;
+  for (size_t k = 0; k <= n; ++k) {
+    double u = -std::abs(static_cast<double>(k) - half_n);
+    if (u > max_u) max_u = u;
+  }
+  std::vector<double> begins(n + 2, 0.0);
+  begins[0] = lo;
+  for (size_t k = 1; k <= n; ++k) begins[k] = v[k - 1];
+  begins[n + 1] = hi;
+  for (size_t k = 0; k <= n; ++k) {
+    double len = begins[k + 1] - begins[k];
+    if (len < 0.0) len = 0.0;
+    double u = -std::abs(static_cast<double>(k) - half_n);
+    weights[k] = len * std::exp(epsilon * (u - max_u) / 2.0);
+  }
+
+  // All intervals may have zero length (all values identical and equal to
+  // lo/hi); fall back to the true median.
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return v[n / 2];
+
+  size_t k = rng.Discrete(weights);
+  double a = begins[k];
+  double b = begins[k + 1];
+  if (b <= a) return a;
+  return rng.Uniform(a, b);
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,25 @@
+#ifndef DPGRID_KD_NOISY_MEDIAN_H_
+#define DPGRID_KD_NOISY_MEDIAN_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace dpgrid {
+
+/// Differentially private median of `values` within [lo, hi] via the
+/// continuous exponential mechanism (McSherry & Talwar).
+///
+/// The utility of a split point x is u(x) = -|rank(x) - n/2| (how balanced
+/// the split is); u has sensitivity 1 under add/remove-one-tuple neighbours.
+/// The mechanism samples an inter-value interval with probability
+/// proportional to length(interval) · exp(ε·u/2), then a uniform point
+/// inside it. With no values, returns a uniform point in [lo, hi].
+///
+/// `values` is taken by value and sorted internally.
+double ExponentialMechanismMedian(std::vector<double> values, double lo,
+                                  double hi, double epsilon, Rng& rng);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_KD_NOISY_MEDIAN_H_

@@ -1,0 +1,57 @@
+#include "metrics/error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+double RelativeError(double estimate, double actual, double rho) {
+  DPGRID_DCHECK(rho > 0.0);
+  return std::abs(estimate - actual) / std::max(actual, rho);
+}
+
+double DefaultRho(double dataset_size) { return 0.001 * dataset_size; }
+
+double Percentile(std::vector<double> values, double p) {
+  DPGRID_CHECK(!values.empty());
+  DPGRID_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(rank));
+  const auto hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Summary ComputeSummary(const std::vector<double>& values) {
+  DPGRID_CHECK(!values.empty());
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  auto pct = [&sorted](double p) {
+    if (sorted.size() == 1) return sorted[0];
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<size_t>(std::floor(rank));
+    const auto hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  Summary s;
+  s.mean = Mean(values);
+  s.p25 = pct(25.0);
+  s.p50 = pct(50.0);
+  s.p75 = pct(75.0);
+  s.p95 = pct(95.0);
+  return s;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,36 @@
+#ifndef DPGRID_METRICS_ERROR_H_
+#define DPGRID_METRICS_ERROR_H_
+
+#include <vector>
+
+namespace dpgrid {
+
+/// The paper's relative error (§V-A):
+/// RE = |estimate - actual| / max(actual, rho), with rho = 0.001·N
+/// guarding against division by zero on empty queries.
+double RelativeError(double estimate, double actual, double rho);
+
+/// The paper's rho: 0.001 times the dataset size.
+double DefaultRho(double dataset_size);
+
+/// The five statistics shown by the paper's candlestick plots.
+struct Summary {
+  double mean = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Linear-interpolation percentile of an unsorted sample, p in [0, 100].
+double Percentile(std::vector<double> values, double p);
+
+/// Computes mean and the 25/50/75/95 percentiles.
+Summary ComputeSummary(const std::vector<double>& values);
+
+/// Arithmetic mean (0 for an empty sample).
+double Mean(const std::vector<double>& values);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_METRICS_ERROR_H_

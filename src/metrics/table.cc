@@ -1,0 +1,59 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DPGRID_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  DPGRID_CHECK_MSG(row.size() == headers_.size(),
+                   "row arity must match headers");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "| " : " | ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, " |\n");
+  };
+  print_row(headers_);
+  std::fprintf(out, "|");
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) std::fputc('-', out);
+    std::fprintf(out, "|");
+  }
+  std::fprintf(out, "\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return std::string(buf);
+}
+
+std::string FormatSummary(const Summary& s, int precision) {
+  return "mean=" + FormatDouble(s.mean, precision) + " [" +
+         FormatDouble(s.p25, precision) + " " +
+         FormatDouble(s.p50, precision) + " " +
+         FormatDouble(s.p75, precision) + " " +
+         FormatDouble(s.p95, precision) + "]";
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,37 @@
+#ifndef DPGRID_METRICS_TABLE_H_
+#define DPGRID_METRICS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/error.h"
+
+namespace dpgrid {
+
+/// Fixed-width console table used by the bench harness to print the
+/// reproduction of the paper's tables/figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table (headers, separator, rows) to `out`.
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant decimal digits.
+std::string FormatDouble(double v, int precision = 4);
+
+/// Formats a candlestick summary as "mean=… [p25 p50 p75 p95]".
+std::string FormatSummary(const Summary& s, int precision = 4);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_METRICS_TABLE_H_

@@ -1,0 +1,178 @@
+#include "nd/adaptive_grid_nd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dp/laplace.h"
+
+namespace dpgrid {
+
+AdaptiveGridNd::AdaptiveGridNd(const DatasetNd& dataset,
+                               PrivacyBudget& budget, Rng& rng,
+                               const AdaptiveGridNdOptions& options)
+    : options_(options) {
+  Build(dataset, budget, rng);
+}
+
+AdaptiveGridNd::AdaptiveGridNd(const DatasetNd& dataset, double epsilon,
+                               Rng& rng, const AdaptiveGridNdOptions& options)
+    : options_(options) {
+  PrivacyBudget budget(epsilon);
+  Build(dataset, budget, rng);
+}
+
+void AdaptiveGridNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
+                           Rng& rng) {
+  DPGRID_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+  const size_t d = dataset.dims();
+
+  m1_ = options_.level1_size;
+  if (m1_ <= 0) {
+    m1_ = ChooseAdaptiveLevel1SizeNd(static_cast<double>(dataset.size()),
+                                     budget.total(), d, options_.guideline_c);
+  }
+  DPGRID_CHECK(m1_ >= 1);
+  const std::vector<size_t> l1_sizes(d, static_cast<size_t>(m1_));
+
+  const double eps1 =
+      budget.Spend(options_.alpha * budget.remaining(), "agnd/level1-counts");
+  const double eps2 = budget.SpendRemaining("agnd/level2-counts");
+
+  GridNd level1_noisy = GridNd::FromDataset(dataset, l1_sizes);
+  level1_noisy.AddLaplaceNoise(eps1, rng);
+
+  // Leaf sizes per level-1 cell from the generalized Guideline 2.
+  const size_t l1_cells = level1_noisy.num_cells();
+  std::vector<int> m2(l1_cells, 1);
+  for (size_t i = 0; i < l1_cells; ++i) {
+    int size = ChooseAdaptiveLevel2SizeNd(level1_noisy.values()[i], eps2, d,
+                                          options_.c2);
+    m2[i] = std::min(size, std::max(1, options_.max_level2_size));
+  }
+
+  // Second pass: exact leaf histograms.
+  GridNd domain_grid(dataset.domain(), l1_sizes);  // geometry only
+  leaves_.clear();
+  leaves_.resize(l1_cells);
+  for (size_t i = 0; i < l1_cells; ++i) {
+    leaves_[i].counts.emplace(domain_grid.CellBoxFlat(i),
+                              std::vector<size_t>(d,
+                                                  static_cast<size_t>(m2[i])));
+  }
+  for (const PointNd& p : dataset.points()) {
+    const size_t l1 = domain_grid.FlatIndex(domain_grid.CellOf(p));
+    GridNd& leaf = *leaves_[l1].counts;
+    leaf.mutable_values()[leaf.FlatIndex(leaf.CellOf(p))] += 1.0;
+  }
+  for (LeafBlock& block : leaves_) block.counts->AddLaplaceNoise(eps2, rng);
+
+  // 2-level constrained inference, exactly as in 2-D.
+  level1_.emplace(dataset.domain(), l1_sizes);
+  for (size_t i = 0; i < l1_cells; ++i) {
+    LeafBlock& block = leaves_[i];
+    const double v = level1_noisy.values()[i];
+    const double leaf_cells =
+        static_cast<double>(block.counts->num_cells());
+    const double leaf_sum = block.counts->Total();
+    double v_final = v;
+    if (options_.constrained_inference) {
+      const double var_v = LaplaceVariance(1.0, eps1);
+      const double var_sum = leaf_cells * LaplaceVariance(1.0, eps2);
+      const double w_v = (1.0 / var_v) / (1.0 / var_v + 1.0 / var_sum);
+      v_final = w_v * v + (1.0 - w_v) * leaf_sum;
+      const double residual = (v_final - leaf_sum) / leaf_cells;
+      for (double& u : block.counts->mutable_values()) u += residual;
+    }
+    level1_->mutable_values()[i] = v_final;
+    block.prefix.emplace(block.counts->values(), block.counts->sizes());
+  }
+  level1_prefix_.emplace(level1_->values(), level1_->sizes());
+}
+
+double AdaptiveGridNd::Answer(const BoxNd& query) const {
+  const size_t d = level1_->dims();
+  std::vector<double> lo;
+  std::vector<double> hi;
+  level1_->ToCellCoords(query, &lo, &hi);
+  const double m1 = static_cast<double>(m1_);
+  std::vector<int64_t> b_lo(d);
+  std::vector<int64_t> b_hi(d);
+  std::vector<size_t> full_lo(d);
+  std::vector<size_t> full_hi(d);
+  bool has_interior = true;
+  for (size_t a = 0; a < d; ++a) {
+    lo[a] = std::clamp(lo[a], 0.0, m1);
+    hi[a] = std::clamp(hi[a], 0.0, m1);
+    if (hi[a] <= lo[a]) return 0.0;
+    b_lo[a] = std::clamp<int64_t>(static_cast<int64_t>(std::floor(lo[a])), 0,
+                                  m1_ - 1);
+    b_hi[a] = std::clamp<int64_t>(
+        static_cast<int64_t>(std::ceil(hi[a])) - 1, 0, m1_ - 1);
+    int64_t f_lo = (lo[a] <= static_cast<double>(b_lo[a])) ? b_lo[a]
+                                                           : b_lo[a] + 1;
+    int64_t f_hi = (hi[a] >= static_cast<double>(b_hi[a] + 1)) ? b_hi[a] + 1
+                                                               : b_hi[a];
+    full_lo[a] = static_cast<size_t>(f_lo);
+    full_hi[a] = static_cast<size_t>(std::max<int64_t>(f_lo, f_hi));
+    if (full_hi[a] <= full_lo[a]) has_interior = false;
+  }
+
+  double total = 0.0;
+  if (has_interior) total += level1_prefix_->BlockSum(full_lo, full_hi);
+
+  // Border level-1 cells (odometer over the overlapped range, skipping the
+  // interior block), answered from their leaf grids.
+  std::vector<int64_t> idx(b_lo);
+  std::vector<double> leaf_lo;
+  std::vector<double> leaf_hi;
+  while (true) {
+    bool interior = has_interior;
+    if (interior) {
+      for (size_t a = 0; a < d; ++a) {
+        if (idx[a] < static_cast<int64_t>(full_lo[a]) ||
+            idx[a] >= static_cast<int64_t>(full_hi[a])) {
+          interior = false;
+          break;
+        }
+      }
+    }
+    if (!interior) {
+      size_t flat = 0;
+      for (size_t a = 0; a < d; ++a) {
+        flat = flat * static_cast<size_t>(m1_) + static_cast<size_t>(idx[a]);
+      }
+      const LeafBlock& block = leaves_[flat];
+      block.counts->ToCellCoords(query, &leaf_lo, &leaf_hi);
+      total += block.prefix->FractionalSum(leaf_lo, leaf_hi);
+    }
+    bool rolled_over = true;
+    for (size_t a = d; a-- > 0;) {
+      if (++idx[a] <= b_hi[a]) {
+        rolled_over = false;
+        break;
+      }
+      idx[a] = b_lo[a];
+    }
+    if (rolled_over) break;
+  }
+  return total;
+}
+
+std::string AdaptiveGridNd::Name() const {
+  return "A" + std::to_string(level1_->dims()) + "d-" + std::to_string(m1_);
+}
+
+int AdaptiveGridNd::Level2Size(size_t flat) const {
+  return static_cast<int>(leaves_[flat].counts->sizes()[0]);
+}
+
+int64_t AdaptiveGridNd::TotalLeafCells() const {
+  int64_t total = 0;
+  for (const LeafBlock& block : leaves_) {
+    total += static_cast<int64_t>(block.counts->num_cells());
+  }
+  return total;
+}
+
+}  // namespace dpgrid

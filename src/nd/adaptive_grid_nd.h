@@ -1,0 +1,77 @@
+#ifndef DPGRID_ND_ADAPTIVE_GRID_ND_H_
+#define DPGRID_ND_ADAPTIVE_GRID_ND_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dp/budget.h"
+#include "nd/grid_nd.h"
+#include "nd/guidelines_nd.h"
+#include "nd/synopsis_nd.h"
+
+namespace dpgrid {
+
+/// Options for AdaptiveGridNd.
+struct AdaptiveGridNdOptions {
+  /// Level-1 per-axis size m1. 0 = generalized suggestion.
+  int level1_size = 0;
+  /// Budget fraction for level-1 counts.
+  double alpha = 0.5;
+  /// Guideline-2 constant c2.
+  double c2 = 5.0;
+  /// Guideline-1 constant c (used when level1_size == 0).
+  double guideline_c = 10.0;
+  /// Cap on per-cell leaf size (memory guard; the cap binds only in
+  /// huge-epsilon corner cases).
+  int max_level2_size = 64;
+  /// Apply 2-level constrained inference.
+  bool constrained_inference = true;
+};
+
+/// The Adaptive Grid method in d dimensions: a coarse m1^d level-1 grid
+/// (budget α·ε) whose cells are refined into m2^d leaf grids by their noisy
+/// density (budget (1−α)·ε), followed by 2-level constrained inference —
+/// the direct generalization of the paper's AG (§IV-B).
+class AdaptiveGridNd : public SynopsisNd {
+ public:
+  AdaptiveGridNd(const DatasetNd& dataset, PrivacyBudget& budget, Rng& rng,
+                 const AdaptiveGridNdOptions& options = {});
+
+  AdaptiveGridNd(const DatasetNd& dataset, double epsilon, Rng& rng,
+                 const AdaptiveGridNdOptions& options = {});
+
+  double Answer(const BoxNd& query) const override;
+  std::string Name() const override;
+
+  int level1_size() const { return m1_; }
+
+  /// Post-inference level-1 count at a flattened level-1 index.
+  double Level1Count(size_t flat) const { return level1_->values()[flat]; }
+
+  /// Leaf per-axis size of a level-1 cell (flattened index).
+  int Level2Size(size_t flat) const;
+
+  /// Total leaf cells across the synopsis.
+  int64_t TotalLeafCells() const;
+
+ private:
+  struct LeafBlock {
+    std::optional<GridNd> counts;
+    std::optional<PrefixSumNd> prefix;
+  };
+
+  void Build(const DatasetNd& dataset, PrivacyBudget& budget, Rng& rng);
+
+  AdaptiveGridNdOptions options_;
+  int m1_ = 0;
+  std::optional<GridNd> level1_;       // post-inference v'
+  std::optional<PrefixSumNd> level1_prefix_;
+  std::vector<LeafBlock> leaves_;      // one per level-1 cell (flattened)
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_ND_ADAPTIVE_GRID_ND_H_

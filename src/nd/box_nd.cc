@@ -1,0 +1,84 @@
+#include "nd/box_nd.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+BoxNd::BoxNd(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  DPGRID_CHECK(lo_.size() == hi_.size());
+  DPGRID_CHECK(!lo_.empty());
+}
+
+BoxNd BoxNd::Cube(size_t dims, double lo, double hi) {
+  DPGRID_CHECK(dims >= 1);
+  return BoxNd(std::vector<double>(dims, lo), std::vector<double>(dims, hi));
+}
+
+double BoxNd::Volume() const {
+  if (IsEmpty()) return 0.0;
+  double v = 1.0;
+  for (size_t a = 0; a < dims(); ++a) v *= Extent(a);
+  return v;
+}
+
+bool BoxNd::IsEmpty() const {
+  for (size_t a = 0; a < dims(); ++a) {
+    if (hi_[a] <= lo_[a]) return true;
+  }
+  return false;
+}
+
+bool BoxNd::ContainsPoint(const PointNd& p) const {
+  DPGRID_DCHECK(p.size() == dims());
+  for (size_t a = 0; a < dims(); ++a) {
+    if (p[a] < lo_[a] || p[a] >= hi_[a]) return false;
+  }
+  return true;
+}
+
+bool BoxNd::ContainsBox(const BoxNd& other) const {
+  DPGRID_DCHECK(other.dims() == dims());
+  if (other.IsEmpty()) return true;
+  for (size_t a = 0; a < dims(); ++a) {
+    if (other.lo_[a] < lo_[a] || other.hi_[a] > hi_[a]) return false;
+  }
+  return true;
+}
+
+BoxNd BoxNd::Intersection(const BoxNd& other) const {
+  DPGRID_DCHECK(other.dims() == dims());
+  std::vector<double> lo(dims());
+  std::vector<double> hi(dims());
+  for (size_t a = 0; a < dims(); ++a) {
+    lo[a] = std::max(lo_[a], other.lo_[a]);
+    hi[a] = std::min(hi_[a], other.hi_[a]);
+  }
+  return BoxNd(std::move(lo), std::move(hi));
+}
+
+double BoxNd::OverlapFraction(const BoxNd& other) const {
+  double v = Volume();
+  if (v <= 0.0) return 0.0;
+  return Intersection(other).Volume() / v;
+}
+
+std::string BoxNd::ToString() const {
+  std::string out;
+  char buf[64];
+  for (size_t a = 0; a < dims(); ++a) {
+    std::snprintf(buf, sizeof(buf), "%s[%g,%g)", a == 0 ? "" : "x", lo_[a],
+                  hi_[a]);
+    out += buf;
+  }
+  return out;
+}
+
+bool operator==(const BoxNd& a, const BoxNd& b) {
+  return a.lo() == b.lo() && a.hi() == b.hi();
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,67 @@
+#ifndef DPGRID_ND_BOX_ND_H_
+#define DPGRID_ND_BOX_ND_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dpgrid {
+
+/// A point in d-dimensional space.
+using PointNd = std::vector<double>;
+
+/// An axis-aligned half-open box [lo_0, hi_0) x ... x [lo_{d-1}, hi_{d-1}).
+///
+/// The d-dimensional generalization of Rect, used by the nd/ subsystem that
+/// extends the paper's methods beyond two dimensions (§IV-C analyzes how
+/// the error trade-offs change with dimensionality).
+class BoxNd {
+ public:
+  BoxNd() = default;
+
+  /// Creates a box from per-axis bounds; lo and hi must have equal size.
+  BoxNd(std::vector<double> lo, std::vector<double> hi);
+
+  /// A d-dimensional cube [lo, hi)^d.
+  static BoxNd Cube(size_t dims, double lo, double hi);
+
+  size_t dims() const { return lo_.size(); }
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+  double lo(size_t axis) const { return lo_[axis]; }
+  double hi(size_t axis) const { return hi_[axis]; }
+
+  /// Extent along one axis.
+  double Extent(size_t axis) const { return hi_[axis] - lo_[axis]; }
+
+  /// Product of extents; 0 if empty.
+  double Volume() const;
+
+  /// True if any axis has non-positive extent.
+  bool IsEmpty() const;
+
+  /// Half-open membership test.
+  bool ContainsPoint(const PointNd& p) const;
+
+  /// Closed containment of another box.
+  bool ContainsBox(const BoxNd& other) const;
+
+  /// Intersection box (possibly empty).
+  BoxNd Intersection(const BoxNd& other) const;
+
+  /// Fraction of this box's volume covered by `other`, in [0, 1].
+  double OverlapFraction(const BoxNd& other) const;
+
+  /// "[0,1)x[2,3)x..." form.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+bool operator==(const BoxNd& a, const BoxNd& b);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_ND_BOX_ND_H_

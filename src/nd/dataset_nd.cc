@@ -1,0 +1,97 @@
+#include "nd/dataset_nd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+DatasetNd::DatasetNd(BoxNd domain, std::vector<PointNd> points)
+    : domain_(std::move(domain)), points_(std::move(points)) {
+  DPGRID_CHECK_MSG(!domain_.IsEmpty(), "domain must be non-empty");
+  for (const PointNd& p : points_) {
+    DPGRID_CHECK_MSG(p.size() == domain_.dims(), "point dimension mismatch");
+    for (size_t a = 0; a < domain_.dims(); ++a) {
+      DPGRID_CHECK_MSG(p[a] >= domain_.lo(a) && p[a] <= domain_.hi(a),
+                       "point outside domain");
+    }
+  }
+}
+
+DatasetNd::DatasetNd(BoxNd domain) : DatasetNd(std::move(domain), {}) {}
+
+int64_t DatasetNd::CountInBox(const BoxNd& query) const {
+  int64_t count = 0;
+  for (const PointNd& p : points_) {
+    if (query.ContainsPoint(p)) ++count;
+  }
+  return count;
+}
+
+DatasetNd MakeUniformDatasetNd(const BoxNd& domain, int64_t n, Rng& rng) {
+  DPGRID_CHECK(n >= 0);
+  std::vector<PointNd> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    PointNd p(domain.dims());
+    for (size_t a = 0; a < domain.dims(); ++a) {
+      p[a] = rng.Uniform(domain.lo(a), domain.hi(a));
+    }
+    points.push_back(std::move(p));
+  }
+  return DatasetNd(domain, std::move(points));
+}
+
+DatasetNd MakeGaussianMixtureNd(const BoxNd& domain, int64_t n,
+                                const std::vector<ClusterNd>& clusters,
+                                double background_fraction, Rng& rng) {
+  DPGRID_CHECK(n >= 0);
+  DPGRID_CHECK(background_fraction >= 0.0 && background_fraction <= 1.0);
+  DPGRID_CHECK(!clusters.empty() || background_fraction == 1.0);
+  std::vector<double> weights;
+  weights.reserve(clusters.size());
+  for (const ClusterNd& c : clusters) weights.push_back(c.weight);
+
+  std::vector<PointNd> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    PointNd p(domain.dims());
+    if (clusters.empty() || rng.Uniform01() < background_fraction) {
+      for (size_t a = 0; a < domain.dims(); ++a) {
+        p[a] = rng.Uniform(domain.lo(a), domain.hi(a));
+      }
+    } else {
+      const ClusterNd& c = clusters[rng.Discrete(weights)];
+      for (size_t a = 0; a < domain.dims(); ++a) {
+        p[a] = std::clamp(rng.Gaussian(c.center[a], c.stddev[a]),
+                          domain.lo(a), domain.hi(a));
+      }
+    }
+    points.push_back(std::move(p));
+  }
+  return DatasetNd(domain, std::move(points));
+}
+
+std::vector<ClusterNd> MakeRandomClustersNd(const BoxNd& domain, size_t count,
+                                            double s_lo_frac,
+                                            double s_hi_frac, double zipf_s,
+                                            Rng& rng) {
+  DPGRID_CHECK(count >= 1);
+  std::vector<ClusterNd> clusters(count);
+  for (size_t k = 0; k < count; ++k) {
+    ClusterNd& c = clusters[k];
+    c.center.resize(domain.dims());
+    c.stddev.resize(domain.dims());
+    for (size_t a = 0; a < domain.dims(); ++a) {
+      c.center[a] = rng.Uniform(domain.lo(a), domain.hi(a));
+      c.stddev[a] =
+          domain.Extent(a) * rng.Uniform(s_lo_frac, s_hi_frac);
+    }
+    c.weight = 1.0 / std::pow(static_cast<double>(k + 1), zipf_s);
+  }
+  return clusters;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,57 @@
+#ifndef DPGRID_ND_DATASET_ND_H_
+#define DPGRID_ND_DATASET_ND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "nd/box_nd.h"
+
+namespace dpgrid {
+
+/// A d-dimensional point dataset with its public domain box.
+class DatasetNd {
+ public:
+  DatasetNd(BoxNd domain, std::vector<PointNd> points);
+  explicit DatasetNd(BoxNd domain);
+
+  int64_t size() const { return static_cast<int64_t>(points_.size()); }
+  size_t dims() const { return domain_.dims(); }
+  const BoxNd& domain() const { return domain_; }
+  const std::vector<PointNd>& points() const { return points_; }
+
+  /// Exact count of points in `query` (O(N·d); datasets in the nd subsystem
+  /// are evaluation-sized, so brute force is the honest ground truth).
+  int64_t CountInBox(const BoxNd& query) const;
+
+ private:
+  BoxNd domain_;
+  std::vector<PointNd> points_;
+};
+
+/// N points uniform over the domain.
+DatasetNd MakeUniformDatasetNd(const BoxNd& domain, int64_t n, Rng& rng);
+
+/// One Gaussian cluster of a d-dimensional mixture.
+struct ClusterNd {
+  PointNd center;
+  std::vector<double> stddev;
+  double weight = 1.0;
+};
+
+/// Gaussian mixture with uniform background (points clamped into the
+/// domain) — the d-dimensional analogue of MakeGaussianMixture.
+DatasetNd MakeGaussianMixtureNd(const BoxNd& domain, int64_t n,
+                                const std::vector<ClusterNd>& clusters,
+                                double background_fraction, Rng& rng);
+
+/// `count` random clusters with Zipf(s) weights, centers uniform in the
+/// domain and stddevs uniform in [s_lo, s_hi] of each axis extent.
+std::vector<ClusterNd> MakeRandomClustersNd(const BoxNd& domain, size_t count,
+                                            double s_lo_frac,
+                                            double s_hi_frac, double zipf_s,
+                                            Rng& rng);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_ND_DATASET_ND_H_

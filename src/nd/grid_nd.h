@@ -1,0 +1,100 @@
+#ifndef DPGRID_ND_GRID_ND_H_
+#define DPGRID_ND_GRID_ND_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "nd/box_nd.h"
+#include "nd/dataset_nd.h"
+
+namespace dpgrid {
+
+/// d-dimensional prefix sums with fractional orthotope queries — the
+/// generalization of PrefixSum2D. A query box given in continuous cell
+/// coordinates is answered in O(3^d · 2^d) independent of grid size:
+/// each axis decomposes into at most three weighted segments, and each
+/// segment combination is a block sum computed by inclusion-exclusion over
+/// the 2^d corners of the prefix array.
+class PrefixSumNd {
+ public:
+  /// `values` is row-major with the last axis contiguous;
+  /// values[(...(i0*n1 + i1)*n2 + ...) + i_{d-1}].
+  PrefixSumNd(const std::vector<double>& values,
+              const std::vector<size_t>& sizes);
+
+  size_t dims() const { return sizes_.size(); }
+  const std::vector<size_t>& sizes() const { return sizes_; }
+
+  /// Sum over the integer cell block [lo_a, hi_a) per axis (clamped).
+  double BlockSum(const std::vector<size_t>& lo,
+                  const std::vector<size_t>& hi) const;
+
+  /// Fractional-volume weighted sum over continuous cell coordinates
+  /// [lo_a, hi_a] per axis (cell units; clamped to the grid).
+  double FractionalSum(const std::vector<double>& lo,
+                       const std::vector<double>& hi) const;
+
+  /// Sum of all cells.
+  double TotalSum() const;
+
+ private:
+  size_t PrefixIndex(const std::vector<size_t>& idx) const;
+
+  std::vector<size_t> sizes_;
+  std::vector<size_t> strides_;  // strides of the (n_a + 1)-shaped array
+  std::vector<double> prefix_;
+};
+
+/// A d-dimensional grid of per-cell values over a domain box: the
+/// generalization of GridCounts. Cells are half-open; points on a domain's
+/// upper faces map to the last cell of that axis.
+class GridNd {
+ public:
+  GridNd(BoxNd domain, std::vector<size_t> sizes);
+
+  /// Exact histogram of a dataset at the given per-axis resolution.
+  static GridNd FromDataset(const DatasetNd& dataset,
+                            std::vector<size_t> sizes);
+
+  size_t dims() const { return sizes_.size(); }
+  const BoxNd& domain() const { return domain_; }
+  const std::vector<size_t>& sizes() const { return sizes_; }
+  size_t num_cells() const { return values_.size(); }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Flattened index of a cell.
+  size_t FlatIndex(const std::vector<size_t>& idx) const;
+
+  /// Cell index of a point (clamped).
+  std::vector<size_t> CellOf(const PointNd& p) const;
+
+  /// Box of the cell at a (multi-)index.
+  BoxNd CellBox(const std::vector<size_t>& idx) const;
+
+  /// Box of the cell at a flattened index.
+  BoxNd CellBoxFlat(size_t flat) const;
+
+  /// Adds iid Lap(1/epsilon) noise to every cell.
+  void AddLaplaceNoise(double epsilon, Rng& rng);
+
+  /// Converts a query box to continuous cell coordinates.
+  void ToCellCoords(const BoxNd& query, std::vector<double>* lo,
+                    std::vector<double>* hi) const;
+
+  /// Sum of all cells.
+  double Total() const;
+
+ private:
+  BoxNd domain_;
+  std::vector<size_t> sizes_;
+  std::vector<size_t> strides_;
+  std::vector<double> cell_extent_;
+  std::vector<double> values_;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_ND_GRID_ND_H_

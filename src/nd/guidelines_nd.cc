@@ -1,0 +1,45 @@
+#include "nd/guidelines_nd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+double UniformGridSizeRealNd(double n, double epsilon, size_t dims,
+                             double c) {
+  DPGRID_CHECK(dims >= 1);
+  DPGRID_CHECK(epsilon > 0.0);
+  DPGRID_CHECK(c > 0.0);
+  if (n <= 0.0) return 0.0;
+  const double d = static_cast<double>(dims);
+  return std::pow(2.0 * n * epsilon / (d * c), 2.0 / (d + 2.0));
+}
+
+int ChooseUniformGridSizeNd(double n, double epsilon, size_t dims, double c,
+                            int min_size) {
+  DPGRID_CHECK(min_size >= 1);
+  double m = UniformGridSizeRealNd(n, epsilon, dims, c);
+  return std::max(min_size, static_cast<int>(std::lround(m)));
+}
+
+int ChooseAdaptiveLevel1SizeNd(double n, double epsilon, size_t dims,
+                               double c) {
+  double m = UniformGridSizeRealNd(n, epsilon, dims, c) / 4.0;
+  const int floor_size = dims <= 2 ? 10 : (dims == 3 ? 6 : 4);
+  return std::max(floor_size, static_cast<int>(std::lround(m)));
+}
+
+int ChooseAdaptiveLevel2SizeNd(double noisy_count, double remaining_epsilon,
+                               size_t dims, double c2) {
+  DPGRID_CHECK(remaining_epsilon > 0.0);
+  DPGRID_CHECK(c2 > 0.0);
+  if (noisy_count <= 0.0) return 1;
+  const double d = static_cast<double>(dims);
+  double m2 = std::pow(2.0 * noisy_count * remaining_epsilon / (d * c2),
+                       2.0 / (d + 2.0));
+  return std::max(1, static_cast<int>(std::ceil(m2)));
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,43 @@
+#ifndef DPGRID_ND_GUIDELINES_ND_H_
+#define DPGRID_ND_GUIDELINES_ND_H_
+
+#include <cstddef>
+
+namespace dpgrid {
+
+/// d-dimensional generalizations of the paper's grid-size guidelines,
+/// following the same error analysis (§IV-A extended per §IV-C):
+///
+/// For an m^d grid and a query covering an r fraction of the domain,
+///   noise error       ~ sqrt(r · m^d) · sqrt(2)/ε,
+///   non-uniformity    ~ (border cells)·(points per cell)
+///                     ~ 2d · r^((d-1)/d) · m^(d-1) · N/m^d = Θ(N/m).
+/// Minimizing  A·m^(d/2) + B/m  gives
+///   m* = (2·N·ε / (d·c))^(2/(d+2)),
+/// which reduces exactly to Guideline 1's sqrt(N·ε/c) at d = 2.
+///
+/// The level-2 rule generalizes identically with N' and (1-α)ε, and the
+/// level-1 size divides m* by 2 per axis-pair as in the paper
+/// (m1 = m*/4 at d = 2).
+
+/// Real-valued optimum (2·N·ε / (d·c))^(2/(d+2)).
+double UniformGridSizeRealNd(double n, double epsilon, size_t dims,
+                             double c = 10.0);
+
+/// Rounded Guideline-1 size with a floor (default 10, as in 2-D).
+int ChooseUniformGridSizeNd(double n, double epsilon, size_t dims,
+                            double c = 10.0, int min_size = 10);
+
+/// AG level-1 size: max(floor, round(m*/4)) per the 2-D rule; the floor
+/// shrinks with d (a coarse level-1 grid already has 10^d cells at d >= 3).
+int ChooseAdaptiveLevel1SizeNd(double n, double epsilon, size_t dims,
+                               double c = 10.0);
+
+/// Guideline-2 leaf size for a level-1 cell with noisy count `noisy_count`
+/// and remaining budget: ceil( (2·N'·ε_rem / (d·c2))^(2/(d+2)) ), min 1.
+int ChooseAdaptiveLevel2SizeNd(double noisy_count, double remaining_epsilon,
+                               size_t dims, double c2 = 5.0);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_ND_GUIDELINES_ND_H_

@@ -1,0 +1,25 @@
+#ifndef DPGRID_ND_SYNOPSIS_ND_H_
+#define DPGRID_ND_SYNOPSIS_ND_H_
+
+#include <string>
+
+#include "nd/box_nd.h"
+
+namespace dpgrid {
+
+/// A differentially private synopsis of a d-dimensional dataset: the
+/// d-dimensional counterpart of Synopsis.
+class SynopsisNd {
+ public:
+  virtual ~SynopsisNd() = default;
+
+  /// Estimated number of points in `query`.
+  virtual double Answer(const BoxNd& query) const = 0;
+
+  /// Short method name for reports, e.g. "U3d-14".
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_ND_SYNOPSIS_ND_H_

@@ -1,0 +1,49 @@
+#include "nd/uniform_grid_nd.h"
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+UniformGridNd::UniformGridNd(const DatasetNd& dataset, PrivacyBudget& budget,
+                             Rng& rng, const UniformGridNdOptions& options)
+    : options_(options) {
+  Build(dataset, budget, rng);
+}
+
+UniformGridNd::UniformGridNd(const DatasetNd& dataset, double epsilon,
+                             Rng& rng, const UniformGridNdOptions& options)
+    : options_(options) {
+  PrivacyBudget budget(epsilon);
+  Build(dataset, budget, rng);
+}
+
+void UniformGridNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
+                          Rng& rng) {
+  grid_size_ = options_.grid_size;
+  if (grid_size_ <= 0) {
+    grid_size_ = ChooseUniformGridSizeNd(
+        static_cast<double>(dataset.size()), budget.total(), dataset.dims(),
+        options_.guideline_c);
+  }
+  DPGRID_CHECK(grid_size_ >= 1);
+  std::vector<size_t> sizes(dataset.dims(),
+                            static_cast<size_t>(grid_size_));
+  noisy_.emplace(GridNd::FromDataset(dataset, sizes));
+  const double eps = budget.SpendRemaining("ugnd/cell-counts");
+  noisy_->AddLaplaceNoise(eps, rng);
+  prefix_.emplace(noisy_->values(), noisy_->sizes());
+}
+
+double UniformGridNd::Answer(const BoxNd& query) const {
+  std::vector<double> lo;
+  std::vector<double> hi;
+  noisy_->ToCellCoords(query, &lo, &hi);
+  return prefix_->FractionalSum(lo, hi);
+}
+
+std::string UniformGridNd::Name() const {
+  return "U" + std::to_string(noisy_->dims()) + "d-" +
+         std::to_string(grid_size_);
+}
+
+}  // namespace dpgrid

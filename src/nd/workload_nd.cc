@@ -1,0 +1,42 @@
+#include "nd/workload_nd.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+WorkloadNd GenerateWorkloadNd(const BoxNd& domain,
+                              const std::vector<double>& q_max_extents,
+                              int num_sizes, int per_size, Rng& rng) {
+  DPGRID_CHECK(num_sizes >= 1);
+  DPGRID_CHECK(per_size >= 1);
+  DPGRID_CHECK(q_max_extents.size() == domain.dims());
+  for (size_t a = 0; a < domain.dims(); ++a) {
+    DPGRID_CHECK_MSG(q_max_extents[a] > 0.0 &&
+                         q_max_extents[a] <= domain.Extent(a),
+                     "largest query must fit the domain");
+  }
+
+  WorkloadNd workload;
+  for (int i = 0; i < num_sizes; ++i) {
+    const double scale = std::pow(2.0, num_sizes - 1 - i);
+    std::vector<BoxNd> group;
+    group.reserve(static_cast<size_t>(per_size));
+    for (int q = 0; q < per_size; ++q) {
+      std::vector<double> lo(domain.dims());
+      std::vector<double> hi(domain.dims());
+      for (size_t a = 0; a < domain.dims(); ++a) {
+        const double extent = q_max_extents[a] / scale;
+        lo[a] = rng.Uniform(domain.lo(a), domain.hi(a) - extent);
+        hi[a] = lo[a] + extent;
+      }
+      group.push_back(BoxNd(std::move(lo), std::move(hi)));
+    }
+    workload.size_labels.push_back("q" + std::to_string(i + 1));
+    workload.queries.push_back(std::move(group));
+  }
+  return workload;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,29 @@
+#ifndef DPGRID_ND_WORKLOAD_ND_H_
+#define DPGRID_ND_WORKLOAD_ND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "nd/box_nd.h"
+
+namespace dpgrid {
+
+/// A d-dimensional query workload grouped by size, mirroring the paper's
+/// 2-D methodology: each size doubles every extent of the previous one.
+struct WorkloadNd {
+  std::vector<std::string> size_labels;
+  std::vector<std::vector<BoxNd>> queries;
+
+  size_t num_sizes() const { return queries.size(); }
+};
+
+/// Generates the workload; `q_max_extents` gives the largest query's extent
+/// per axis, and every query lies fully inside the domain.
+WorkloadNd GenerateWorkloadNd(const BoxNd& domain,
+                              const std::vector<double>& q_max_extents,
+                              int num_sizes, int per_size, Rng& rng);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_ND_WORKLOAD_ND_H_

@@ -1,0 +1,44 @@
+#include "query/evaluator.h"
+
+#include <cmath>
+
+#include "metrics/error.h"
+
+namespace dpgrid {
+
+std::vector<SizeErrors> EvaluateSynopsis(const Synopsis& synopsis,
+                                         const Workload& workload,
+                                         const RangeCountIndex& truth,
+                                         double rho) {
+  std::vector<SizeErrors> result(workload.num_sizes());
+  for (size_t s = 0; s < workload.num_sizes(); ++s) {
+    const auto& group = workload.queries[s];
+    result[s].relative.reserve(group.size());
+    result[s].absolute.reserve(group.size());
+    for (const Rect& q : group) {
+      const double actual = static_cast<double>(truth.Count(q));
+      const double estimate = synopsis.Answer(q);
+      result[s].absolute.push_back(std::abs(estimate - actual));
+      result[s].relative.push_back(RelativeError(estimate, actual, rho));
+    }
+  }
+  return result;
+}
+
+std::vector<double> PoolRelative(const std::vector<SizeErrors>& errors) {
+  std::vector<double> pooled;
+  for (const SizeErrors& e : errors) {
+    pooled.insert(pooled.end(), e.relative.begin(), e.relative.end());
+  }
+  return pooled;
+}
+
+std::vector<double> PoolAbsolute(const std::vector<SizeErrors>& errors) {
+  std::vector<double> pooled;
+  for (const SizeErrors& e : errors) {
+    pooled.insert(pooled.end(), e.absolute.begin(), e.absolute.end());
+  }
+  return pooled;
+}
+
+}  // namespace dpgrid

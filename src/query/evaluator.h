@@ -1,0 +1,34 @@
+#ifndef DPGRID_QUERY_EVALUATOR_H_
+#define DPGRID_QUERY_EVALUATOR_H_
+
+#include <vector>
+
+#include "grid/synopsis.h"
+#include "index/range_count_index.h"
+#include "query/workload.h"
+
+namespace dpgrid {
+
+/// Per-size error samples of one synopsis on one workload.
+struct SizeErrors {
+  std::vector<double> relative;
+  std::vector<double> absolute;
+};
+
+/// Evaluates `synopsis` on every query of `workload` against ground truth
+/// from `truth`, producing relative errors with floor `rho`
+/// (rel = |est - A| / max(A, rho); the paper uses rho = 0.001 * N) and
+/// absolute errors |est - A|.
+std::vector<SizeErrors> EvaluateSynopsis(const Synopsis& synopsis,
+                                         const Workload& workload,
+                                         const RangeCountIndex& truth,
+                                         double rho);
+
+/// Flattens per-size samples into one pooled vector (the paper's
+/// "profile over all query sizes" candlesticks).
+std::vector<double> PoolRelative(const std::vector<SizeErrors>& errors);
+std::vector<double> PoolAbsolute(const std::vector<SizeErrors>& errors);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_QUERY_EVALUATOR_H_

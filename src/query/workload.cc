@@ -1,0 +1,44 @@
+#include "query/workload.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+size_t Workload::total_queries() const {
+  size_t total = 0;
+  for (const auto& group : queries) total += group.size();
+  return total;
+}
+
+Workload GenerateWorkload(const Rect& domain, double q_max_w, double q_max_h,
+                          int num_sizes, int per_size, Rng& rng) {
+  DPGRID_CHECK(num_sizes >= 1);
+  DPGRID_CHECK(per_size >= 1);
+  DPGRID_CHECK(!domain.IsEmpty());
+  DPGRID_CHECK(q_max_w > 0.0 && q_max_h > 0.0);
+  DPGRID_CHECK_MSG(q_max_w <= domain.Width() && q_max_h <= domain.Height(),
+                   "largest query must fit in the domain");
+
+  Workload workload;
+  workload.size_labels.reserve(static_cast<size_t>(num_sizes));
+  workload.queries.reserve(static_cast<size_t>(num_sizes));
+  for (int i = 0; i < num_sizes; ++i) {
+    const double scale = std::pow(2.0, num_sizes - 1 - i);
+    const double w = q_max_w / scale;
+    const double h = q_max_h / scale;
+    std::vector<Rect> group;
+    group.reserve(static_cast<size_t>(per_size));
+    for (int q = 0; q < per_size; ++q) {
+      const double xlo = rng.Uniform(domain.xlo, domain.xhi - w);
+      const double ylo = rng.Uniform(domain.ylo, domain.yhi - h);
+      group.push_back(Rect{xlo, ylo, xlo + w, ylo + h});
+    }
+    workload.size_labels.push_back("q" + std::to_string(i + 1));
+    workload.queries.push_back(std::move(group));
+  }
+  return workload;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,34 @@
+#ifndef DPGRID_QUERY_WORKLOAD_H_
+#define DPGRID_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/rect.h"
+
+namespace dpgrid {
+
+/// A query workload grouped by query size, following the paper's
+/// methodology (§V-A): `num_sizes` sizes q1 < q2 < ... where each size
+/// doubles both the x and y extent of the previous one (quadrupling the
+/// area), q_max being the largest; `per_size` random queries per size,
+/// placed uniformly so that each query lies fully inside the domain.
+struct Workload {
+  /// size_labels[i] is "q1", "q2", ...
+  std::vector<std::string> size_labels;
+  /// queries[i] holds the queries of size i.
+  std::vector<std::vector<Rect>> queries;
+
+  size_t num_sizes() const { return queries.size(); }
+  size_t total_queries() const;
+};
+
+/// Generates the paper-style workload. `q_max_w` × `q_max_h` is the largest
+/// query size (the paper's q6, covering 1/4 to 1/2 of the domain).
+Workload GenerateWorkload(const Rect& domain, double q_max_w, double q_max_h,
+                          int num_sizes, int per_size, Rng& rng);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_QUERY_WORKLOAD_H_

@@ -1,0 +1,44 @@
+#include "synth/cells_io.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+bool SaveSynopsisCells(const std::string& path,
+                       const std::vector<SynopsisCell>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "xlo,ylo,xhi,yhi,count\n");
+  for (const SynopsisCell& cell : cells) {
+    std::fprintf(f, "%.12g,%.12g,%.12g,%.12g,%.12g\n", cell.region.xlo,
+                 cell.region.ylo, cell.region.xhi, cell.region.yhi,
+                 cell.count);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool LoadSynopsisCells(const std::string& path,
+                       std::vector<SynopsisCell>* cells) {
+  DPGRID_CHECK(cells != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  cells->clear();
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    SynopsisCell cell;
+    if (std::sscanf(line, "%lf,%lf,%lf,%lf,%lf", &cell.region.xlo,
+                    &cell.region.ylo, &cell.region.xhi, &cell.region.yhi,
+                    &cell.count) != 5) {
+      continue;  // header or junk
+    }
+    cells->push_back(cell);
+  }
+  std::fclose(f);
+  return !cells->empty();
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,29 @@
+#ifndef DPGRID_SYNTH_CELLS_IO_H_
+#define DPGRID_SYNTH_CELLS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "grid/cell_synopsis.h"
+#include "grid/synopsis.h"
+
+namespace dpgrid {
+
+/// Serialization of a published synopsis (the DP release artifact: cell
+/// boundaries + noisy counts, paper §II-B) as CSV lines
+/// "xlo,ylo,xhi,yhi,count". The released file is safe to share: it is the
+/// differentially private output itself. Load it back into a CellSynopsis
+/// (grid/cell_synopsis.h) to answer queries on the consumer side.
+
+/// Writes cells to `path`; returns false on I/O failure.
+bool SaveSynopsisCells(const std::string& path,
+                       const std::vector<SynopsisCell>& cells);
+
+/// Reads cells from `path` (header lines are skipped); returns false on
+/// I/O failure or if no valid cell lines were found.
+bool LoadSynopsisCells(const std::string& path,
+                       std::vector<SynopsisCell>* cells);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_SYNTH_CELLS_IO_H_

@@ -1,0 +1,49 @@
+#include "synth/synthesize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+Dataset SynthesizeFromCells(const std::vector<SynopsisCell>& cells,
+                            const Rect& domain, int64_t num_points, Rng& rng) {
+  DPGRID_CHECK(!cells.empty());
+  // Cumulative clamped masses for O(log #cells) sampling per point.
+  std::vector<double> cumulative;
+  cumulative.reserve(cells.size());
+  double total = 0.0;
+  for (const SynopsisCell& cell : cells) {
+    total += std::max(0.0, cell.count);
+    cumulative.push_back(total);
+  }
+  if (num_points <= 0) {
+    num_points = static_cast<int64_t>(std::llround(total));
+  }
+  std::vector<Point2> points;
+  if (total <= 0.0 || num_points <= 0) {
+    return Dataset(domain, std::move(points));
+  }
+  points.reserve(static_cast<size_t>(num_points));
+  for (int64_t i = 0; i < num_points; ++i) {
+    const double target = rng.Uniform(0.0, total);
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), target);
+    size_t idx = static_cast<size_t>(it - cumulative.begin());
+    if (idx >= cells.size()) idx = cells.size() - 1;
+    const Rect& r = cells[idx].region;
+    Point2 p{rng.Uniform(r.xlo, r.xhi), rng.Uniform(r.ylo, r.yhi)};
+    p.x = std::clamp(p.x, domain.xlo, domain.xhi);
+    p.y = std::clamp(p.y, domain.ylo, domain.yhi);
+    points.push_back(p);
+  }
+  return Dataset(domain, std::move(points));
+}
+
+Dataset SynthesizeFromSynopsis(const Synopsis& synopsis, const Rect& domain,
+                               int64_t num_points, Rng& rng) {
+  return SynthesizeFromCells(synopsis.ExportCells(), domain, num_points, rng);
+}
+
+}  // namespace dpgrid

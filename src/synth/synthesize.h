@@ -1,0 +1,32 @@
+#ifndef DPGRID_SYNTH_SYNTHESIZE_H_
+#define DPGRID_SYNTH_SYNTHESIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/dataset.h"
+#include "grid/synopsis.h"
+
+namespace dpgrid {
+
+/// Generates a synthetic point dataset from a published synopsis — the
+/// second use of a DP synopsis described in the paper (§II-B): "This
+/// synopsis can then be used either for generating a synthetic dataset, or
+/// for answering queries directly."
+///
+/// Negative noisy cell counts are clamped to zero; each synthetic point
+/// picks a cell with probability proportional to its (clamped) count and a
+/// uniform location inside the cell. `num_points` of 0 means "round of the
+/// total clamped mass". Post-processing of DP output, so the result is as
+/// private as the synopsis.
+Dataset SynthesizeFromCells(const std::vector<SynopsisCell>& cells,
+                            const Rect& domain, int64_t num_points, Rng& rng);
+
+/// Convenience overload taking the synopsis directly.
+Dataset SynthesizeFromSynopsis(const Synopsis& synopsis, const Rect& domain,
+                               int64_t num_points, Rng& rng);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_SYNTH_SYNTHESIZE_H_

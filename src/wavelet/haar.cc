@@ -1,0 +1,94 @@
+#include "wavelet/haar.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  DPGRID_CHECK(n >= 1);
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void HaarForward(std::vector<double>& v) {
+  const size_t n = v.size();
+  DPGRID_CHECK(IsPowerOfTwo(n));
+  std::vector<double> tmp(n);
+  for (size_t len = n; len > 1; len /= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      tmp[i] = (v[2 * i] + v[2 * i + 1]) / 2.0;         // approximation
+      tmp[half + i] = (v[2 * i] - v[2 * i + 1]) / 2.0;  // detail
+    }
+    for (size_t i = 0; i < len; ++i) v[i] = tmp[i];
+  }
+}
+
+void HaarInverse(std::vector<double>& v) {
+  const size_t n = v.size();
+  DPGRID_CHECK(IsPowerOfTwo(n));
+  std::vector<double> tmp(n);
+  for (size_t len = 2; len <= n; len *= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      tmp[2 * i] = v[i] + v[half + i];
+      tmp[2 * i + 1] = v[i] - v[half + i];
+    }
+    for (size_t i = 0; i < len; ++i) v[i] = tmp[i];
+  }
+}
+
+std::vector<double> HaarWeights(size_t n) {
+  DPGRID_CHECK(IsPowerOfTwo(n));
+  std::vector<double> w(n);
+  w[0] = static_cast<double>(n);
+  for (size_t i = 1; i < n; ++i) {
+    auto level = static_cast<size_t>(std::floor(std::log2(
+        static_cast<double>(i))));
+    w[i] = static_cast<double>(n) / static_cast<double>(size_t{1} << level);
+  }
+  return w;
+}
+
+void HaarForward2D(std::vector<double>& grid, size_t nx, size_t ny) {
+  DPGRID_CHECK(grid.size() == nx * ny);
+  DPGRID_CHECK(IsPowerOfTwo(nx) && IsPowerOfTwo(ny));
+  std::vector<double> line;
+  line.resize(nx);
+  for (size_t iy = 0; iy < ny; ++iy) {
+    for (size_t ix = 0; ix < nx; ++ix) line[ix] = grid[iy * nx + ix];
+    HaarForward(line);
+    for (size_t ix = 0; ix < nx; ++ix) grid[iy * nx + ix] = line[ix];
+  }
+  line.resize(ny);
+  for (size_t ix = 0; ix < nx; ++ix) {
+    for (size_t iy = 0; iy < ny; ++iy) line[iy] = grid[iy * nx + ix];
+    HaarForward(line);
+    for (size_t iy = 0; iy < ny; ++iy) grid[iy * nx + ix] = line[iy];
+  }
+}
+
+void HaarInverse2D(std::vector<double>& grid, size_t nx, size_t ny) {
+  DPGRID_CHECK(grid.size() == nx * ny);
+  DPGRID_CHECK(IsPowerOfTwo(nx) && IsPowerOfTwo(ny));
+  std::vector<double> line;
+  line.resize(ny);
+  for (size_t ix = 0; ix < nx; ++ix) {
+    for (size_t iy = 0; iy < ny; ++iy) line[iy] = grid[iy * nx + ix];
+    HaarInverse(line);
+    for (size_t iy = 0; iy < ny; ++iy) grid[iy * nx + ix] = line[iy];
+  }
+  line.resize(nx);
+  for (size_t iy = 0; iy < ny; ++iy) {
+    for (size_t ix = 0; ix < nx; ++ix) line[ix] = grid[iy * nx + ix];
+    HaarInverse(line);
+    for (size_t ix = 0; ix < nx; ++ix) grid[iy * nx + ix] = line[ix];
+  }
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,42 @@
+#ifndef DPGRID_WAVELET_HAAR_H_
+#define DPGRID_WAVELET_HAAR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dpgrid {
+
+/// True if n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+/// In-place 1-D Haar decomposition (averaging convention) of a power-of-two
+/// length vector.
+///
+/// Layout after the transform: index 0 holds the overall average; indices
+/// [2^l, 2^(l+1)) hold the detail coefficients at level l, each summarizing
+/// a block of n/2^l consecutive entries (detail = (avg of left half − avg of
+/// right half) / 2). This is the convention used by Privelet: adding 1 to a
+/// single entry changes exactly one coefficient per level, by 2^l / n.
+void HaarForward(std::vector<double>& v);
+
+/// Inverse of HaarForward.
+void HaarInverse(std::vector<double>& v);
+
+/// Haar coefficient weights W(i) for Privelet's generalized sensitivity:
+/// W(0) = n and W(i) = n / 2^floor(log2 i). With these weights
+/// sum_i W(i)·|Δc_i| = log2(n) + 1 for a unit change of any single entry.
+std::vector<double> HaarWeights(size_t n);
+
+/// 2-D standard decomposition on a row-major nx × ny grid (both powers of
+/// two): full 1-D transform of every row, then of every column.
+void HaarForward2D(std::vector<double>& grid, size_t nx, size_t ny);
+
+/// Inverse of HaarForward2D.
+void HaarInverse2D(std::vector<double>& grid, size_t nx, size_t ny);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_WAVELET_HAAR_H_

@@ -1,0 +1,100 @@
+#include "wavelet/privelet.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "grid/guidelines.h"
+#include "wavelet/haar.h"
+
+namespace dpgrid {
+
+Privelet::Privelet(const Dataset& dataset, PrivacyBudget& budget, Rng& rng,
+                   const PriveletOptions& options)
+    : options_(options) {
+  Build(dataset, budget, rng);
+}
+
+Privelet::Privelet(const Dataset& dataset, double epsilon, Rng& rng,
+                   const PriveletOptions& options)
+    : options_(options) {
+  PrivacyBudget budget(epsilon);
+  Build(dataset, budget, rng);
+}
+
+void Privelet::Build(const Dataset& dataset, PrivacyBudget& budget, Rng& rng) {
+  int m = options_.grid_size;
+  if (m <= 0) {
+    m = ChooseUniformGridSize(static_cast<double>(dataset.size()),
+                              budget.total(), options_.guideline_c);
+  }
+  DPGRID_CHECK(m >= 1);
+  const double epsilon = budget.SpendRemaining("privelet/coefficients");
+
+  const auto mm = static_cast<size_t>(m);
+  GridCounts exact = GridCounts::FromDataset(dataset, mm, mm);
+
+  // Pad to powers of two.
+  const size_t px = NextPowerOfTwo(mm);
+  const size_t py = NextPowerOfTwo(mm);
+  std::vector<double> padded(px * py, 0.0);
+  for (size_t iy = 0; iy < mm; ++iy) {
+    for (size_t ix = 0; ix < mm; ++ix) {
+      padded[iy * px + ix] = exact.at(ix, iy);
+    }
+  }
+
+  HaarForward2D(padded, px, py);
+
+  // Generalized sensitivity of the 2-D standard decomposition:
+  // (log2 px + 1) * (log2 py + 1). A unit change of one cell perturbs one
+  // coefficient per (row-level, column-level) pair, and weights make each
+  // contribute exactly 1.
+  const double hx = std::log2(static_cast<double>(px));
+  const double hy = std::log2(static_cast<double>(py));
+  const double sensitivity = (hx + 1.0) * (hy + 1.0);
+  const std::vector<double> wx = HaarWeights(px);
+  const std::vector<double> wy = HaarWeights(py);
+  for (size_t iy = 0; iy < py; ++iy) {
+    for (size_t ix = 0; ix < px; ++ix) {
+      const double scale = sensitivity / (epsilon * wx[ix] * wy[iy]);
+      padded[iy * px + ix] += rng.Laplace(scale);
+    }
+  }
+
+  HaarInverse2D(padded, px, py);
+
+  noisy_.emplace(dataset.domain(), mm, mm);
+  for (size_t iy = 0; iy < mm; ++iy) {
+    for (size_t ix = 0; ix < mm; ++ix) {
+      noisy_->set(ix, iy, padded[iy * px + ix]);
+    }
+  }
+  prefix_.emplace(noisy_->values(), mm, mm);
+}
+
+double Privelet::Answer(const Rect& query) const {
+  double x0 = 0.0;
+  double x1 = 0.0;
+  double y0 = 0.0;
+  double y1 = 0.0;
+  noisy_->ToCellCoords(query, &x0, &x1, &y0, &y1);
+  return prefix_->FractionalSum(x0, x1, y0, y1);
+}
+
+std::string Privelet::Name() const {
+  return "W" + std::to_string(grid_size());
+}
+
+std::vector<SynopsisCell> Privelet::ExportCells() const {
+  std::vector<SynopsisCell> cells;
+  cells.reserve(noisy_->values().size());
+  for (size_t iy = 0; iy < noisy_->ny(); ++iy) {
+    for (size_t ix = 0; ix < noisy_->nx(); ++ix) {
+      cells.push_back(
+          SynopsisCell{noisy_->CellRect(ix, iy), noisy_->at(ix, iy)});
+    }
+  }
+  return cells;
+}
+
+}  // namespace dpgrid

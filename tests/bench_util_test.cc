@@ -1,0 +1,158 @@
+// Tests for the bench harness: scenario construction, trial aggregation and
+// table rendering. The harness produces every number in EXPERIMENTS.md, so
+// it deserves the same coverage as the library.
+
+#include <cstdlib>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "bench/factories.h"
+
+namespace dpgrid {
+namespace bench {
+namespace {
+
+// A fake synopsis answering every query with a constant offset from zero,
+// letting us verify the error aggregation arithmetic exactly.
+class ConstantSynopsis : public Synopsis {
+ public:
+  explicit ConstantSynopsis(double value) : value_(value) {}
+  double Answer(const Rect&) const override { return value_; }
+  std::string Name() const override { return "const"; }
+  std::vector<SynopsisCell> ExportCells() const override { return {}; }
+
+ private:
+  double value_;
+};
+
+class EnvGuard {
+ public:
+  EnvGuard() {
+    unsetenv("DPGRID_SCALE");
+    unsetenv("DPGRID_TRIALS");
+    unsetenv("DPGRID_QUERIES");
+    unsetenv("DPGRID_SEED");
+  }
+  ~EnvGuard() {
+    unsetenv("DPGRID_SCALE");
+    unsetenv("DPGRID_TRIALS");
+    unsetenv("DPGRID_QUERIES");
+    unsetenv("DPGRID_SEED");
+  }
+};
+
+TEST(BenchConfigTest, DefaultsArePaperScale) {
+  EnvGuard guard;
+  BenchConfig c = BenchConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(c.scale, 1.0);
+  EXPECT_EQ(c.trials, 3);
+  EXPECT_EQ(c.queries_per_size, 200);
+  EXPECT_EQ(c.seed, 20130408u);
+}
+
+TEST(BenchConfigTest, EnvOverridesApply) {
+  EnvGuard guard;
+  setenv("DPGRID_SCALE", "0.25", 1);
+  setenv("DPGRID_TRIALS", "7", 1);
+  setenv("DPGRID_QUERIES", "55", 1);
+  setenv("DPGRID_SEED", "99", 1);
+  BenchConfig c = BenchConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(c.scale, 0.25);
+  EXPECT_EQ(c.trials, 7);
+  EXPECT_EQ(c.queries_per_size, 55);
+  EXPECT_EQ(c.seed, 99u);
+}
+
+TEST(BenchConfigDeathTest, InvalidScaleAborts) {
+  EnvGuard guard;
+  setenv("DPGRID_SCALE", "2.0", 1);
+  EXPECT_DEATH(BenchConfig::FromEnv(), "scale");
+}
+
+BenchConfig SmallConfig() {
+  BenchConfig c;
+  c.scale = 0.01;
+  c.trials = 2;
+  c.queries_per_size = 20;
+  c.seed = 7;
+  return c;
+}
+
+TEST(MakeScenarioTest, HonorsSpecAndConfig) {
+  BenchConfig config = SmallConfig();
+  DatasetSpec spec = PaperDatasets(config.scale)[3];  // storage
+  Scenario s = MakeScenario(spec, 0.5, config);
+  EXPECT_EQ(s.dataset_name, "storage");
+  EXPECT_DOUBLE_EQ(s.epsilon, 0.5);
+  EXPECT_EQ(s.dataset.size(), spec.n);
+  EXPECT_EQ(s.workload.num_sizes(), 6u);
+  EXPECT_EQ(s.workload.queries[0].size(), 20u);
+  EXPECT_DOUBLE_EQ(s.rho, 0.001 * static_cast<double>(spec.n));
+  // q6 matches Table II for storage: 40 x 20.
+  EXPECT_NEAR(s.workload.queries[5][0].Width(), 40.0, 1e-9);
+  EXPECT_NEAR(s.workload.queries[5][0].Height(), 20.0, 1e-9);
+}
+
+TEST(MakeScenarioTest, DeterministicAcrossCalls) {
+  BenchConfig config = SmallConfig();
+  DatasetSpec spec = PaperDatasets(config.scale)[3];
+  Scenario a = MakeScenario(spec, 1.0, config);
+  Scenario b = MakeScenario(spec, 1.0, config);
+  EXPECT_EQ(a.dataset.points()[0], b.dataset.points()[0]);
+  EXPECT_EQ(a.workload.queries[2][5], b.workload.queries[2][5]);
+}
+
+TEST(RunMethodTest, AggregatesExactlyForConstantSynopsis) {
+  BenchConfig config = SmallConfig();
+  DatasetSpec spec = PaperDatasets(config.scale)[3];
+  Scenario s = MakeScenario(spec, 1.0, config);
+  // A synopsis that always answers 0: relative error of every query is
+  // truth/max(truth, rho) <= 1, absolute error is the truth itself.
+  SynopsisFactory zero_factory = [](const Dataset&, double, Rng&) {
+    return std::make_unique<ConstantSynopsis>(0.0);
+  };
+  MethodResult r = RunMethod("zero", zero_factory, s, config);
+  EXPECT_EQ(r.name, "zero");
+  ASSERT_EQ(r.mean_rel_by_size.size(), 6u);
+  for (double m : r.mean_rel_by_size) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);  // rel error of answering 0 is capped at 1
+  }
+  EXPECT_LE(r.rel_summary.p95, 1.0);
+  // Larger queries hold more mass: absolute error grows with query size,
+  // so the p95 outranks the median.
+  EXPECT_GE(r.abs_summary.p95, r.abs_summary.p50);
+}
+
+TEST(RunMethodTest, TrialsAffectOnlyNoise) {
+  // With a real synopsis at enormous epsilon, two different trial counts
+  // give (nearly) the same means: the aggregation is unbiased.
+  BenchConfig config = SmallConfig();
+  DatasetSpec spec = PaperDatasets(config.scale)[3];
+  Scenario s = MakeScenario(spec, 1e7, config);
+  BenchConfig one_trial = config;
+  one_trial.trials = 1;
+  MethodResult a = RunMethod("U", MakeUgFactory(16), s, config);
+  MethodResult b = RunMethod("U", MakeUgFactory(16), s, one_trial);
+  EXPECT_NEAR(a.rel_summary.mean, b.rel_summary.mean,
+              0.05 + 0.5 * a.rel_summary.mean);
+}
+
+TEST(FactoriesTest, ProduceExpectedTypesAndNames) {
+  BenchConfig config = SmallConfig();
+  DatasetSpec spec = PaperDatasets(config.scale)[3];
+  Scenario s = MakeScenario(spec, 1.0, config);
+  Rng rng(1);
+  EXPECT_EQ(MakeUgFactory(12)(s.dataset, 1.0, rng)->Name(), "U12");
+  EXPECT_EQ(MakeAgFactory(8)(s.dataset, 1.0, rng)->Name(), "A8,5");
+  EXPECT_EQ(MakeWaveletFactory(16)(s.dataset, 1.0, rng)->Name(), "W16");
+  EXPECT_EQ(MakeHierFactory(16, 2, 2)(s.dataset, 1.0, rng)->Name(), "H2,2");
+  EXPECT_EQ(MakeKdStandardFactory()(s.dataset, 1.0, rng)->Name(), "Kst");
+  EXPECT_EQ(MakeKdHybridFactory()(s.dataset, 1.0, rng)->Name(), "Khy");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dpgrid

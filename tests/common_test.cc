@@ -1,0 +1,201 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform01() == b.Uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(RngTest, LaplaceZeroMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Laplace(1.0);
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(RngTest, LaplaceVarianceIsTwoBSquared) {
+  Rng rng(19);
+  const double b = 2.5;
+  double sq = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Laplace(b);
+    sq += v * v;
+  }
+  // Var = 2 b^2 = 12.5.
+  EXPECT_NEAR(sq / n, 2.0 * b * b, 0.35);
+}
+
+TEST(RngTest, LaplaceMedianZero) {
+  Rng rng(23);
+  int positive = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Laplace(3.0) > 0.0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(1.0, 2.0);
+    sum += v;
+    sq += (v - 1.0) * (v - 1.0);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.03);
+  EXPECT_NEAR(sq / n, 4.0, 0.08);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, TwoSidedGeometricSymmetricZeroMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.TwoSidedGeometric(0.5));
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+}
+
+TEST(RngTest, TwoSidedGeometricVariance) {
+  Rng rng(41);
+  const double alpha = 0.6;
+  double sq = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    double v = static_cast<double>(rng.TwoSidedGeometric(alpha));
+    sq += v * v;
+  }
+  const double expected = 2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha));
+  EXPECT_NEAR(sq / n, expected, expected * 0.05);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(43);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, DiscreteSingleElement) {
+  Rng rng(47);
+  std::vector<double> w = {2.0};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Discrete(w), 0u);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(53);
+  auto perm = rng.Permutation(100);
+  std::vector<size_t> sorted(perm);
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, PermutationEmptyAndSingle) {
+  Rng rng(59);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  auto one = rng.Permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(61);
+  auto perm = rng.Permutation(50);
+  size_t fixed = 0;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(67);
+  Rng child = parent.Fork();
+  // Child's stream should not simply mirror the parent's.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Uniform01() == child.Uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkDeterministic) {
+  Rng a(71);
+  Rng b(71);
+  Rng ca = a.Fork();
+  Rng cb = b.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(ca.Uniform01(), cb.Uniform01());
+  }
+}
+
+}  // namespace
+}  // namespace dpgrid

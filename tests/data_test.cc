@@ -1,0 +1,146 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geo/dataset.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(GeneratorsTest, UniformDatasetBasics) {
+  Rng rng(1);
+  Rect domain{-5, -5, 5, 5};
+  Dataset d = MakeUniformDataset(domain, 10000, rng);
+  EXPECT_EQ(d.size(), 10000);
+  EXPECT_EQ(d.domain(), domain);
+  // Roughly a quarter of the mass in each quadrant.
+  EXPECT_NEAR(static_cast<double>(d.CountInRect(Rect{-5, -5, 0, 0})) / 10000,
+              0.25, 0.02);
+}
+
+TEST(GeneratorsTest, MixtureRespectsClusterWeights) {
+  Rng rng(2);
+  Rect domain{0, 0, 100, 100};
+  std::vector<Cluster> clusters = {
+      {20, 20, 1, 1, 3.0},
+      {80, 80, 1, 1, 1.0},
+  };
+  Dataset d = MakeGaussianMixture(domain, 40000, clusters, 0.0, rng);
+  double near_a =
+      static_cast<double>(d.CountInRect(Rect{10, 10, 30, 30})) / 40000;
+  double near_b =
+      static_cast<double>(d.CountInRect(Rect{70, 70, 90, 90})) / 40000;
+  EXPECT_NEAR(near_a, 0.75, 0.03);
+  EXPECT_NEAR(near_b, 0.25, 0.03);
+}
+
+TEST(GeneratorsTest, MixtureBackgroundFraction) {
+  Rng rng(3);
+  Rect domain{0, 0, 100, 100};
+  std::vector<Cluster> clusters = {{50, 50, 0.5, 0.5, 1.0}};
+  Dataset d = MakeGaussianMixture(domain, 30000, clusters, 0.5, rng);
+  // Far corner sees only background: expect ~0.5 * area fraction.
+  double corner =
+      static_cast<double>(d.CountInRect(Rect{0, 0, 20, 20})) / 30000;
+  EXPECT_NEAR(corner, 0.5 * 0.04, 0.01);
+}
+
+TEST(GeneratorsTest, DeterministicUnderSeed) {
+  Rng a(42);
+  Rng b(42);
+  Dataset da = MakeCheckinLike(5000, a);
+  Dataset db = MakeCheckinLike(5000, b);
+  ASSERT_EQ(da.size(), db.size());
+  for (int64_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.points()[static_cast<size_t>(i)],
+              db.points()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(GeneratorsTest, RoadLikeHasTwoDenseRegionsAndBlankSpace) {
+  Rng rng(4);
+  Dataset d = MakeRoadLike(100000, rng);
+  EXPECT_EQ(d.size(), 100000);
+  EXPECT_EQ(d.domain(), (Rect{0, 0, 25, 20}));
+  double in_a = static_cast<double>(d.CountInRect(Rect{1.5, 10.5, 10.5, 19}));
+  double in_b = static_cast<double>(d.CountInRect(Rect{13, 1, 23.5, 9.5}));
+  EXPECT_GT(in_a / 100000, 0.45);
+  EXPECT_GT(in_b / 100000, 0.35);
+  // The corridor between the two states is nearly blank.
+  double blank = static_cast<double>(d.CountInRect(Rect{0, 0, 10, 8}));
+  EXPECT_LT(blank / 100000, 0.03);
+}
+
+TEST(GeneratorsTest, CheckinLikeHasBlankOceansAndHeavyClusters) {
+  Rng rng(5);
+  Dataset d = MakeCheckinLike(100000, rng);
+  EXPECT_EQ(d.domain(), (Rect{-180, -65, 180, 85}));
+  // Compare the densest 10-degree band to an average one via a coarse scan.
+  double best = 0.0;
+  for (int x = -180; x < 180; x += 10) {
+    for (int y = -65; y < 85; y += 10) {
+      double c = static_cast<double>(d.CountInRect(
+          Rect{static_cast<double>(x), static_cast<double>(y),
+               static_cast<double>(x + 10), static_cast<double>(y + 10)}));
+      best = std::max(best, c);
+    }
+  }
+  // 540 blocks; a uniform spread would put ~185 in each. Heavy clustering
+  // should concentrate far more in the best block.
+  EXPECT_GT(best, 4000.0);
+}
+
+TEST(GeneratorsTest, LandmarkLikeSpreadsOverPopulatedArea) {
+  Rng rng(6);
+  Dataset d = MakeLandmarkLike(50000, rng);
+  EXPECT_EQ(d.domain(), (Rect{-130, 20, -70, 60}));
+  double populated =
+      static_cast<double>(d.CountInRect(Rect{-125, 25, -72, 50}));
+  EXPECT_GT(populated / 50000, 0.85);
+}
+
+TEST(GeneratorsTest, StorageLikeIsSmallSameDomainAsLandmark) {
+  Rng rng(7);
+  Dataset d = MakeStorageLike(9000, rng);
+  EXPECT_EQ(d.size(), 9000);
+  EXPECT_EQ(d.domain(), (Rect{-130, 20, -70, 60}));
+}
+
+TEST(PaperDatasetsTest, FullScaleMatchesPaperSizes) {
+  auto specs = PaperDatasets(1.0);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_STREQ(specs[0].name, "road");
+  EXPECT_EQ(specs[0].n, 1600000);
+  EXPECT_EQ(specs[1].n, 1000000);
+  EXPECT_EQ(specs[2].n, 870000);
+  EXPECT_EQ(specs[3].n, 9000);
+  // Table II q6 sizes.
+  EXPECT_DOUBLE_EQ(specs[0].q_max_w, 16.0);
+  EXPECT_DOUBLE_EQ(specs[1].q_max_w, 192.0);
+  EXPECT_DOUBLE_EQ(specs[1].q_max_h, 96.0);
+  EXPECT_DOUBLE_EQ(specs[3].q_max_w, 40.0);
+}
+
+TEST(PaperDatasetsTest, ScaleShrinksWithFloors) {
+  auto specs = PaperDatasets(0.01);
+  EXPECT_EQ(specs[0].n, 16000);
+  EXPECT_EQ(specs[3].n, 2000);  // storage floor
+}
+
+TEST(PaperDatasetsTest, MakersProduceRequestedSize) {
+  auto specs = PaperDatasets(0.01);
+  for (const auto& spec : specs) {
+    Rng rng(100);
+    Dataset d = spec.make(1000, rng);
+    EXPECT_EQ(d.size(), 1000) << spec.name;
+    // q6 must fit the generated domain.
+    EXPECT_LE(spec.q_max_w, d.domain().Width()) << spec.name;
+    EXPECT_LE(spec.q_max_h, d.domain().Height()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace dpgrid

@@ -1,0 +1,146 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dp/budget.h"
+#include "dp/laplace.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(PrivacyBudgetTest, StartsFull) {
+  PrivacyBudget b(1.0);
+  EXPECT_DOUBLE_EQ(b.total(), 1.0);
+  EXPECT_DOUBLE_EQ(b.remaining(), 1.0);
+  EXPECT_DOUBLE_EQ(b.spent(), 0.0);
+}
+
+TEST(PrivacyBudgetTest, SpendDecreasesRemaining) {
+  PrivacyBudget b(1.0);
+  b.Spend(0.3, "step1");
+  EXPECT_NEAR(b.remaining(), 0.7, 1e-12);
+  EXPECT_NEAR(b.spent(), 0.3, 1e-12);
+}
+
+TEST(PrivacyBudgetTest, SequentialCompositionSumsToTotal) {
+  PrivacyBudget b(2.0);
+  b.SpendFraction(0.25, "a");
+  b.Spend(0.5, "b");
+  b.SpendRemaining("c");
+  EXPECT_NEAR(b.remaining(), 0.0, 1e-12);
+  double ledger_sum = 0.0;
+  for (const auto& e : b.ledger()) ledger_sum += e.epsilon;
+  EXPECT_NEAR(ledger_sum, 2.0, 1e-12);
+}
+
+TEST(PrivacyBudgetTest, LedgerRecordsLabels) {
+  PrivacyBudget b(1.0);
+  b.Spend(0.4, "counts");
+  b.Spend(0.6, "medians");
+  ASSERT_EQ(b.ledger().size(), 2u);
+  EXPECT_EQ(b.ledger()[0].label, "counts");
+  EXPECT_EQ(b.ledger()[1].label, "medians");
+}
+
+TEST(PrivacyBudgetDeathTest, OverspendAborts) {
+  PrivacyBudget b(1.0);
+  b.Spend(0.8);
+  EXPECT_DEATH(b.Spend(0.5), "overspent");
+}
+
+TEST(PrivacyBudgetDeathTest, NegativeSpendAborts) {
+  PrivacyBudget b(1.0);
+  EXPECT_DEATH(b.Spend(-0.1), "negative");
+}
+
+TEST(PrivacyBudgetDeathTest, NonPositiveTotalAborts) {
+  EXPECT_DEATH(PrivacyBudget(0.0), "positive");
+}
+
+TEST(PrivacyBudgetTest, ToleratesFloatingPointAccumulation) {
+  PrivacyBudget b(1.0);
+  for (int i = 0; i < 10; ++i) b.Spend(0.1);
+  EXPECT_NEAR(b.remaining(), 0.0, 1e-9);
+}
+
+TEST(LaplaceMechanismTest, UnbiasedEstimate) {
+  Rng rng(1);
+  const double truth = 100.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += LaplaceMechanism(truth, 1.0, 1.0, rng);
+  }
+  EXPECT_NEAR(sum / n, truth, 0.05);
+}
+
+TEST(LaplaceMechanismTest, NoiseScalesWithSensitivityOverEpsilon) {
+  Rng rng(2);
+  const int n = 200000;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = LaplaceMechanism(0.0, 2.0, 0.5, rng);
+    sq += v * v;
+  }
+  // b = sens/eps = 4, Var = 2*16 = 32.
+  EXPECT_NEAR(sq / n, 32.0, 1.5);
+}
+
+TEST(LaplaceMechanismTest, InPlaceVectorForm) {
+  Rng rng(3);
+  std::vector<double> v(10000, 5.0);
+  LaplaceMechanismInPlace(v, 1.0, 2.0, rng);
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  EXPECT_NEAR(sum / static_cast<double>(v.size()), 5.0, 0.05);
+  // Some noise must actually be present.
+  int changed = 0;
+  for (double x : v) {
+    if (x != 5.0) ++changed;
+  }
+  EXPECT_GT(changed, 9990);
+}
+
+TEST(LaplaceHelpersTest, StddevAndVarianceConsistent) {
+  const double sd = LaplaceStddev(1.0, 0.1);
+  const double var = LaplaceVariance(1.0, 0.1);
+  EXPECT_NEAR(sd * sd, var, 1e-9);
+  EXPECT_NEAR(sd, std::sqrt(2.0) * 10.0, 1e-9);
+}
+
+TEST(GeometricMechanismTest, IntegerOutputUnbiased) {
+  Rng rng(4);
+  const int64_t truth = 50;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(GeometricMechanism(truth, 1.0, 1.0, rng));
+  }
+  EXPECT_NEAR(sum / n, 50.0, 0.05);
+}
+
+TEST(GeometricMechanismTest, EmpiricalVarianceMatchesFormula) {
+  Rng rng(5);
+  const double eps = 0.8;
+  const int n = 300000;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = static_cast<double>(GeometricMechanism(0, 1.0, eps, rng));
+    sq += v * v;
+  }
+  const double expected = GeometricVariance(1.0, eps);
+  EXPECT_NEAR(sq / n, expected, expected * 0.05);
+}
+
+TEST(GeometricMechanismTest, VarianceApproachesLaplaceForSmallEps) {
+  // For small eps the geometric mechanism's variance approaches the Laplace
+  // mechanism's 2/eps^2.
+  const double eps = 0.01;
+  EXPECT_NEAR(GeometricVariance(1.0, eps) / LaplaceVariance(1.0, eps), 1.0,
+              0.02);
+}
+
+}  // namespace
+}  // namespace dpgrid

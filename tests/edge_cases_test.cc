@@ -1,0 +1,174 @@
+// Cross-module edge cases and invariants not covered by the per-module
+// suites: consistency of constrained-inference trees end to end, loader
+// clamping, distribution shape checks, and guard rails.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "dp/budget.h"
+#include "geo/dataset.h"
+#include "grid/cell_synopsis.h"
+#include "grid/guidelines.h"
+#include "grid/uniform_grid.h"
+#include "hier/hierarchy_grid.h"
+#include "kd/kd_tree.h"
+#include "nd/grid_nd.h"
+#include "query/workload.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(RngShapeTest, LaplaceInterquartileRange) {
+  // IQR of Lap(b) is 2·b·ln 2.
+  Rng rng(1);
+  const double b = 3.0;
+  std::vector<double> samples(200000);
+  for (double& s : samples) s = rng.Laplace(b);
+  std::sort(samples.begin(), samples.end());
+  const double iqr = samples[150000] - samples[50000];
+  EXPECT_NEAR(iqr, 2.0 * b * std::log(2.0), 0.1);
+}
+
+TEST(RngShapeTest, LaplaceTailHeavierThanGaussian) {
+  // P(|Lap(1)| > 4) = e^-4 ~ 1.8%; a Gaussian matched to the same variance
+  // (sd = sqrt 2) has P ~ 0.47%. The 4-sigma-ish tail must be clearly
+  // heavier for Laplace.
+  Rng rng(2);
+  int lap_tail = 0;
+  int gauss_tail = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(rng.Laplace(1.0)) > 4.0) ++lap_tail;
+    if (std::abs(rng.Gaussian(0.0, std::sqrt(2.0))) > 4.0) ++gauss_tail;
+  }
+  EXPECT_GT(lap_tail, 2 * gauss_tail);
+}
+
+TEST(LoaderTest, OutOfDomainPointsAreClamped) {
+  const std::string path = testing::TempDir() + "/dpgrid_clamp_points.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "-5.0,0.5\n0.5,99.0\n0.25,0.25\n");
+  std::fclose(f);
+  Dataset d(Rect{0, 0, 1, 1});
+  ASSERT_TRUE(LoadCsvPoints(path, Rect{0, 0, 1, 1}, &d));
+  ASSERT_EQ(d.size(), 3);
+  EXPECT_DOUBLE_EQ(d.points()[0].x, 0.0);  // clamped up
+  EXPECT_DOUBLE_EQ(d.points()[1].y, 1.0);  // clamped down
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeConsistencyTest, HybridWithCiIsInternallyConsistent) {
+  // After constrained inference, the full-domain answer (the root estimate)
+  // must equal the sum of the leaf estimates exactly.
+  Rng rng(3);
+  Dataset data = MakeLandmarkLike(30000, rng);
+  KdTreeOptions opts = KdHybridOptions();
+  opts.depth = 7;
+  KdTree tree(data, 1.0, rng, opts);
+  double leaf_sum = 0.0;
+  for (const auto& cell : tree.ExportCells()) leaf_sum += cell.count;
+  EXPECT_NEAR(tree.Answer(data.domain()), leaf_sum,
+              1e-6 * (1.0 + std::abs(leaf_sum)));
+}
+
+TEST(KdTreeConsistencyTest, StandardWithoutCiIsInconsistent) {
+  // Without inference the root's own noisy count differs from the leaf sum
+  // (with probability 1): documents why greedy decomposition matters there.
+  Rng rng(4);
+  Dataset data = MakeLandmarkLike(30000, rng);
+  KdTreeOptions opts = KdStandardOptions();
+  opts.depth = 7;
+  KdTree tree(data, 1.0, rng, opts);
+  double leaf_sum = 0.0;
+  for (const auto& cell : tree.ExportCells()) leaf_sum += cell.count;
+  // Answer(domain) returns the root estimate for a fully-contained node.
+  EXPECT_GT(std::abs(tree.Answer(data.domain()) - leaf_sum), 1.0);
+}
+
+TEST(HierarchyGridTest, InferenceCanBeDisabled) {
+  Rng rng(5);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 20000, rng);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 16;
+  opts.depth = 3;
+  opts.constrained_inference = false;
+  HierarchyGrid h(data, 1.0, rng, opts);
+  // Without CI the leaf level is just a noisy grid at eps/3 — a sane total.
+  EXPECT_NEAR(h.Answer(data.domain()), 20000.0, 4000.0);
+}
+
+TEST(HierarchyGridTest, CiImprovesLargeQueriesOverNoCi) {
+  Rng rng(6);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 50000, rng);
+  double err_ci = 0.0;
+  double err_raw = 0.0;
+  const Rect big{0.0, 0.0, 0.9, 0.9};
+  const double truth =
+      static_cast<double>(data.CountInRect(big));
+  for (int t = 0; t < 30; ++t) {
+    HierarchyGridOptions opts;
+    opts.leaf_size = 32;
+    opts.depth = 3;
+    HierarchyGrid with_ci(data, 0.5, rng, opts);
+    opts.constrained_inference = false;
+    HierarchyGrid without(data, 0.5, rng, opts);
+    err_ci += std::abs(with_ci.Answer(big) - truth);
+    err_raw += std::abs(without.Answer(big) - truth);
+  }
+  EXPECT_LT(err_ci, err_raw);
+}
+
+TEST(BudgetGuardTest, SpendFractionRejectsOutOfRange) {
+  PrivacyBudget b(1.0);
+  EXPECT_DEATH(b.SpendFraction(1.5), "fraction");
+  EXPECT_DEATH(b.SpendFraction(-0.1), "fraction");
+}
+
+TEST(GuidelineGuardTest, InvalidParametersAbort) {
+  EXPECT_DEATH(ChooseUniformGridSize(100, -1.0), "epsilon");
+  EXPECT_DEATH(ChooseUniformGridSize(100, 1.0, 0.0), "c > 0");
+  EXPECT_DEATH(ChooseAdaptiveLevel2Size(100, 0.0), "epsilon");
+}
+
+TEST(PrefixSumNdGuardTest, TooManyDimensionsAbort) {
+  std::vector<double> values(512, 1.0);  // 2^9
+  std::vector<size_t> sizes(9, 2);
+  EXPECT_DEATH(PrefixSumNd(values, sizes), "8 dims");
+}
+
+TEST(CellSynopsisTest, NamePassesThrough) {
+  CellSynopsis s({SynopsisCell{Rect{0, 0, 1, 1}, 5.0}}, "release-v1");
+  EXPECT_EQ(s.Name(), "release-v1");
+  EXPECT_EQ(s.num_cells(), 1u);
+  EXPECT_DOUBLE_EQ(s.Answer(Rect{0, 0, 1, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(s.Answer(Rect{0, 0, 0.5, 1}), 2.5);
+}
+
+TEST(UniformGridGuardTest, TinyDatasetStillWorks) {
+  Rng rng(7);
+  Dataset data(Rect{0, 0, 1, 1}, {{0.5, 0.5}});
+  UniformGrid ug(data, 1.0, rng);  // Guideline floor of 10 applies
+  EXPECT_EQ(ug.grid_size(), 10);
+  EXPECT_TRUE(std::isfinite(ug.Answer(Rect{0, 0, 1, 1})));
+}
+
+TEST(WorkloadDiversityTest, QueriesWithinASizeAreDistinct) {
+  Rng rng(8);
+  Workload w = GenerateWorkload(Rect{0, 0, 100, 100}, 50, 50, 3, 50, rng);
+  for (const auto& group : w.queries) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        EXPECT_FALSE(group[i] == group[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpgrid

@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geo/dataset.h"
+#include "grid/error_model.h"
+#include "grid/guidelines.h"
+#include "grid/uniform_grid.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(ErrorModelTest, NoiseErrorFormula) {
+  // m = 100, eps = 1, r = 0.25: sqrt(2*0.25)*100 = 70.7.
+  EXPECT_NEAR(PredictedNoiseErrorStddev(100, 1.0, 0.25), 70.71, 0.01);
+  // Scales linearly with m and 1/eps.
+  EXPECT_NEAR(PredictedNoiseErrorStddev(200, 1.0, 0.25) /
+                  PredictedNoiseErrorStddev(100, 1.0, 0.25),
+              2.0, 1e-9);
+  EXPECT_NEAR(PredictedNoiseErrorStddev(100, 0.5, 0.25) /
+                  PredictedNoiseErrorStddev(100, 1.0, 0.25),
+              2.0, 1e-9);
+}
+
+TEST(ErrorModelTest, NonUniformityInverseInM) {
+  double e1 = PredictedNonUniformityError(100, 1e6, 0.25);
+  double e2 = PredictedNonUniformityError(200, 1e6, 0.25);
+  EXPECT_NEAR(e1 / e2, 2.0, 1e-9);
+}
+
+TEST(ErrorModelTest, OptimumMatchesGuideline1) {
+  for (double n : {9000.0, 870000.0, 1600000.0}) {
+    for (double eps : {0.1, 1.0}) {
+      EXPECT_NEAR(ErrorModelOptimalGridSize(n, eps),
+                  UniformGridSizeReal(n, eps), 1e-9);
+    }
+  }
+}
+
+TEST(ErrorModelTest, TotalErrorIsConvexWithInteriorMinimum) {
+  const double n = 1e6;
+  const double eps = 1.0;
+  const int opt = static_cast<int>(std::lround(ErrorModelOptimalGridSize(
+      n, eps)));
+  const double at_opt = PredictedTotalError(opt, n, eps, 0.25);
+  EXPECT_LT(at_opt, PredictedTotalError(opt / 4, n, eps, 0.25));
+  EXPECT_LT(at_opt, PredictedTotalError(opt * 4, n, eps, 0.25));
+}
+
+TEST(ErrorModelTest, NoiseErrorMatchesEmpiricalUG) {
+  // Empirical check on an empty dataset: answering a query covering a
+  // fraction r of the domain sums ~ r·m² Laplace noises; the observed
+  // stddev must match the model within sampling error.
+  const int m = 32;
+  const double eps = 1.0;
+  const Rect query{0, 0, 0.5, 0.5};  // r = 0.25
+  Dataset empty(Rect{0, 0, 1, 1});
+  UniformGridOptions opts;
+  opts.grid_size = m;
+  Rng rng(1);
+  double sq = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    UniformGrid ug(empty, eps, rng, opts);
+    double err = ug.Answer(query);
+    sq += err * err;
+  }
+  const double observed = std::sqrt(sq / trials);
+  const double predicted = PredictedNoiseErrorStddev(m, eps, 0.25);
+  EXPECT_NEAR(observed / predicted, 1.0, 0.15);
+}
+
+TEST(ErrorModelTest, NoiseErrorMatchesEmpiricalAcrossEpsilons) {
+  const int m = 16;
+  const Rect query{0.25, 0.25, 0.75, 0.75};  // r = 0.25
+  Dataset empty(Rect{0, 0, 1, 1});
+  UniformGridOptions opts;
+  opts.grid_size = m;
+  Rng rng(2);
+  for (double eps : {0.2, 2.0}) {
+    double sq = 0.0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      UniformGrid ug(empty, eps, rng, opts);
+      double err = ug.Answer(query);
+      sq += err * err;
+    }
+    const double observed = std::sqrt(sq / trials);
+    const double predicted = PredictedNoiseErrorStddev(m, eps, 0.25);
+    EXPECT_NEAR(observed / predicted, 1.0, 0.15) << "eps=" << eps;
+  }
+}
+
+TEST(ErrorModelTest, NonUniformityShrinksWithGridSizeEmpirically) {
+  // The structural claim behind the model: at a huge budget (noise ~ 0),
+  // the remaining error on off-grid queries is non-uniformity error and
+  // falls as the grid refines (the model's 1/m), while dwarfing the
+  // (near-zero) noise term.
+  Rng rng(3);
+  std::vector<Cluster> clusters = {{0.3, 0.3, 0.15, 0.15, 1.0},
+                                   {0.7, 0.6, 0.1, 0.1, 0.5}};
+  Dataset data =
+      MakeGaussianMixture(Rect{0, 0, 1, 1}, 100000, clusters, 0.1, rng);
+  auto mean_err = [&](int m) {
+    UniformGridOptions opts;
+    opts.grid_size = m;
+    UniformGrid ug(data, 1e8, rng, opts);
+    double total = 0.0;
+    int count = 0;
+    for (int i = 0; i < 50; ++i) {
+      double w = rng.Uniform(0.2, 0.4);
+      double h = rng.Uniform(0.2, 0.4);
+      double xlo = rng.Uniform(0, 1 - w);
+      double ylo = rng.Uniform(0, 1 - h);
+      Rect q{xlo, ylo, xlo + w, ylo + h};
+      total += std::abs(ug.Answer(q) -
+                        static_cast<double>(data.CountInRect(q)));
+      ++count;
+    }
+    return total / count;
+  };
+  const double err_coarse = mean_err(4);
+  const double err_mid = mean_err(16);
+  const double err_fine = mean_err(64);
+  EXPECT_GT(err_coarse, err_mid);
+  EXPECT_GT(err_mid, err_fine);
+  // All of it is non-uniformity: orders of magnitude above the noise term.
+  EXPECT_GT(err_coarse, 100.0 * PredictedNoiseErrorStddev(4, 1e8, 0.09));
+}
+
+}  // namespace
+}  // namespace dpgrid

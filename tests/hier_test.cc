@@ -1,0 +1,353 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "dp/budget.h"
+#include "dp/laplace.h"
+#include "hier/constrained_inference.h"
+#include "hier/hierarchy1d.h"
+#include "hier/hierarchy_grid.h"
+
+namespace dpgrid {
+namespace {
+
+// Builds a complete tree with `depth` levels and `branching` children per
+// node over the given leaf values, with iid Laplace noise of scale
+// 1/eps_level at every node.
+TreeCounts MakeNoisyCompleteTree(const std::vector<double>& leaves,
+                                 int branching, int depth, double eps_level,
+                                 Rng& rng) {
+  std::vector<std::vector<double>> levels(static_cast<size_t>(depth));
+  levels[static_cast<size_t>(depth - 1)] = leaves;
+  for (int l = depth - 2; l >= 0; --l) {
+    const auto& below = levels[static_cast<size_t>(l + 1)];
+    std::vector<double> cur(below.size() / static_cast<size_t>(branching),
+                            0.0);
+    for (size_t i = 0; i < below.size(); ++i) {
+      cur[i / static_cast<size_t>(branching)] += below[i];
+    }
+    levels[static_cast<size_t>(l)] = std::move(cur);
+  }
+  TreeCounts tree;
+  std::vector<size_t> offsets(static_cast<size_t>(depth));
+  size_t total = 0;
+  for (int l = 0; l < depth; ++l) {
+    offsets[static_cast<size_t>(l)] = total;
+    total += levels[static_cast<size_t>(l)].size();
+  }
+  tree.noisy.resize(total);
+  tree.variance.assign(total, LaplaceVariance(1.0, eps_level));
+  tree.children.resize(total);
+  tree.parent.assign(total, -1);
+  for (int l = 0; l < depth; ++l) {
+    const auto& lvl = levels[static_cast<size_t>(l)];
+    size_t off = offsets[static_cast<size_t>(l)];
+    for (size_t i = 0; i < lvl.size(); ++i) {
+      tree.noisy[off + i] = lvl[i] + rng.Laplace(1.0 / eps_level);
+      if (l + 1 < depth) {
+        size_t child_off = offsets[static_cast<size_t>(l) + 1];
+        for (int b = 0; b < branching; ++b) {
+          size_t c = child_off + i * static_cast<size_t>(branching) +
+                     static_cast<size_t>(b);
+          tree.children[off + i].push_back(static_cast<int>(c));
+          tree.parent[c] = static_cast<int>(off + i);
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+TEST(ConstrainedInferenceTest, EstimatesAreConsistent) {
+  Rng rng(1);
+  std::vector<double> leaves(16);
+  for (double& v : leaves) v = rng.Uniform(0, 100);
+  TreeCounts tree = MakeNoisyCompleteTree(leaves, 2, 5, 1.0, rng);
+  std::vector<double> est = RunConstrainedInference(tree);
+  for (size_t i = 0; i < tree.children.size(); ++i) {
+    if (tree.children[i].empty()) continue;
+    double child_sum = 0.0;
+    for (int c : tree.children[i]) child_sum += est[static_cast<size_t>(c)];
+    EXPECT_NEAR(est[i], child_sum, 1e-9);
+  }
+}
+
+TEST(ConstrainedInferenceTest, ZeroNoiseIsFixedPoint) {
+  Rng rng(2);
+  std::vector<double> leaves = {1, 2, 3, 4, 5, 6, 7, 8};
+  // Build the tree with essentially no noise.
+  TreeCounts tree = MakeNoisyCompleteTree(leaves, 2, 4, 1e9, rng);
+  std::vector<double> est = RunConstrainedInference(tree);
+  // Leaves are the last 8 entries.
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(est[est.size() - 8 + i], leaves[i], 1e-5);
+  }
+}
+
+TEST(ConstrainedInferenceTest, ReducesLeafError) {
+  // Across many trials, inferred leaves should have lower mean squared error
+  // than the raw noisy leaves.
+  Rng rng(3);
+  std::vector<double> leaves(64);
+  for (double& v : leaves) v = rng.Uniform(0, 50);
+  double raw_mse = 0.0;
+  double inf_mse = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    TreeCounts tree = MakeNoisyCompleteTree(leaves, 2, 7, 1.0, rng);
+    std::vector<double> est = RunConstrainedInference(tree);
+    size_t off = est.size() - leaves.size();
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      double raw_err = tree.noisy[off + i] - leaves[i];
+      double inf_err = est[off + i] - leaves[i];
+      raw_mse += raw_err * raw_err;
+      inf_mse += inf_err * inf_err;
+    }
+  }
+  EXPECT_LT(inf_mse, raw_mse * 0.9);
+}
+
+TEST(ConstrainedInferenceTest, RootBecomesMoreAccurate) {
+  // With a 64-leaf tree, the root estimate should beat the raw root count.
+  Rng rng(4);
+  std::vector<double> leaves(64, 10.0);
+  double raw_se = 0.0;
+  double inf_se = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    TreeCounts tree = MakeNoisyCompleteTree(leaves, 4, 4, 1.0, rng);
+    std::vector<double> est = RunConstrainedInference(tree);
+    double truth = 640.0;
+    raw_se += (tree.noisy[0] - truth) * (tree.noisy[0] - truth);
+    inf_se += (est[0] - truth) * (est[0] - truth);
+  }
+  EXPECT_LT(inf_se, raw_se);
+}
+
+TEST(ConstrainedInferenceTest, MatchesHayClosedFormWeights) {
+  // For a complete uniform-variance tree, the pass-1 weight of a parent of
+  // leaves must equal Hay's level-2 value B/(B+1): the generic
+  // inverse-variance combine gives (1/v)/(1/v + 1/(B v)) = B/(B+1).
+  const int B = 4;
+  TreeCounts tree;
+  tree.noisy = {20.0, 1.0, 2.0, 3.0, 4.0};  // parent says 20, leaves sum 10
+  tree.variance.assign(5, 2.0);
+  tree.children = {{1, 2, 3, 4}, {}, {}, {}, {}};
+  tree.parent = {-1, 0, 0, 0, 0};
+  std::vector<double> est = RunConstrainedInference(tree);
+  const double w = HayOwnWeight(B, 2);
+  EXPECT_NEAR(w, 0.8, 1e-12);  // B/(B+1)
+  const double expected_root = w * 20.0 + (1.0 - w) * 10.0;  // 18
+  EXPECT_NEAR(est[0], expected_root, 1e-9);
+  // Residual 8 spreads equally over the four leaves.
+  EXPECT_NEAR(est[1], 1.0 + 2.0, 1e-9);
+  EXPECT_NEAR(est[4], 4.0 + 2.0, 1e-9);
+}
+
+TEST(ConstrainedInferenceTest, HayOwnWeightFormula) {
+  // Level 1 (leaves): weight 1.
+  EXPECT_NEAR(HayOwnWeight(2, 1), 1.0, 1e-12);
+  // B=2, level 2: (4-2)/(4-1) = 2/3.
+  EXPECT_NEAR(HayOwnWeight(2, 2), 2.0 / 3.0, 1e-12);
+  // B=4, level 2: (16-4)/(16-1) = 0.8.
+  EXPECT_NEAR(HayOwnWeight(4, 2), 0.8, 1e-12);
+}
+
+TEST(ConstrainedInferenceTest, GenericMatchesHayOnUniformTree) {
+  // Pass-1 estimate of a height-2 node must use Hay's closed-form weight.
+  // Construct a binary tree of depth 3 (1 root, 2 mid, 4 leaves).
+  TreeCounts tree;
+  tree.noisy = {100.0, 20.0, 30.0, 1.0, 2.0, 3.0, 4.0};
+  tree.variance.assign(7, 1.0);
+  tree.children = {{1, 2}, {3, 4}, {5, 6}, {}, {}, {}, {}};
+  tree.parent = {-1, 0, 0, 1, 1, 2, 2};
+  std::vector<double> est = RunConstrainedInference(tree);
+
+  // Manual Hay computation.
+  const double w1 = HayOwnWeight(2, 1);  // = 1? No: for height-1 internal
+  // nodes, z = w*y + (1-w)*(sum of leaf observations) with w = 1/... compute
+  // generically instead:
+  // zvar(leaf)=1; combine: w = (1/1)/(1/1 + 1/2) = 2/3 for node 1.
+  const double z1 = (2.0 / 3.0) * 20.0 + (1.0 / 3.0) * (1.0 + 2.0);
+  const double z2 = (2.0 / 3.0) * 30.0 + (1.0 / 3.0) * (3.0 + 4.0);
+  (void)w1;
+  // Node-1 pass-1 variance: 1/(1/1+1/2) = 2/3. Root combine:
+  // child_var = 4/3, w_root = (1)/(1 + 3/4) = 4/7.
+  const double z0 = (4.0 / 7.0) * 100.0 + (3.0 / 7.0) * (z1 + z2);
+  EXPECT_NEAR(est[0], z0, 1e-9);
+  // Hay's B=2 height-2 own-weight is 2/3 -- matches the root's weight only
+  // in the classic formulation where the parent's own variance equals the
+  // children's; here the generic machinery reproduces the same algebra via
+  // inverse-variance weighting.
+  const double residual0 = z0 - (z1 + z2);
+  EXPECT_NEAR(est[1], z1 + residual0 / 2.0, 1e-9);
+  EXPECT_NEAR(est[2], z2 + residual0 / 2.0, 1e-9);
+}
+
+TEST(ConstrainedInferenceTest, ForestWithMultipleRoots) {
+  TreeCounts tree;
+  tree.noisy = {10.0, 20.0, 4.0, 5.0, 9.0, 10.0};
+  tree.variance.assign(6, 1.0);
+  tree.children = {{2, 3}, {4, 5}, {}, {}, {}, {}};
+  tree.parent = {-1, -1, 0, 0, 1, 1};
+  std::vector<double> est = RunConstrainedInference(tree);
+  EXPECT_NEAR(est[0], est[2] + est[3], 1e-9);
+  EXPECT_NEAR(est[1], est[4] + est[5], 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// HierarchyGrid
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyGridTest, LevelSizes) {
+  Rng rng(5);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 1000, rng);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 360;
+  opts.branching = 2;
+  opts.depth = 4;
+  HierarchyGrid h(data, 1.0, rng, opts);
+  EXPECT_EQ(h.LevelSize(0), 45);
+  EXPECT_EQ(h.LevelSize(1), 90);
+  EXPECT_EQ(h.LevelSize(2), 180);
+  EXPECT_EQ(h.LevelSize(3), 360);
+  EXPECT_EQ(h.Name(), "H2,4");
+}
+
+TEST(HierarchyGridDeathTest, IndivisibleLeafSizeAborts) {
+  Rng rng(6);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 100, rng);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 100;
+  opts.branching = 3;
+  opts.depth = 3;
+  EXPECT_DEATH(HierarchyGrid(data, 1.0, rng, opts), "divisible");
+}
+
+TEST(HierarchyGridTest, NearExactWithHugeEpsilon) {
+  Rng rng(7);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 8, 8}, 10000, rng);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 16;
+  opts.branching = 2;
+  opts.depth = 3;
+  HierarchyGrid h(data, 1e7, rng, opts);
+  Rect q{0, 0, 4, 4};
+  EXPECT_NEAR(h.Answer(q), static_cast<double>(data.CountInRect(q)), 2.0);
+}
+
+TEST(HierarchyGridTest, BudgetFullyConsumed) {
+  Rng rng(8);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 1000, rng);
+  PrivacyBudget budget(0.5);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 32;
+  opts.depth = 3;
+  HierarchyGrid h(data, budget, rng, opts);
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+}
+
+TEST(HierarchyGridTest, DepthOneEqualsUniformGridBehaviour) {
+  Rng rng(9);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 5000, rng);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 20;
+  opts.depth = 1;
+  HierarchyGrid h(data, 1e7, rng, opts);
+  Rect q{0, 0, 0.5, 0.5};
+  EXPECT_NEAR(h.Answer(q), static_cast<double>(data.CountInRect(q)), 5.0);
+}
+
+TEST(HierarchyGridTest, LeafConsistencyWithParents) {
+  Rng rng(10);
+  Dataset data = MakeLandmarkLike(20000, rng);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 16;
+  opts.branching = 2;
+  opts.depth = 3;
+  HierarchyGrid h(data, 1.0, rng, opts);
+  // Summing a 2x2 leaf block must give a value consistent across the whole
+  // grid: total of leaves == answer to the full-domain query.
+  const GridCounts& leaves = h.leaf_counts();
+  double total = leaves.Total();
+  EXPECT_NEAR(h.Answer(data.domain()), total, 1e-6);
+}
+
+TEST(HierarchyGridTest, ExportCellsCoverDomain) {
+  Rng rng(11);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 2, 2}, 100, rng);
+  HierarchyGridOptions opts;
+  opts.leaf_size = 8;
+  opts.depth = 2;
+  HierarchyGrid h(data, 1.0, rng, opts);
+  auto cells = h.ExportCells();
+  EXPECT_EQ(cells.size(), 64u);
+  double area = 0.0;
+  for (const auto& c : cells) area += c.region.Area();
+  EXPECT_NEAR(area, 4.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy1D
+// ---------------------------------------------------------------------------
+
+TEST(Hierarchy1DTest, NearExactWithHugeEpsilon) {
+  Rng rng(12);
+  std::vector<double> bins(64);
+  for (double& b : bins) b = rng.Uniform(0, 100);
+  Hierarchy1D h(bins, 1e8, 2, 5, rng);
+  double expect = 0.0;
+  for (size_t i = 10; i < 50; ++i) expect += bins[i];
+  EXPECT_NEAR(h.AnswerRange(10, 50), expect, 1e-2);
+}
+
+TEST(Hierarchy1DTest, FlatDepthOneWorks) {
+  Rng rng(13);
+  std::vector<double> bins(32, 5.0);
+  Hierarchy1D h(bins, 1e8, 2, 1, rng);
+  EXPECT_NEAR(h.AnswerRange(0, 32), 160.0, 1e-2);
+}
+
+TEST(Hierarchy1DTest, RangeClamping) {
+  Rng rng(14);
+  std::vector<double> bins(8, 1.0);
+  Hierarchy1D h(bins, 1e8, 2, 2, rng);
+  EXPECT_NEAR(h.AnswerRange(0, 100), 8.0, 1e-3);
+  EXPECT_DOUBLE_EQ(h.AnswerRange(5, 3), 0.0);
+}
+
+TEST(Hierarchy1DTest, HierarchyBeatsFlatForLargeRangesIn1D) {
+  // The 1-D motivation for hierarchies (paper §IV-C): large range queries
+  // have much lower noise error with a hierarchy than with flat bins.
+  Rng rng(15);
+  const size_t n = 512;
+  std::vector<double> bins(n, 0.0);  // zero data isolates the noise error
+  const double eps = 1.0;
+  double flat_err = 0.0;
+  double hier_err = 0.0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    Hierarchy1D flat(bins, eps, 2, 1, rng);
+    Hierarchy1D hier(bins, eps, 2, 10, rng);  // full binary hierarchy
+    for (int q = 0; q < 20; ++q) {
+      size_t len = 128 + static_cast<size_t>(rng.UniformInt(0, 255));
+      size_t begin = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n - len)));
+      flat_err += std::abs(flat.AnswerRange(begin, begin + len));
+      hier_err += std::abs(hier.AnswerRange(begin, begin + len));
+    }
+  }
+  EXPECT_LT(hier_err, flat_err);
+}
+
+TEST(Hierarchy1DDeathTest, IndivisibleBinsAbort) {
+  Rng rng(16);
+  std::vector<double> bins(10, 1.0);
+  EXPECT_DEATH(Hierarchy1D(bins, 1.0, 2, 3, rng), "divisible");
+}
+
+}  // namespace
+}  // namespace dpgrid

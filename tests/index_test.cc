@@ -1,0 +1,216 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geo/dataset.h"
+#include "index/prefix_sum2d.h"
+#include "index/range_count_index.h"
+
+namespace dpgrid {
+namespace {
+
+// Naive O(nx*ny) reference for fractional rectangle sums.
+double NaiveFractionalSum(const std::vector<double>& values, size_t nx,
+                          size_t ny, double x0, double x1, double y0,
+                          double y1) {
+  x0 = std::clamp(x0, 0.0, static_cast<double>(nx));
+  x1 = std::clamp(x1, 0.0, static_cast<double>(nx));
+  y0 = std::clamp(y0, 0.0, static_cast<double>(ny));
+  y1 = std::clamp(y1, 0.0, static_cast<double>(ny));
+  double total = 0.0;
+  for (size_t iy = 0; iy < ny; ++iy) {
+    for (size_t ix = 0; ix < nx; ++ix) {
+      double wx = std::min(x1, static_cast<double>(ix + 1)) -
+                  std::max(x0, static_cast<double>(ix));
+      double wy = std::min(y1, static_cast<double>(iy + 1)) -
+                  std::max(y0, static_cast<double>(iy));
+      if (wx > 0.0 && wy > 0.0) total += wx * wy * values[iy * nx + ix];
+    }
+  }
+  return total;
+}
+
+TEST(PrefixSum2DTest, BlockSumMatchesManual) {
+  // 3x2 grid:
+  //   y=1: 4 5 6
+  //   y=0: 1 2 3
+  std::vector<double> v = {1, 2, 3, 4, 5, 6};
+  PrefixSum2D ps(v, 3, 2);
+  EXPECT_DOUBLE_EQ(ps.TotalSum(), 21.0);
+  EXPECT_DOUBLE_EQ(ps.BlockSum(0, 1, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ps.BlockSum(0, 3, 0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(ps.BlockSum(1, 3, 1, 2), 11.0);
+  EXPECT_DOUBLE_EQ(ps.BlockSum(2, 2, 0, 2), 0.0);  // empty
+}
+
+TEST(PrefixSum2DTest, BlockSumClampsOutOfRange) {
+  std::vector<double> v = {1, 2, 3, 4};
+  PrefixSum2D ps(v, 2, 2);
+  EXPECT_DOUBLE_EQ(ps.BlockSum(0, 100, 0, 100), 10.0);
+}
+
+TEST(PrefixSum2DTest, FractionalFullGridEqualsTotal) {
+  Rng rng(1);
+  std::vector<double> v(12 * 7);
+  for (double& x : v) x = rng.Uniform(-5, 5);
+  PrefixSum2D ps(v, 12, 7);
+  EXPECT_NEAR(ps.FractionalSum(0, 12, 0, 7), ps.TotalSum(), 1e-9);
+}
+
+TEST(PrefixSum2DTest, FractionalSingleCellPortion) {
+  std::vector<double> v = {8.0};
+  PrefixSum2D ps(v, 1, 1);
+  EXPECT_NEAR(ps.FractionalSum(0.25, 0.75, 0.0, 0.5), 8.0 * 0.5 * 0.5, 1e-12);
+}
+
+TEST(PrefixSum2DTest, FractionalEmptyRange) {
+  std::vector<double> v = {1, 2, 3, 4};
+  PrefixSum2D ps(v, 2, 2);
+  EXPECT_DOUBLE_EQ(ps.FractionalSum(1.0, 1.0, 0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(ps.FractionalSum(1.5, 0.5, 0.0, 2.0), 0.0);
+}
+
+TEST(PrefixSum2DTest, FractionalOutOfRangeClamped) {
+  std::vector<double> v = {1, 2, 3, 4};
+  PrefixSum2D ps(v, 2, 2);
+  EXPECT_NEAR(ps.FractionalSum(-3, 5, -1, 9), 10.0, 1e-12);
+}
+
+// Property sweep: fast fractional sums match the naive reference on random
+// grids and random query rectangles, for a range of grid shapes.
+class PrefixSumPropertyTest
+    : public testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(PrefixSumPropertyTest, MatchesNaiveOnRandomQueries) {
+  const auto [nx, ny] = GetParam();
+  Rng rng(nx * 1000 + ny);
+  std::vector<double> v(nx * ny);
+  for (double& x : v) x = rng.Uniform(-10, 10);
+  PrefixSum2D ps(v, nx, ny);
+  for (int i = 0; i < 100; ++i) {
+    double xs[2] = {rng.Uniform(-1, static_cast<double>(nx) + 1),
+                    rng.Uniform(-1, static_cast<double>(nx) + 1)};
+    double ys[2] = {rng.Uniform(-1, static_cast<double>(ny) + 1),
+                    rng.Uniform(-1, static_cast<double>(ny) + 1)};
+    double x0 = std::min(xs[0], xs[1]);
+    double x1 = std::max(xs[0], xs[1]);
+    double y0 = std::min(ys[0], ys[1]);
+    double y1 = std::max(ys[0], ys[1]);
+    double fast = ps.FractionalSum(x0, x1, y0, y1);
+    double naive = NaiveFractionalSum(v, nx, ny, x0, x1, y0, y1);
+    EXPECT_NEAR(fast, naive, 1e-8 * (1.0 + std::abs(naive)))
+        << "grid " << nx << "x" << ny << " query [" << x0 << "," << x1
+        << ")x[" << y0 << "," << y1 << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, PrefixSumPropertyTest,
+    testing::Values(std::pair<size_t, size_t>{1, 1},
+                    std::pair<size_t, size_t>{1, 17},
+                    std::pair<size_t, size_t>{17, 1},
+                    std::pair<size_t, size_t>{2, 2},
+                    std::pair<size_t, size_t>{3, 5},
+                    std::pair<size_t, size_t>{8, 8},
+                    std::pair<size_t, size_t>{16, 9},
+                    std::pair<size_t, size_t>{33, 41},
+                    std::pair<size_t, size_t>{64, 64}));
+
+// Property sweep: integer-aligned fractional queries equal block sums.
+TEST(PrefixSum2DTest, AlignedFractionalEqualsBlockSum) {
+  Rng rng(9);
+  const size_t nx = 13;
+  const size_t ny = 11;
+  std::vector<double> v(nx * ny);
+  for (double& x : v) x = rng.Uniform(0, 100);
+  PrefixSum2D ps(v, nx, ny);
+  for (size_t ix0 = 0; ix0 < nx; ix0 += 3) {
+    for (size_t ix1 = ix0 + 1; ix1 <= nx; ix1 += 4) {
+      for (size_t iy0 = 0; iy0 < ny; iy0 += 3) {
+        for (size_t iy1 = iy0 + 1; iy1 <= ny; iy1 += 4) {
+          EXPECT_NEAR(
+              ps.FractionalSum(static_cast<double>(ix0),
+                               static_cast<double>(ix1),
+                               static_cast<double>(iy0),
+                               static_cast<double>(iy1)),
+              ps.BlockSum(ix0, ix1, iy0, iy1), 1e-8);
+        }
+      }
+    }
+  }
+}
+
+class RangeCountIndexPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(RangeCountIndexPropertyTest, MatchesBruteForce) {
+  const int bins = GetParam();
+  Rng rng(777 + static_cast<uint64_t>(bins));
+  const Rect domain{-10, -5, 30, 25};
+  Dataset data = MakeUniformDataset(domain, 5000, rng);
+  RangeCountIndex index(data, bins);
+  EXPECT_EQ(index.total(), 5000);
+  for (int i = 0; i < 200; ++i) {
+    double xs[2] = {rng.Uniform(-12, 32), rng.Uniform(-12, 32)};
+    double ys[2] = {rng.Uniform(-7, 27), rng.Uniform(-7, 27)};
+    Rect q{std::min(xs[0], xs[1]), std::min(ys[0], ys[1]),
+           std::max(xs[0], xs[1]), std::max(ys[0], ys[1])};
+    EXPECT_EQ(index.Count(q), data.CountInRect(q)) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, RangeCountIndexPropertyTest,
+                         testing::Values(1, 2, 7, 16, 64, 200));
+
+TEST(RangeCountIndexTest, ClusteredDataMatchesBruteForce) {
+  Rng rng(31337);
+  Dataset data = MakeCheckinLike(20000, rng);
+  RangeCountIndex index(data);
+  for (int i = 0; i < 100; ++i) {
+    double w = rng.Uniform(1, 120);
+    double h = rng.Uniform(1, 60);
+    double xlo = rng.Uniform(data.domain().xlo, data.domain().xhi - w);
+    double ylo = rng.Uniform(data.domain().ylo, data.domain().yhi - h);
+    Rect q{xlo, ylo, xlo + w, ylo + h};
+    EXPECT_EQ(index.Count(q), data.CountInRect(q));
+  }
+}
+
+TEST(RangeCountIndexTest, FullDomainQueryCountsEverything) {
+  Rng rng(5);
+  const Rect domain{0, 0, 1, 1};
+  Dataset data = MakeUniformDataset(domain, 1234, rng);
+  RangeCountIndex index(data);
+  // Slightly enlarged query captures points on every edge.
+  EXPECT_EQ(index.Count(Rect{-0.1, -0.1, 1.1, 1.1}), 1234);
+}
+
+TEST(RangeCountIndexTest, EmptyQueryReturnsZero) {
+  Rng rng(6);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 100, rng);
+  RangeCountIndex index(data);
+  EXPECT_EQ(index.Count(Rect{0.5, 0.5, 0.5, 0.5}), 0);
+  EXPECT_EQ(index.Count(Rect{2, 2, 3, 3}), 0);
+}
+
+TEST(RangeCountIndexTest, PointsOnDomainUpperEdgeExcludedByHalfOpenQuery) {
+  const Rect domain{0, 0, 1, 1};
+  Dataset data(domain, {{1.0, 0.5}, {0.5, 1.0}, {0.5, 0.5}});
+  RangeCountIndex index(data, 4);
+  // The half-open full-domain query excludes the two edge points, matching
+  // the brute-force semantics.
+  EXPECT_EQ(index.Count(Rect{0, 0, 1, 1}), data.CountInRect(Rect{0, 0, 1, 1}));
+  EXPECT_EQ(index.Count(Rect{0, 0, 1, 1}), 1);
+}
+
+TEST(RangeCountIndexTest, EmptyDatasetAlwaysZero) {
+  Dataset data(Rect{0, 0, 1, 1});
+  RangeCountIndex index(data);
+  EXPECT_EQ(index.Count(Rect{0, 0, 1, 1}), 0);
+}
+
+}  // namespace
+}  // namespace dpgrid

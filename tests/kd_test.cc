@@ -1,0 +1,297 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "dp/budget.h"
+#include "geo/dataset.h"
+#include "kd/kd_tree.h"
+#include "kd/noisy_median.h"
+
+namespace dpgrid {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exponential-mechanism median
+// ---------------------------------------------------------------------------
+
+TEST(NoisyMedianTest, HighBudgetConcentratesNearTrueMedian) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 1001; ++i) values.push_back(static_cast<double>(i));
+  // True median 500. With a large budget the sampled split should be close.
+  double sum = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    sum += ExponentialMechanismMedian(values, 0.0, 1000.0, 50.0, rng);
+  }
+  EXPECT_NEAR(sum / trials, 500.0, 10.0);
+}
+
+TEST(NoisyMedianTest, TinyBudgetApproachesUniform) {
+  Rng rng(2);
+  // All mass at 0: with eps -> 0 the mechanism ignores the data.
+  std::vector<double> values(100, 0.0);
+  double sum = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    sum += ExponentialMechanismMedian(values, 0.0, 1000.0, 1e-9, rng);
+  }
+  EXPECT_NEAR(sum / trials, 500.0, 40.0);  // uniform mean of [0,1000]
+}
+
+TEST(NoisyMedianTest, EmptyInputUniform) {
+  Rng rng(3);
+  double lo = 2.0;
+  double hi = 6.0;
+  for (int i = 0; i < 100; ++i) {
+    double m = ExponentialMechanismMedian({}, lo, hi, 1.0, rng);
+    EXPECT_GE(m, lo);
+    EXPECT_LE(m, hi);
+  }
+}
+
+TEST(NoisyMedianTest, ResultAlwaysInBounds) {
+  Rng rng(4);
+  std::vector<double> values = {-100.0, 0.5, 0.6, 0.7, 200.0};
+  for (int i = 0; i < 200; ++i) {
+    double m = ExponentialMechanismMedian(values, 0.0, 1.0, 0.5, rng);
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+}
+
+TEST(NoisyMedianTest, SkewedDataStillBalances) {
+  Rng rng(5);
+  // 90% of points below 0.1; a good median should be far below 0.5.
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(rng.Uniform(0.0, 0.1));
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Uniform(0.1, 1.0));
+  double sum = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    sum += ExponentialMechanismMedian(values, 0.0, 1.0, 20.0, rng);
+  }
+  EXPECT_LT(sum / trials, 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// KdTree
+// ---------------------------------------------------------------------------
+
+TEST(KdTreeTest, LeafRegionsTileTheDomain) {
+  Rng rng(6);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 4, 4}, 2000, rng);
+  KdTreeOptions opts = KdHybridOptions();
+  opts.depth = 6;
+  KdTree tree(data, 1.0, rng, opts);
+  auto cells = tree.ExportCells();
+  double area = 0.0;
+  for (const auto& c : cells) area += c.region.Area();
+  EXPECT_NEAR(area, 16.0, 1e-6);
+  EXPECT_EQ(cells.size(), tree.num_leaves());
+}
+
+TEST(KdTreeTest, DepthAndLeafCount) {
+  Rng rng(7);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 1000, rng);
+  KdTreeOptions opts = KdStandardOptions();
+  opts.depth = 5;
+  KdTree tree(data, 1.0, rng, opts);
+  EXPECT_EQ(tree.depth(), 5);
+  EXPECT_EQ(tree.num_leaves(), 32u);  // binary splits only
+  KdTreeOptions hopts = KdHybridOptions();
+  hopts.depth = 5;
+  KdTree hybrid(data, 1.0, rng, hopts);
+  // 3 quad levels (4^3=64) then 2 binary levels (x4): 256 leaves.
+  EXPECT_EQ(hybrid.num_leaves(), 256u);
+}
+
+TEST(KdTreeTest, AutoDepthScalesWithN) {
+  Rng rng(8);
+  Dataset small = MakeUniformDataset(Rect{0, 0, 1, 1}, 500, rng);
+  Dataset large = MakeUniformDataset(Rect{0, 0, 1, 1}, 200000, rng);
+  KdTree t_small(small, 1.0, rng, KdStandardOptions());
+  KdTree t_large(large, 1.0, rng, KdStandardOptions());
+  EXPECT_LT(t_small.depth(), t_large.depth());
+  EXPECT_GE(t_small.depth(), 4);
+  EXPECT_LE(t_large.depth(), 16);
+}
+
+TEST(KdTreeTest, NearExactWithHugeEpsilon) {
+  Rng rng(9);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 8, 8}, 20000, rng);
+  KdTreeOptions opts = KdHybridOptions();
+  opts.depth = 6;
+  KdTree tree(data, 1e8, rng, opts);
+  // Quadtree levels make the top split at exactly 4.0, so this query aligns
+  // with node boundaries.
+  Rect q{0, 0, 4, 4};
+  EXPECT_NEAR(tree.Answer(q), static_cast<double>(data.CountInRect(q)), 10.0);
+  // Non-aligned query is answered through uniformity; uniform data keeps the
+  // assumption accurate.
+  Rect q2{0.7, 1.3, 6.1, 7.9};
+  EXPECT_NEAR(tree.Answer(q2),
+              static_cast<double>(data.CountInRect(q2)),
+              static_cast<double>(data.CountInRect(q2)) * 0.05 + 20.0);
+}
+
+TEST(KdTreeTest, BudgetFullyConsumed) {
+  Rng rng(10);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 3000, rng);
+  for (const auto& opts : {KdStandardOptions(), KdHybridOptions()}) {
+    PrivacyBudget budget(0.7);
+    KdTree tree(data, budget, rng, opts);
+    EXPECT_NEAR(budget.remaining(), 0.0, 1e-12) << opts.display_name;
+  }
+}
+
+TEST(KdTreeTest, MedianBudgetLedgerEntry) {
+  Rng rng(11);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 3000, rng);
+  PrivacyBudget budget(1.0);
+  KdTreeOptions opts = KdStandardOptions();
+  opts.depth = 6;
+  KdTree tree(data, budget, rng, opts);
+  ASSERT_EQ(budget.ledger().size(), 2u);
+  EXPECT_EQ(budget.ledger()[0].label, "kd/noisy-medians");
+  EXPECT_NEAR(budget.ledger()[0].epsilon, 0.3, 1e-12);
+}
+
+TEST(KdTreeTest, NoMedianBudgetWhenAllQuadLevels) {
+  Rng rng(12);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 3000, rng);
+  PrivacyBudget budget(1.0);
+  KdTreeOptions opts;
+  opts.depth = 4;
+  opts.quad_levels = 4;
+  opts.display_name = "Quad";
+  KdTree tree(data, budget, rng, opts);
+  ASSERT_EQ(budget.ledger().size(), 1u);
+  EXPECT_EQ(budget.ledger()[0].label, "kd/node-counts");
+}
+
+TEST(KdTreeTest, QuadLevelsSplitAtMidpoints) {
+  Rng rng(13);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 8, 4}, 1000, rng);
+  KdTreeOptions opts;
+  opts.depth = 1;
+  opts.quad_levels = 1;
+  KdTree tree(data, 1.0, rng, opts);
+  auto cells = tree.ExportCells();
+  ASSERT_EQ(cells.size(), 4u);
+  for (const auto& c : cells) {
+    EXPECT_NEAR(c.region.Area(), 8.0, 1e-9);  // quarter of 32
+  }
+}
+
+TEST(KdTreeTest, AnswerDecompositionMatchesLeafEnumerationWithCI) {
+  // With constrained inference the greedy decomposition equals summing
+  // leaves with fractional overlap.
+  Rng rng(14);
+  Dataset data = MakeCheckinLike(20000, rng);
+  KdTreeOptions opts = KdHybridOptions();
+  opts.depth = 7;
+  KdTree tree(data, 1.0, rng, opts);
+  auto cells = tree.ExportCells();
+  for (int i = 0; i < 30; ++i) {
+    double w = rng.Uniform(10, 150);
+    double h = rng.Uniform(10, 70);
+    double xlo = rng.Uniform(data.domain().xlo, data.domain().xhi - w);
+    double ylo = rng.Uniform(data.domain().ylo, data.domain().yhi - h);
+    Rect q{xlo, ylo, xlo + w, ylo + h};
+    double manual = 0.0;
+    for (const auto& c : cells) {
+      manual += c.count * c.region.OverlapFraction(q);
+    }
+    EXPECT_NEAR(tree.Answer(q), manual, 1e-5 * (1.0 + std::abs(manual)));
+  }
+}
+
+TEST(KdTreeTest, MedianSplitsAdaptToSkew) {
+  // Nearly all data in the left 10% of x: with a healthy median budget the
+  // first KD split should land well left of the midpoint.
+  Rng rng(15);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 20000; ++i) {
+    pts.push_back(Point2{rng.Uniform(0.0, 0.1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back(Point2{rng.Uniform(0.1, 1.0), rng.Uniform(0, 1)});
+  }
+  Dataset data(Rect{0, 0, 1, 1}, std::move(pts));
+  KdTreeOptions opts = KdStandardOptions();
+  opts.depth = 1;
+  opts.median_fraction = 0.9;
+  KdTree tree(data, 5.0, rng, opts);
+  auto cells = tree.ExportCells();
+  ASSERT_EQ(cells.size(), 2u);
+  double split = std::max(cells[0].region.xlo, cells[1].region.xlo);
+  EXPECT_LT(split, 0.3);
+}
+
+TEST(KdTreeTest, QuadTreeHasFourWaySplitsOnly) {
+  Rng rng(18);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 8, 8}, 5000, rng);
+  KdTreeOptions opts = QuadTreeOptions();
+  opts.depth = 3;
+  KdTree tree(data, 1.0, rng, opts);
+  EXPECT_EQ(tree.Name(), "Qtr");
+  EXPECT_EQ(tree.num_leaves(), 64u);  // 4^3
+  // Every leaf has equal area (midpoint splits).
+  auto cells = tree.ExportCells();
+  for (const auto& c : cells) {
+    EXPECT_NEAR(c.region.Area(), 64.0 / 64.0, 1e-9);
+  }
+}
+
+TEST(KdTreeTest, QuadTreeAutoDepthHalvesBinaryBudget) {
+  // A quad level consumes two binary-equivalent levels, so the pure
+  // quadtree's auto depth is about half KD-standard's.
+  Rng rng(19);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 100000, rng);
+  KdTree kst(data, 1.0, rng, KdStandardOptions());
+  KdTree qtr(data, 1.0, rng, QuadTreeOptions());
+  EXPECT_NEAR(static_cast<double>(qtr.depth()),
+              static_cast<double>(kst.depth()) / 2.0, 1.0);
+  // Similar leaf counts despite different branching.
+  double ratio = static_cast<double>(qtr.num_leaves()) /
+                 static_cast<double>(kst.num_leaves());
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(KdTreeTest, QuadTreeSpendsNoMedianBudget) {
+  Rng rng(20);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 2000, rng);
+  PrivacyBudget budget(1.0);
+  KdTree tree(data, budget, rng, QuadTreeOptions());
+  ASSERT_EQ(budget.ledger().size(), 1u);
+  EXPECT_EQ(budget.ledger()[0].label, "kd/node-counts");
+  EXPECT_NEAR(budget.ledger()[0].epsilon, 1.0, 1e-12);
+}
+
+TEST(KdTreeTest, NamesMatchPaperNotation) {
+  Rng rng(16);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 100, rng);
+  KdTree kst(data, 1.0, rng, KdStandardOptions());
+  KdTree khy(data, 1.0, rng, KdHybridOptions());
+  EXPECT_EQ(kst.Name(), "Kst");
+  EXPECT_EQ(khy.Name(), "Khy");
+}
+
+TEST(KdTreeTest, EmptyDatasetStillBuilds) {
+  Rng rng(17);
+  Dataset data(Rect{0, 0, 1, 1});
+  KdTreeOptions opts = KdHybridOptions();
+  opts.depth = 4;
+  KdTree tree(data, 1.0, rng, opts);
+  // Pure noise; answers should be small relative to a populated dataset.
+  EXPECT_LT(std::abs(tree.Answer(Rect{0, 0, 1, 1})), 500.0);
+}
+
+}  // namespace
+}  // namespace dpgrid

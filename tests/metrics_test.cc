@@ -1,0 +1,127 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/error.h"
+#include "metrics/table.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(RelativeErrorTest, BasicRatio) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0, 1.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0, 1.0), 0.1);
+}
+
+TEST(RelativeErrorTest, RhoFloorsDenominator) {
+  // actual = 0 would divide by zero without the floor.
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0, 10.0), 0.5);
+  // actual below rho uses rho.
+  EXPECT_DOUBLE_EQ(RelativeError(8.0, 4.0, 10.0), 0.4);
+  // actual above rho uses actual.
+  EXPECT_DOUBLE_EQ(RelativeError(30.0, 20.0, 10.0), 0.5);
+}
+
+TEST(RelativeErrorTest, DefaultRhoIsPointOnePercent) {
+  EXPECT_DOUBLE_EQ(DefaultRho(1000000.0), 1000.0);
+  EXPECT_DOUBLE_EQ(DefaultRho(9000.0), 9.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 50.0), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenValues) {
+  // Sorted: 0, 10. p=25 -> rank 0.25 -> 2.5.
+  EXPECT_DOUBLE_EQ(Percentile({10, 0}, 25.0), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v = {5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 9.0);
+}
+
+TEST(PercentileTest, SingleValue) {
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 95.0), 42.0);
+}
+
+TEST(MeanTest, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(SummaryTest, KnownDistribution) {
+  // 0..100 inclusive.
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  Summary s = ComputeSummary(v);
+  EXPECT_DOUBLE_EQ(s.mean, 50.0);
+  EXPECT_DOUBLE_EQ(s.p25, 25.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p75, 75.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+}
+
+TEST(SummaryTest, OrderingInvariance) {
+  std::vector<double> a = {9, 1, 5, 3, 7};
+  std::vector<double> b = {1, 3, 5, 7, 9};
+  Summary sa = ComputeSummary(a);
+  Summary sb = ComputeSummary(b);
+  EXPECT_DOUBLE_EQ(sa.p50, sb.p50);
+  EXPECT_DOUBLE_EQ(sa.mean, sb.mean);
+  EXPECT_DOUBLE_EQ(sa.p95, sb.p95);
+}
+
+TEST(SummaryDeathTest, EmptySampleAborts) {
+  EXPECT_DEATH(ComputeSummary({}), "empty");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatDouble(1000000.0, 4), "1e+06");
+  EXPECT_EQ(FormatDouble(0.5, 4), "0.5");
+}
+
+TEST(FormatSummaryTest, ContainsAllFiveStats) {
+  Summary s{0.5, 0.1, 0.2, 0.3, 0.4};
+  std::string out = FormatSummary(s);
+  EXPECT_NE(out.find("mean=0.5"), std::string::npos);
+  EXPECT_NE(out.find("0.1"), std::string::npos);
+  EXPECT_NE(out.find("0.4"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  // Print to a temp file and inspect.
+  std::string path = testing::TempDir() + "/dpgrid_table.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w+");
+  ASSERT_NE(f, nullptr);
+  t.Print(f);
+  std::fseek(f, 0, SEEK_SET);
+  char buf[4096] = {0};
+  size_t len = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  std::string out(buf, len);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // Four lines: header, separator, two rows.
+  size_t lines = 0;
+  for (char ch : out) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TablePrinterDeathTest, ArityMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace dpgrid

@@ -1,0 +1,148 @@
+// Empirical differential-privacy tests: sample the mechanisms on
+// neighbouring inputs and verify the ε-DP probability-ratio bound on
+// observed output frequencies. These are statistical smoke tests with
+// generous tolerances — they catch sign errors, wrong sensitivities and
+// budget-accounting mistakes, not subtle distributional deviations.
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dp/laplace.h"
+#include "geo/dataset.h"
+#include "grid/uniform_grid.h"
+
+namespace dpgrid {
+namespace {
+
+// Verifies max over observed bins of |log(p(bin|D) / p(bin|D'))| <= bound.
+// Only bins with at least `min_count` samples on both sides are compared.
+void CheckRatioBound(const std::map<int64_t, int>& histogram_a,
+                     const std::map<int64_t, int>& histogram_b, int samples,
+                     double epsilon, double slack) {
+  const int min_count = 200;
+  for (const auto& [bin, count_a] : histogram_a) {
+    auto it = histogram_b.find(bin);
+    if (it == histogram_b.end()) continue;
+    const int count_b = it->second;
+    if (count_a < min_count || count_b < min_count) continue;
+    const double pa = static_cast<double>(count_a) / samples;
+    const double pb = static_cast<double>(count_b) / samples;
+    EXPECT_LE(std::abs(std::log(pa / pb)), epsilon * slack)
+        << "bin " << bin << ": " << pa << " vs " << pb;
+  }
+}
+
+TEST(EmpiricalPrivacyTest, GeometricMechanismSatisfiesEpsilonDP) {
+  // Neighbouring counts 5 and 6; the output distributions must be within
+  // an e^epsilon multiplicative factor bin by bin.
+  const double epsilon = 1.0;
+  const int samples = 400000;
+  Rng rng(1);
+  std::map<int64_t, int> hist_a;
+  std::map<int64_t, int> hist_b;
+  for (int i = 0; i < samples; ++i) {
+    ++hist_a[GeometricMechanism(5, 1.0, epsilon, rng)];
+    ++hist_b[GeometricMechanism(6, 1.0, epsilon, rng)];
+  }
+  CheckRatioBound(hist_a, hist_b, samples, epsilon, /*slack=*/1.2);
+}
+
+TEST(EmpiricalPrivacyTest, LaplaceMechanismSatisfiesEpsilonDP) {
+  // Discretize Laplace outputs to unit bins; ratios must respect e^epsilon
+  // (up to discretization + sampling slack).
+  const double epsilon = 0.5;
+  const int samples = 400000;
+  Rng rng(2);
+  std::map<int64_t, int> hist_a;
+  std::map<int64_t, int> hist_b;
+  for (int i = 0; i < samples; ++i) {
+    hist_a[static_cast<int64_t>(
+        std::floor(LaplaceMechanism(10.0, 1.0, epsilon, rng)))]++;
+    hist_b[static_cast<int64_t>(
+        std::floor(LaplaceMechanism(11.0, 1.0, epsilon, rng)))]++;
+  }
+  // A unit bin of Lap(2) spans eps*binwidth = 0.5 of log-ratio budget
+  // exactly at the sensitivity-1 neighbour distance; allow sampling slack.
+  CheckRatioBound(hist_a, hist_b, samples, epsilon, /*slack=*/1.35);
+}
+
+TEST(EmpiricalPrivacyTest, GeometricTighterAtLargerEpsilon) {
+  const double epsilon = 2.0;
+  const int samples = 300000;
+  Rng rng(3);
+  std::map<int64_t, int> hist_a;
+  std::map<int64_t, int> hist_b;
+  for (int i = 0; i < samples; ++i) {
+    ++hist_a[GeometricMechanism(0, 1.0, epsilon, rng)];
+    ++hist_b[GeometricMechanism(1, 1.0, epsilon, rng)];
+  }
+  CheckRatioBound(hist_a, hist_b, samples, epsilon, /*slack=*/1.15);
+}
+
+TEST(EmpiricalPrivacyTest, UniformGridCellRatiosBounded) {
+  // End-to-end: a 2x2 geometric-mechanism UG built on two neighbouring
+  // datasets (one extra point in cell (0,0)). The distribution of the
+  // released (integerized) count of that cell must obey the ratio bound.
+  const double epsilon = 1.0;
+  const int samples = 60000;
+  Rect domain{0, 0, 2, 2};
+  std::vector<Point2> base;
+  Rng data_rng(4);
+  for (int i = 0; i < 40; ++i) {
+    base.push_back(Point2{data_rng.Uniform(0, 2), data_rng.Uniform(0, 2)});
+  }
+  Dataset d1(domain, base);
+  base.push_back(Point2{0.5, 0.5});
+  Dataset d2(domain, base);
+
+  UniformGridOptions opts;
+  opts.grid_size = 2;
+  opts.mechanism = NoiseMechanism::kGeometric;
+  std::map<int64_t, int> hist_a;
+  std::map<int64_t, int> hist_b;
+  Rng rng(5);
+  for (int i = 0; i < samples; ++i) {
+    UniformGrid ug1(d1, epsilon, rng, opts);
+    UniformGrid ug2(d2, epsilon, rng, opts);
+    ++hist_a[static_cast<int64_t>(
+        std::llround(ug1.noisy_counts().at(0, 0)))];
+    ++hist_b[static_cast<int64_t>(
+        std::llround(ug2.noisy_counts().at(0, 0)))];
+  }
+  CheckRatioBound(hist_a, hist_b, samples, epsilon, /*slack=*/1.3);
+}
+
+TEST(EmpiricalPrivacyTest, DisjointCellsComposeInParallel) {
+  // The count of a cell the extra tuple does NOT fall in must be (nearly)
+  // identically distributed across neighbours — parallel composition.
+  const double epsilon = 1.0;
+  const int samples = 60000;
+  Rect domain{0, 0, 2, 2};
+  Dataset d1(domain, {{0.5, 0.5}});
+  Dataset d2(domain, {{0.5, 0.5}, {0.2, 0.3}});  // extra point, same cell
+
+  UniformGridOptions opts;
+  opts.grid_size = 2;
+  opts.mechanism = NoiseMechanism::kGeometric;
+  std::map<int64_t, int> hist_a;
+  std::map<int64_t, int> hist_b;
+  Rng rng(6);
+  for (int i = 0; i < samples; ++i) {
+    UniformGrid ug1(d1, epsilon, rng, opts);
+    UniformGrid ug2(d2, epsilon, rng, opts);
+    // Cell (1,1) is untouched by the differing tuple.
+    ++hist_a[static_cast<int64_t>(
+        std::llround(ug1.noisy_counts().at(1, 1)))];
+    ++hist_b[static_cast<int64_t>(
+        std::llround(ug2.noisy_counts().at(1, 1)))];
+  }
+  // Identical distributions: allow only sampling noise.
+  CheckRatioBound(hist_a, hist_b, samples, /*epsilon=*/0.1, /*slack=*/1.0);
+}
+
+}  // namespace
+}  // namespace dpgrid

@@ -1,0 +1,122 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "grid/uniform_grid.h"
+#include "index/range_count_index.h"
+#include "metrics/error.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(WorkloadTest, SizesDoubleEachStep) {
+  Rng rng(1);
+  Rect domain{0, 0, 100, 50};
+  Workload w = GenerateWorkload(domain, 40.0, 20.0, 6, 10, rng);
+  ASSERT_EQ(w.num_sizes(), 6u);
+  for (size_t s = 0; s < 6; ++s) {
+    const double expected_w = 40.0 / std::pow(2.0, 5 - static_cast<int>(s));
+    const double expected_h = 20.0 / std::pow(2.0, 5 - static_cast<int>(s));
+    for (const Rect& q : w.queries[s]) {
+      EXPECT_NEAR(q.Width(), expected_w, 1e-9);
+      EXPECT_NEAR(q.Height(), expected_h, 1e-9);
+    }
+  }
+}
+
+TEST(WorkloadTest, LabelsAreQ1ToQ6) {
+  Rng rng(2);
+  Workload w = GenerateWorkload(Rect{0, 0, 10, 10}, 5, 5, 6, 1, rng);
+  EXPECT_EQ(w.size_labels.front(), "q1");
+  EXPECT_EQ(w.size_labels.back(), "q6");
+}
+
+TEST(WorkloadTest, AllQueriesInsideDomain) {
+  Rng rng(3);
+  Rect domain{-50, -20, 70, 40};
+  Workload w = GenerateWorkload(domain, 60.0, 30.0, 6, 200, rng);
+  for (const auto& group : w.queries) {
+    for (const Rect& q : group) {
+      EXPECT_TRUE(domain.ContainsRect(q)) << q.ToString();
+    }
+  }
+}
+
+TEST(WorkloadTest, CountsAndTotal) {
+  Rng rng(4);
+  Workload w = GenerateWorkload(Rect{0, 0, 10, 10}, 4, 4, 5, 37, rng);
+  EXPECT_EQ(w.num_sizes(), 5u);
+  for (const auto& group : w.queries) EXPECT_EQ(group.size(), 37u);
+  EXPECT_EQ(w.total_queries(), 5u * 37u);
+}
+
+TEST(WorkloadTest, DeterministicUnderSeed) {
+  Rng a(99);
+  Rng b(99);
+  Workload wa = GenerateWorkload(Rect{0, 0, 10, 10}, 4, 4, 3, 5, a);
+  Workload wb = GenerateWorkload(Rect{0, 0, 10, 10}, 4, 4, 3, 5, b);
+  for (size_t s = 0; s < 3; ++s) {
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(wa.queries[s][i], wb.queries[s][i]);
+    }
+  }
+}
+
+TEST(WorkloadDeathTest, OversizedQueryAborts) {
+  Rng rng(5);
+  EXPECT_DEATH(GenerateWorkload(Rect{0, 0, 10, 10}, 11, 5, 6, 10, rng),
+               "fit");
+}
+
+TEST(EvaluatorTest, PerfectSynopsisHasZeroError) {
+  // A synopsis with enormous epsilon answers cell-aligned queries almost
+  // exactly; uniform data keeps non-aligned error tiny as well.
+  Rng rng(6);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 16, 16}, 50000, rng);
+  UniformGridOptions opts;
+  opts.grid_size = 16;
+  UniformGrid ug(data, 1e8, rng, opts);
+  RangeCountIndex truth(data);
+  Workload w = GenerateWorkload(data.domain(), 8, 8, 4, 50, rng);
+  auto errors = EvaluateSynopsis(ug, w, truth, DefaultRho(50000));
+  ASSERT_EQ(errors.size(), 4u);
+  // Small queries still carry sampling-vs-uniformity noise from the data
+  // itself; individual errors stay modest and the pooled mean is tiny.
+  for (const auto& size_err : errors) {
+    for (double rel : size_err.relative) EXPECT_LT(rel, 0.5);
+  }
+  EXPECT_LT(Mean(PoolRelative(errors)), 0.06);
+}
+
+TEST(EvaluatorTest, PooledSamplesHaveExpectedCount) {
+  Rng rng(7);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 4, 4}, 1000, rng);
+  UniformGridOptions opts;
+  opts.grid_size = 4;
+  UniformGrid ug(data, 1.0, rng, opts);
+  RangeCountIndex truth(data);
+  Workload w = GenerateWorkload(data.domain(), 2, 2, 3, 25, rng);
+  auto errors = EvaluateSynopsis(ug, w, truth, DefaultRho(1000));
+  EXPECT_EQ(PoolRelative(errors).size(), 75u);
+  EXPECT_EQ(PoolAbsolute(errors).size(), 75u);
+}
+
+TEST(EvaluatorTest, AbsoluteErrorsAreNonNegative) {
+  Rng rng(8);
+  Dataset data = MakeStorageLike(3000, rng);
+  UniformGrid ug(data, 0.1, rng);
+  RangeCountIndex truth(data);
+  Workload w = GenerateWorkload(data.domain(), 40, 20, 6, 20, rng);
+  auto errors = EvaluateSynopsis(ug, w, truth, DefaultRho(3000));
+  for (const auto& size_err : errors) {
+    for (double a : size_err.absolute) EXPECT_GE(a, 0.0);
+    for (double r : size_err.relative) EXPECT_GE(r, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dpgrid

@@ -1,0 +1,158 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "grid/synopsis.h"
+#include "grid/uniform_grid.h"
+#include "synth/cells_io.h"
+#include "synth/synthesize.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(SynthesizeTest, PointsLandInWeightedCells) {
+  Rng rng(1);
+  std::vector<SynopsisCell> cells = {
+      {Rect{0, 0, 1, 1}, 300.0},
+      {Rect{1, 0, 2, 1}, 100.0},
+      {Rect{0, 1, 2, 2}, 0.0},
+  };
+  Dataset d = SynthesizeFromCells(cells, Rect{0, 0, 2, 2}, 40000, rng);
+  EXPECT_EQ(d.size(), 40000);
+  double frac_a =
+      static_cast<double>(d.CountInRect(Rect{0, 0, 1, 1})) / 40000;
+  double frac_b =
+      static_cast<double>(d.CountInRect(Rect{1, 0, 2, 1})) / 40000;
+  EXPECT_NEAR(frac_a, 0.75, 0.02);
+  EXPECT_NEAR(frac_b, 0.25, 0.02);
+  EXPECT_EQ(d.CountInRect(Rect{0, 1, 2, 2}), 0);
+}
+
+TEST(SynthesizeTest, NegativeCountsClampedToZero) {
+  Rng rng(2);
+  std::vector<SynopsisCell> cells = {
+      {Rect{0, 0, 1, 1}, -50.0},
+      {Rect{1, 0, 2, 1}, 100.0},
+  };
+  Dataset d = SynthesizeFromCells(cells, Rect{0, 0, 2, 1}, 1000, rng);
+  EXPECT_EQ(d.CountInRect(Rect{0, 0, 1, 1}), 0);
+  EXPECT_EQ(d.size(), 1000);
+}
+
+TEST(SynthesizeTest, DefaultSizeRoundsTotalMass) {
+  Rng rng(3);
+  std::vector<SynopsisCell> cells = {
+      {Rect{0, 0, 1, 1}, 120.4},
+      {Rect{1, 0, 2, 1}, 60.2},
+  };
+  Dataset d = SynthesizeFromCells(cells, Rect{0, 0, 2, 1}, 0, rng);
+  EXPECT_EQ(d.size(), 181);  // round(180.6)
+}
+
+TEST(SynthesizeTest, AllMassNegativeYieldsEmptyDataset) {
+  Rng rng(4);
+  std::vector<SynopsisCell> cells = {{Rect{0, 0, 1, 1}, -3.0}};
+  Dataset d = SynthesizeFromCells(cells, Rect{0, 0, 1, 1}, 0, rng);
+  EXPECT_EQ(d.size(), 0);
+}
+
+TEST(SynthesizeTest, EndToEndPreservesSpatialDistribution) {
+  // Build a UG synopsis of clustered data, synthesize, and check the
+  // synthetic dataset reproduces the dense/sparse contrast.
+  Rng rng(5);
+  std::vector<Cluster> clusters = {{25, 25, 3, 3, 1.0}};
+  Dataset original =
+      MakeGaussianMixture(Rect{0, 0, 100, 100}, 50000, clusters, 0.1, rng);
+  UniformGridOptions opts;
+  opts.grid_size = 20;
+  UniformGrid ug(original, 1.0, rng, opts);
+  Dataset synthetic =
+      SynthesizeFromSynopsis(ug, original.domain(), original.size(), rng);
+  EXPECT_EQ(synthetic.size(), 50000);
+  const Rect dense{15, 15, 35, 35};
+  const Rect sparse{60, 60, 80, 80};
+  double orig_dense =
+      static_cast<double>(original.CountInRect(dense)) / 50000;
+  double synth_dense =
+      static_cast<double>(synthetic.CountInRect(dense)) / 50000;
+  double synth_sparse =
+      static_cast<double>(synthetic.CountInRect(sparse)) / 50000;
+  EXPECT_NEAR(synth_dense, orig_dense, 0.05);
+  EXPECT_GT(synth_dense, 5.0 * synth_sparse);
+}
+
+TEST(CellsIoTest, RoundTripPreservesCells) {
+  Rng rng(10);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 4, 4}, 2000, rng);
+  UniformGridOptions opts;
+  opts.grid_size = 5;
+  UniformGrid ug(data, 1.0, rng, opts);
+  auto original = ug.ExportCells();
+  const std::string path = testing::TempDir() + "/dpgrid_cells.csv";
+  ASSERT_TRUE(SaveSynopsisCells(path, original));
+  std::vector<SynopsisCell> loaded;
+  ASSERT_TRUE(LoadSynopsisCells(path, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded[i].count, original[i].count, 1e-9);
+    EXPECT_NEAR(loaded[i].region.xlo, original[i].region.xlo, 1e-9);
+    EXPECT_NEAR(loaded[i].region.yhi, original[i].region.yhi, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CellsIoTest, LoadedSynopsisAnswersLikeOriginal) {
+  Rng rng(11);
+  Dataset data = MakeCheckinLike(20000, rng);
+  UniformGridOptions opts;
+  opts.grid_size = 16;
+  UniformGrid ug(data, 1.0, rng, opts);
+  const std::string path = testing::TempDir() + "/dpgrid_cells2.csv";
+  ASSERT_TRUE(SaveSynopsisCells(path, ug.ExportCells()));
+  std::vector<SynopsisCell> loaded;
+  ASSERT_TRUE(LoadSynopsisCells(path, &loaded));
+  CellSynopsis release(std::move(loaded));
+  for (int i = 0; i < 30; ++i) {
+    double w = rng.Uniform(10, 150);
+    double h = rng.Uniform(10, 70);
+    double xlo = rng.Uniform(data.domain().xlo, data.domain().xhi - w);
+    double ylo = rng.Uniform(data.domain().ylo, data.domain().yhi - h);
+    Rect q{xlo, ylo, xlo + w, ylo + h};
+    double a = ug.Answer(q);
+    EXPECT_NEAR(release.Answer(q), a, 1e-6 * (1.0 + std::abs(a)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CellsIoTest, LoadFailsOnMissingOrEmptyFile) {
+  std::vector<SynopsisCell> cells;
+  EXPECT_FALSE(LoadSynopsisCells("/nonexistent/cells.csv", &cells));
+  const std::string path = testing::TempDir() + "/dpgrid_empty.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "xlo,ylo,xhi,yhi,count\n");  // header only
+  std::fclose(f);
+  EXPECT_FALSE(LoadSynopsisCells(path, &cells));
+  std::remove(path.c_str());
+}
+
+TEST(CellsIoDeathTest, EmptyCellSynopsisAborts) {
+  EXPECT_DEATH(CellSynopsis({}), "at least one cell");
+}
+
+TEST(SynthesizeTest, PointsStayInsideDomain) {
+  Rng rng(6);
+  std::vector<SynopsisCell> cells = {{Rect{0, 0, 1, 1}, 10.0}};
+  Dataset d = SynthesizeFromCells(cells, Rect{0, 0, 1, 1}, 500, rng);
+  for (const Point2& p : d.points()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dpgrid

@@ -1,0 +1,239 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "dp/budget.h"
+#include "geo/dataset.h"
+#include "wavelet/haar.h"
+#include "wavelet/privelet.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(HaarTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(360), 512u);
+}
+
+TEST(HaarTest, KnownSmallTransform) {
+  // [1, 3]: average 2, detail (1-3)/2 = -1.
+  std::vector<double> v = {1.0, 3.0};
+  HaarForward(v);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], -1.0);
+  HaarInverse(v);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 3.0);
+}
+
+TEST(HaarTest, AverageCoefficientIsMean) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  HaarForward(v);
+  EXPECT_DOUBLE_EQ(v[0], 4.5);
+}
+
+TEST(HaarTest, ConstantVectorHasZeroDetails) {
+  std::vector<double> v(32, 7.0);
+  HaarForward(v);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  for (size_t i = 1; i < v.size(); ++i) EXPECT_NEAR(v[i], 0.0, 1e-12);
+}
+
+class HaarRoundTripTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(HaarRoundTripTest, ForwardInverseIsIdentity) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  std::vector<double> original(n);
+  for (double& x : original) x = rng.Uniform(-100, 100);
+  std::vector<double> v(original);
+  HaarForward(v);
+  HaarInverse(v);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(v[i], original[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarRoundTripTest,
+                         testing::Values(1, 2, 4, 8, 16, 64, 256, 1024));
+
+TEST(HaarTest, SingleLeafChangePerturbsOneCoefficientPerLevel) {
+  // The Privelet sensitivity argument: adding 1 to one entry changes the
+  // average by 1/n and exactly one detail coefficient per level, each by
+  // 2^l / n; with weights, total weighted change is log2(n)+1.
+  const size_t n = 64;
+  std::vector<double> a(n, 0.0);
+  std::vector<double> b(n, 0.0);
+  b[13] += 1.0;
+  HaarForward(a);
+  HaarForward(b);
+  std::vector<double> w = HaarWeights(n);
+  double weighted = 0.0;
+  int changed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = std::abs(b[i] - a[i]);
+    if (d > 1e-15) {
+      ++changed;
+      weighted += w[i] * d;
+    }
+  }
+  EXPECT_EQ(changed, 7);  // log2(64) + 1
+  EXPECT_NEAR(weighted, 7.0, 1e-9);
+}
+
+TEST(HaarTest, WeightsLayout) {
+  std::vector<double> w = HaarWeights(8);
+  EXPECT_DOUBLE_EQ(w[0], 8.0);  // average
+  EXPECT_DOUBLE_EQ(w[1], 8.0);  // top detail
+  EXPECT_DOUBLE_EQ(w[2], 4.0);
+  EXPECT_DOUBLE_EQ(w[3], 4.0);
+  for (size_t i = 4; i < 8; ++i) EXPECT_DOUBLE_EQ(w[i], 2.0);
+}
+
+class Haar2DRoundTripTest
+    : public testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(Haar2DRoundTripTest, ForwardInverseIsIdentity) {
+  const auto [nx, ny] = GetParam();
+  Rng rng(nx * 100 + ny);
+  std::vector<double> original(nx * ny);
+  for (double& x : original) x = rng.Uniform(-50, 50);
+  std::vector<double> g(original);
+  HaarForward2D(g, nx, ny);
+  HaarInverse2D(g, nx, ny);
+  for (size_t i = 0; i < g.size(); ++i) EXPECT_NEAR(g[i], original[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Haar2DRoundTripTest,
+    testing::Values(std::pair<size_t, size_t>{1, 1},
+                    std::pair<size_t, size_t>{2, 2},
+                    std::pair<size_t, size_t>{4, 16},
+                    std::pair<size_t, size_t>{16, 4},
+                    std::pair<size_t, size_t>{32, 32},
+                    std::pair<size_t, size_t>{64, 128}));
+
+TEST(Haar2DTest, SingleCellChangeWeightedSensitivity) {
+  // 2-D generalized sensitivity: (log2 nx + 1) * (log2 ny + 1).
+  const size_t nx = 16;
+  const size_t ny = 8;
+  std::vector<double> a(nx * ny, 0.0);
+  std::vector<double> b(nx * ny, 0.0);
+  b[3 * nx + 11] += 1.0;
+  HaarForward2D(a, nx, ny);
+  HaarForward2D(b, nx, ny);
+  std::vector<double> wx = HaarWeights(nx);
+  std::vector<double> wy = HaarWeights(ny);
+  double weighted = 0.0;
+  for (size_t iy = 0; iy < ny; ++iy) {
+    for (size_t ix = 0; ix < nx; ++ix) {
+      weighted += wx[ix] * wy[iy] * std::abs(b[iy * nx + ix] - a[iy * nx + ix]);
+    }
+  }
+  EXPECT_NEAR(weighted, (4.0 + 1.0) * (3.0 + 1.0), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Privelet
+// ---------------------------------------------------------------------------
+
+TEST(PriveletTest, NearExactWithHugeEpsilon) {
+  Rng rng(1);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 8, 8}, 20000, rng);
+  PriveletOptions opts;
+  opts.grid_size = 16;
+  Privelet w(data, 1e8, rng, opts);
+  Rect q{0, 0, 4, 4};
+  EXPECT_NEAR(w.Answer(q), static_cast<double>(data.CountInRect(q)), 5.0);
+}
+
+TEST(PriveletTest, UnbiasedTotalCount) {
+  Rng rng(2);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 10000, rng);
+  PriveletOptions opts;
+  opts.grid_size = 16;
+  double sum = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    Privelet w(data, 1.0, rng, opts);
+    sum += w.Answer(Rect{0, 0, 1, 1});
+  }
+  EXPECT_NEAR(sum / trials, 10000.0, 300.0);
+}
+
+TEST(PriveletTest, NonPowerOfTwoGridSizeWorks) {
+  Rng rng(3);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 5000, rng);
+  PriveletOptions opts;
+  opts.grid_size = 24;  // padded to 32 internally
+  Privelet w(data, 1e7, rng, opts);
+  EXPECT_EQ(w.grid_size(), 24);
+  EXPECT_EQ(w.Name(), "W24");
+  EXPECT_NEAR(w.Answer(Rect{0, 0, 1, 1}), 5000.0, 10.0);
+}
+
+TEST(PriveletTest, BudgetFullyConsumed) {
+  Rng rng(4);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 1000, rng);
+  PrivacyBudget budget(0.4);
+  PriveletOptions opts;
+  opts.grid_size = 8;
+  Privelet w(data, budget, rng, opts);
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+}
+
+TEST(PriveletTest, AutoGridSizeUsesGuideline) {
+  Rng rng(5);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 1, 1}, 100000, rng);
+  Privelet w(data, 1.0, rng);
+  EXPECT_EQ(w.grid_size(), 100);  // sqrt(100000/10)
+}
+
+TEST(PriveletTest, LargeRangeNoiseBeatsFlatLaplaceGrid) {
+  // The wavelet's raison d'etre: for large range queries the noise should be
+  // lower than summing independent Laplace cells at the same resolution.
+  Rng rng(6);
+  Dataset empty(Rect{0, 0, 1, 1});  // isolate noise error
+  const int m = 64;
+  const double eps = 1.0;
+  double privelet_err = 0.0;
+  double flat_err = 0.0;
+  const int trials = 30;
+  const Rect big{0.0, 0.0, 0.75, 0.75};  // covers many cells
+  for (int t = 0; t < trials; ++t) {
+    PriveletOptions wopts;
+    wopts.grid_size = m;
+    Privelet w(empty, eps, rng, wopts);
+    privelet_err += std::abs(w.Answer(big));
+    // Flat grid baseline: summing 48x48 iid Lap(1/eps) cell noises.
+    double flat = 0.0;
+    for (int i = 0; i < 48 * 48; ++i) flat += rng.Laplace(1.0 / eps);
+    flat_err += std::abs(flat);
+  }
+  EXPECT_LT(privelet_err, flat_err);
+}
+
+TEST(PriveletTest, ExportCellsMatchesGrid) {
+  Rng rng(7);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 2, 2}, 1000, rng);
+  PriveletOptions opts;
+  opts.grid_size = 4;
+  Privelet w(data, 1.0, rng, opts);
+  auto cells = w.ExportCells();
+  EXPECT_EQ(cells.size(), 16u);
+  double total = 0.0;
+  for (const auto& c : cells) total += c.count;
+  EXPECT_NEAR(total, w.noisy_counts().Total(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dpgrid
