@@ -1,0 +1,290 @@
+// Query-serving throughput of the batched engine vs the seed's serial
+// per-query loop, on a paper-scale uniform-grid workload.
+//
+// The seed answered every query through a virtual Synopsis::Answer call
+// that converted domain to cell coordinates with four divisions and ran
+// the generic per-axis segment decomposition (up to nine prefix block
+// sums). The batched engine hoists virtual dispatch and per-query setup
+// out of the loop and answers each query with the branch-light bilinear
+// prefix kernel (index/frac_kernel.h), sharded across the thread pool.
+// This bench reconstructs the seed path faithfully — same classes
+// (GridCounts::ToCellCoords + PrefixSum2D::FractionalSum), same noisy
+// counts, same virtual dispatch — and reports QPS for:
+//
+//   seed_serial       the seed's per-query loop
+//   scalar_serial     per-query virtual Answer with the new kernel
+//   batch_1thread     QueryEngine, single thread
+//   batch_threads     QueryEngine, all hardware threads
+//
+// Batch answers are checked bitwise against scalar Answer; the absolute
+// deviation from the seed algorithm (pure FP rounding) is reported.
+//
+// Results are appended-to-stdout and written as JSON (default
+// BENCH_throughput.json, override with DPGRID_BENCH_OUT) so future PRs
+// have a perf trajectory to compare against.
+//
+// Env knobs: DPGRID_TP_QUERIES (default 1000000), DPGRID_TP_POINTS
+// (default 1000000), DPGRID_TP_REPS (default 3), DPGRID_SEED.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "data/generators.h"
+#include "grid/adaptive_grid.h"
+#include "grid/uniform_grid.h"
+#include "index/prefix_sum2d.h"
+#include "query/query_engine.h"
+#include "query/workload.h"
+
+namespace dpgrid {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoll(v);
+}
+
+// The seed's UniformGrid query path, reconstructed verbatim from the same
+// public pieces the seed used: division-based GridCounts::ToCellCoords and
+// the generic PrefixSum2D::FractionalSum, behind a virtual Answer.
+class SeedStyleUniformGrid : public Synopsis {
+ public:
+  explicit SeedStyleUniformGrid(const UniformGrid& ug)
+      : counts_(ug.noisy_counts()),
+        prefix_(counts_.values(), counts_.nx(), counts_.ny()) {}
+
+  double Answer(const Rect& query) const override {
+    double x0 = 0.0;
+    double x1 = 0.0;
+    double y0 = 0.0;
+    double y1 = 0.0;
+    counts_.ToCellCoords(query, &x0, &x1, &y0, &y1);
+    return prefix_.FractionalSum(x0, x1, y0, y1);
+  }
+
+  std::string Name() const override { return "seed-UG"; }
+  std::vector<SynopsisCell> ExportCells() const override { return {}; }
+
+ private:
+  GridCounts counts_;
+  PrefixSum2D prefix_;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Best-of-reps wall time of `fn`, which must fill `out`.
+template <typename Fn>
+double TimeBest(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = Now();
+    fn();
+    const double dt = Now() - t0;
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+std::vector<Rect> FlattenWorkload(const Workload& w) {
+  std::vector<Rect> queries;
+  for (const auto& group : w.queries) {
+    queries.insert(queries.end(), group.begin(), group.end());
+  }
+  return queries;
+}
+
+struct ModeResult {
+  std::string name;
+  double qps = 0.0;
+};
+
+}  // namespace
+}  // namespace dpgrid
+
+int main() {
+  using namespace dpgrid;
+
+  const auto num_queries =
+      static_cast<size_t>(EnvInt("DPGRID_TP_QUERIES", 1000000));
+  const int64_t num_points = EnvInt("DPGRID_TP_POINTS", 1000000);
+  const int reps = static_cast<int>(EnvInt("DPGRID_TP_REPS", 5));
+  const auto seed = static_cast<uint64_t>(EnvInt("DPGRID_SEED", 20130408));
+  const char* out_path = std::getenv("DPGRID_BENCH_OUT");
+  if (out_path == nullptr || *out_path == '\0') {
+    out_path = "BENCH_throughput.json";
+  }
+
+  std::printf("=== bench_query_throughput ===\n");
+  std::printf("points=%lld queries=%zu reps=%d seed=%llu\n",
+              static_cast<long long>(num_points), num_queries, reps,
+              static_cast<unsigned long long>(seed));
+
+  Rng data_rng(seed);
+  Dataset data = MakeCheckinLike(num_points, data_rng);
+
+  // Paper-style workload (6 size classes up to half the domain), flattened
+  // and padded to the requested query count.
+  Rng workload_rng(seed + 1);
+  const int per_size = static_cast<int>((num_queries + 5) / 6);
+  Workload workload =
+      GenerateWorkload(data.domain(), data.domain().Width() / 2,
+                       data.domain().Height() / 2, 6, per_size, workload_rng);
+  std::vector<Rect> queries = FlattenWorkload(workload);
+  queries.resize(num_queries);
+
+  Rng build_rng(seed + 2);
+  UniformGrid ug(data, 1.0, build_rng);
+  SeedStyleUniformGrid seed_ug(ug);
+  std::printf("uniform grid: m=%d (%zu cells)\n", ug.grid_size(),
+              static_cast<size_t>(ug.grid_size()) * ug.grid_size());
+
+  std::vector<double> seed_answers(num_queries);
+  std::vector<double> scalar_answers(num_queries);
+  std::vector<double> batch_answers(num_queries);
+
+  // --- seed-style serial per-query loop ------------------------------------
+  const Synopsis& seed_ref = seed_ug;
+  const double t_seed = TimeBest(reps, [&] {
+    for (size_t i = 0; i < num_queries; ++i) {
+      seed_answers[i] = seed_ref.Answer(queries[i]);
+    }
+  });
+
+  // --- new scalar path, still serial per-query virtual calls ---------------
+  const Synopsis& new_ref = ug;
+  const double t_scalar = TimeBest(reps, [&] {
+    for (size_t i = 0; i < num_queries; ++i) {
+      scalar_answers[i] = new_ref.Answer(queries[i]);
+    }
+  });
+
+  // --- batched engine, one thread -------------------------------------------
+  QueryEngineOptions serial_opts;
+  serial_opts.num_threads = 1;
+  QueryEngine engine_1t(serial_opts);
+  const double t_batch1 = TimeBest(reps, [&] {
+    engine_1t.AnswerAll(ug, queries, batch_answers);
+  });
+
+  // --- batched engine, all hardware threads ---------------------------------
+  QueryEngine engine_mt;
+  const int threads = engine_mt.num_threads();
+  const double t_batchn = TimeBest(reps, [&] {
+    engine_mt.AnswerAll(ug, queries, batch_answers);
+  });
+
+  // --- validation ------------------------------------------------------------
+  size_t mismatches = 0;
+  double max_diff_vs_seed = 0.0;
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (batch_answers[i] != scalar_answers[i]) ++mismatches;
+    const double diff = std::abs(batch_answers[i] - seed_answers[i]);
+    if (diff > max_diff_vs_seed) max_diff_vs_seed = diff;
+  }
+
+  const double n = static_cast<double>(num_queries);
+  const double qps_seed = n / t_seed;
+  const double qps_scalar = n / t_scalar;
+  const double qps_batch1 = n / t_batch1;
+  const double qps_batchn = n / t_batchn;
+  const double speedup = qps_batchn / qps_seed;
+
+  std::printf("\n%-24s %14s %12s\n", "mode", "QPS", "vs seed");
+  std::printf("%-24s %14.0f %11.2fx\n", "seed_serial", qps_seed, 1.0);
+  std::printf("%-24s %14.0f %11.2fx\n", "scalar_serial", qps_scalar,
+              qps_scalar / qps_seed);
+  std::printf("%-24s %14.0f %11.2fx\n", "batch_1thread", qps_batch1,
+              qps_batch1 / qps_seed);
+  std::printf("%-24s %14.0f %11.2fx  (threads=%d)\n", "batch_threads",
+              qps_batchn, speedup, threads);
+  std::printf("\nbatch vs scalar bitwise mismatches: %zu (must be 0)\n",
+              mismatches);
+  std::printf("max |batch - seed| (FP rounding only): %.3g\n",
+              max_diff_vs_seed);
+  std::printf("speedup (batched multi-threaded vs seed serial): %.2fx\n",
+              speedup);
+
+  // --- AdaptiveGrid trajectory numbers (no seed baseline reconstruction) ----
+  Rng ag_rng(seed + 3);
+  AdaptiveGrid ag(data, 1.0, ag_rng);
+  const size_t ag_queries = num_queries / 4;
+  std::vector<double> ag_scalar(ag_queries);
+  std::vector<double> ag_batch(ag_queries);
+  const Synopsis& ag_ref = ag;
+  const double t_ag_scalar = TimeBest(reps, [&] {
+    for (size_t i = 0; i < ag_queries; ++i) {
+      ag_scalar[i] = ag_ref.Answer(queries[i]);
+    }
+  });
+  const double t_ag_batch = TimeBest(reps, [&] {
+    engine_mt.AnswerAll(
+        ag, std::span<const Rect>(queries.data(), ag_queries),
+        std::span<double>(ag_batch.data(), ag_queries));
+  });
+  size_t ag_mismatches = 0;
+  for (size_t i = 0; i < ag_queries; ++i) {
+    if (ag_batch[i] != ag_scalar[i]) ++ag_mismatches;
+  }
+  const double ag_n = static_cast<double>(ag_queries);
+  std::printf("\nadaptive grid (m1=%d): scalar %0.f QPS, batched %.0f QPS "
+              "(%.2fx), mismatches %zu\n",
+              ag.level1_size(), ag_n / t_ag_scalar, ag_n / t_ag_batch,
+              t_ag_scalar / t_ag_batch, ag_mismatches);
+
+  // --- JSON for the perf trajectory -----------------------------------------
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_query_throughput\",\n"
+               "  \"config\": {\n"
+               "    \"points\": %lld,\n"
+               "    \"queries\": %zu,\n"
+               "    \"reps\": %d,\n"
+               "    \"seed\": %llu,\n"
+               "    \"threads\": %d\n"
+               "  },\n"
+               "  \"uniform_grid\": {\n"
+               "    \"grid_size\": %d,\n"
+               "    \"seed_serial_qps\": %.0f,\n"
+               "    \"scalar_serial_qps\": %.0f,\n"
+               "    \"batch_1thread_qps\": %.0f,\n"
+               "    \"batch_threads_qps\": %.0f,\n"
+               "    \"speedup_batch_vs_seed\": %.3f,\n"
+               "    \"batch_bitwise_equal_scalar\": %s,\n"
+               "    \"max_abs_diff_vs_seed\": %.6g\n"
+               "  },\n"
+               "  \"adaptive_grid\": {\n"
+               "    \"level1_size\": %d,\n"
+               "    \"queries\": %zu,\n"
+               "    \"scalar_qps\": %.0f,\n"
+               "    \"batch_qps\": %.0f,\n"
+               "    \"batch_bitwise_equal_scalar\": %s\n"
+               "  }\n"
+               "}\n",
+               static_cast<long long>(num_points), num_queries, reps,
+               static_cast<unsigned long long>(seed), threads, ug.grid_size(),
+               qps_seed, qps_scalar, qps_batch1, qps_batchn, speedup,
+               mismatches == 0 ? "true" : "false", max_diff_vs_seed,
+               ag.level1_size(), ag_queries, ag_n / t_ag_scalar,
+               ag_n / t_ag_batch, ag_mismatches == 0 ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  return mismatches == 0 && ag_mismatches == 0 ? 0 : 1;
+}

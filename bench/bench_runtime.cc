@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/random.h"
 #include "data/generators.h"
@@ -16,6 +17,7 @@
 #include "grid/uniform_grid.h"
 #include "hier/hierarchy_grid.h"
 #include "kd/kd_tree.h"
+#include "query/query_engine.h"
 #include "wavelet/privelet.h"
 
 namespace dpgrid {
@@ -127,6 +129,28 @@ void BM_QueryAdaptiveGrid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueryAdaptiveGrid);
+
+// Batched answering through the query engine: the serving path. Compare
+// items/s here against the per-query BM_Query* loops above.
+template <typename SynopsisT>
+void BM_BatchedQueries(benchmark::State& state) {
+  const auto& synopsis = SharedSynopsis<SynopsisT>();
+  Rng rng(13);
+  std::vector<Rect> queries(1 << 16);
+  for (Rect& q : queries) q = RandomQuery(rng, SharedDataset().domain());
+  std::vector<double> out(queries.size());
+  QueryEngine engine;
+  for (auto _ : state) {
+    engine.AnswerAll(synopsis, queries, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK_TEMPLATE(BM_BatchedQueries, UniformGrid)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_BatchedQueries, AdaptiveGrid)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_QueryKdHybrid(benchmark::State& state) {
   static const KdTree* tree = [] {

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "dp/laplace.h"
+#include "index/frac_kernel.h"
 
 namespace dpgrid {
 
@@ -119,13 +120,13 @@ void AdaptiveGrid::Build(const Dataset& dataset, PrivacyBudget& budget,
   level1_prefix_.emplace(level1_->values(), m1, m1);
 }
 
-double AdaptiveGrid::Answer(const Rect& query) const {
+double AdaptiveGrid::AnswerOne(const Rect& query) const {
   const GridCounts& l1 = *level1_;
-  double fx0 = 0.0;
-  double fx1 = 0.0;
-  double fy0 = 0.0;
-  double fy1 = 0.0;
-  l1.ToCellCoords(query, &fx0, &fx1, &fy0, &fy1);
+  // Domain → level-1 cell units via precomputed reciprocals (no divisions).
+  double fx0 = (query.xlo - l1.domain().xlo) * l1.inv_cell_width();
+  double fx1 = (query.xhi - l1.domain().xlo) * l1.inv_cell_width();
+  double fy0 = (query.ylo - l1.domain().ylo) * l1.inv_cell_height();
+  double fy1 = (query.yhi - l1.domain().ylo) * l1.inv_cell_height();
   const auto m1 = static_cast<double>(m1_);
   fx0 = std::clamp(fx0, 0.0, m1);
   fx1 = std::clamp(fx1, 0.0, m1);
@@ -167,15 +168,22 @@ double AdaptiveGrid::Answer(const Rect& query) const {
       if (interior) continue;
       const LeafBlock& block =
           leaves_[static_cast<size_t>(by) * m1_ + static_cast<size_t>(bx)];
-      double lx0 = 0.0;
-      double lx1 = 0.0;
-      double ly0 = 0.0;
-      double ly1 = 0.0;
-      block.counts.ToCellCoords(query, &lx0, &lx1, &ly0, &ly1);
-      total += block.prefix->FractionalSum(lx0, lx1, ly0, ly1);
+      total += FracView2D::Make(block.counts, *block.prefix).Answer(query);
     }
   }
   return total;
+}
+
+double AdaptiveGrid::Answer(const Rect& query) const {
+  return AnswerOne(query);
+}
+
+void AdaptiveGrid::AnswerBatch(std::span<const Rect> queries,
+                               std::span<double> out) const {
+  DPGRID_CHECK(queries.size() == out.size());
+  const Rect* q = queries.data();
+  double* o = out.data();
+  for (size_t i = 0, n = queries.size(); i < n; ++i) o[i] = AnswerOne(q[i]);
 }
 
 std::string AdaptiveGrid::Name() const {

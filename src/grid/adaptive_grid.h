@@ -62,6 +62,8 @@ class AdaptiveGrid : public Synopsis {
                const AdaptiveGridOptions& options = {});
 
   double Answer(const Rect& query) const override;
+  void AnswerBatch(std::span<const Rect> queries,
+                   std::span<double> out) const override;
   std::string Name() const override;
   std::vector<SynopsisCell> ExportCells() const override;
 
@@ -86,6 +88,10 @@ class AdaptiveGrid : public Synopsis {
   };
 
   void Build(const Dataset& dataset, PrivacyBudget& budget, Rng& rng);
+
+  /// The one query implementation both Answer and AnswerBatch funnel
+  /// through, keeping batch results bitwise-identical to scalar results.
+  double AnswerOne(const Rect& query) const;
 
   AdaptiveGridOptions options_;
   int m1_ = 0;

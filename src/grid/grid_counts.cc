@@ -14,6 +14,8 @@ GridCounts::GridCounts(Rect domain, size_t nx, size_t ny)
       ny_(ny),
       cell_w_(domain.Width() / static_cast<double>(nx)),
       cell_h_(domain.Height() / static_cast<double>(ny)),
+      inv_cell_w_(1.0 / cell_w_),
+      inv_cell_h_(1.0 / cell_h_),
       values_(nx * ny, 0.0) {
   DPGRID_CHECK(nx > 0 && ny > 0);
   DPGRID_CHECK_MSG(!domain.IsEmpty(), "grid domain must be non-empty");

@@ -29,6 +29,10 @@ class GridCounts {
   const Rect& domain() const { return domain_; }
   double cell_width() const { return cell_w_; }
   double cell_height() const { return cell_h_; }
+  /// Reciprocal cell extents, precomputed so hot query paths can map domain
+  /// coordinates to cell units without dividing.
+  double inv_cell_width() const { return inv_cell_w_; }
+  double inv_cell_height() const { return inv_cell_h_; }
 
   double at(size_t ix, size_t iy) const { return values_[iy * nx_ + ix]; }
   void set(size_t ix, size_t iy, double v) { values_[iy * nx_ + ix] = v; }
@@ -71,6 +75,8 @@ class GridCounts {
   size_t ny_;
   double cell_w_;
   double cell_h_;
+  double inv_cell_w_;
+  double inv_cell_h_;
   std::vector<double> values_;
 };
 

@@ -1,9 +1,11 @@
 #ifndef DPGRID_GRID_SYNOPSIS_H_
 #define DPGRID_GRID_SYNOPSIS_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "geo/rect.h"
 
 namespace dpgrid {
@@ -26,6 +28,17 @@ class Synopsis {
 
   /// Estimated number of points in `query`.
   virtual double Answer(const Rect& query) const = 0;
+
+  /// Answers a batch: out[i] = Answer(queries[i]), bitwise-identical to the
+  /// scalar calls. The base implementation is a scalar fallback; grid-backed
+  /// synopses override it with tight loops that hoist virtual dispatch and
+  /// per-query setup out of the hot path. `out` must match `queries` in
+  /// length.
+  virtual void AnswerBatch(std::span<const Rect> queries,
+                           std::span<double> out) const {
+    DPGRID_CHECK(queries.size() == out.size());
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = Answer(queries[i]);
+  }
 
   /// Short method name for reports, e.g. "U256" or "A32,5".
   virtual std::string Name() const = 0;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "dp/laplace.h"
+#include "index/frac_kernel.h"
 
 namespace dpgrid {
 
@@ -68,12 +69,14 @@ UniformGrid::UniformGrid(const Dataset& dataset, double epsilon, Rng& rng,
 }
 
 double UniformGrid::Answer(const Rect& query) const {
-  double x0 = 0.0;
-  double x1 = 0.0;
-  double y0 = 0.0;
-  double y1 = 0.0;
-  noisy_.ToCellCoords(query, &x0, &x1, &y0, &y1);
-  return prefix_->FractionalSum(x0, x1, y0, y1);
+  return FracView2D::Make(noisy_, *prefix_).Answer(query);
+}
+
+void UniformGrid::AnswerBatch(std::span<const Rect> queries,
+                              std::span<double> out) const {
+  DPGRID_CHECK(queries.size() == out.size());
+  const FracView2D view = FracView2D::Make(noisy_, *prefix_);
+  view.AnswerBatch(queries.data(), out.data(), queries.size());
 }
 
 std::string UniformGrid::Name() const {

@@ -66,6 +66,8 @@ class UniformGrid : public Synopsis {
               const UniformGridOptions& options = {});
 
   double Answer(const Rect& query) const override;
+  void AnswerBatch(std::span<const Rect> queries,
+                   std::span<double> out) const override;
   std::string Name() const override;
   std::vector<SynopsisCell> ExportCells() const override;
 

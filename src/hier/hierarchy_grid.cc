@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "dp/laplace.h"
 #include "hier/constrained_inference.h"
+#include "index/frac_kernel.h"
 
 namespace dpgrid {
 
@@ -128,12 +129,14 @@ void HierarchyGrid::Build(const Dataset& dataset, PrivacyBudget& budget,
 }
 
 double HierarchyGrid::Answer(const Rect& query) const {
-  double x0 = 0.0;
-  double x1 = 0.0;
-  double y0 = 0.0;
-  double y1 = 0.0;
-  leaf_->ToCellCoords(query, &x0, &x1, &y0, &y1);
-  return prefix_->FractionalSum(x0, x1, y0, y1);
+  return FracView2D::Make(*leaf_, *prefix_).Answer(query);
+}
+
+void HierarchyGrid::AnswerBatch(std::span<const Rect> queries,
+                                std::span<double> out) const {
+  DPGRID_CHECK(queries.size() == out.size());
+  const FracView2D view = FracView2D::Make(*leaf_, *prefix_);
+  view.AnswerBatch(queries.data(), out.data(), queries.size());
 }
 
 std::string HierarchyGrid::Name() const {

@@ -47,6 +47,8 @@ class HierarchyGrid : public Synopsis {
                 const HierarchyGridOptions& options = {});
 
   double Answer(const Rect& query) const override;
+  void AnswerBatch(std::span<const Rect> queries,
+                   std::span<double> out) const override;
   std::string Name() const override;
   std::vector<SynopsisCell> ExportCells() const override;
 

@@ -36,6 +36,11 @@ class PrefixSum2D {
   size_t nx() const { return nx_; }
   size_t ny() const { return ny_; }
 
+  /// Raw (nx+1) × (ny+1) corner array, row-major with stride nx+1 —
+  /// prefix()[iy * (nx+1) + ix] = sum over [0,ix) × [0,iy). Borrowed by
+  /// FracView2D for the allocation-free batched query kernel.
+  const double* data() const { return prefix_.data(); }
+
  private:
   size_t nx_;
   size_t ny_;

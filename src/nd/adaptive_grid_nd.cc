@@ -90,16 +90,16 @@ void AdaptiveGridNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
   level1_prefix_.emplace(level1_->values(), level1_->sizes());
 }
 
-double AdaptiveGridNd::Answer(const BoxNd& query) const {
+double AdaptiveGridNd::AnswerOne(const BoxNd& query) const {
   const size_t d = level1_->dims();
-  std::vector<double> lo;
-  std::vector<double> hi;
-  level1_->ToCellCoords(query, &lo, &hi);
+  double lo[PrefixSumNd::kMaxDims];
+  double hi[PrefixSumNd::kMaxDims];
+  level1_->ToCellCoords(query, lo, hi);
   const double m1 = static_cast<double>(m1_);
-  std::vector<int64_t> b_lo(d);
-  std::vector<int64_t> b_hi(d);
-  std::vector<size_t> full_lo(d);
-  std::vector<size_t> full_hi(d);
+  int64_t b_lo[PrefixSumNd::kMaxDims];
+  int64_t b_hi[PrefixSumNd::kMaxDims];
+  size_t full_lo[PrefixSumNd::kMaxDims];
+  size_t full_hi[PrefixSumNd::kMaxDims];
   bool has_interior = true;
   for (size_t a = 0; a < d; ++a) {
     lo[a] = std::clamp(lo[a], 0.0, m1);
@@ -123,9 +123,10 @@ double AdaptiveGridNd::Answer(const BoxNd& query) const {
 
   // Border level-1 cells (odometer over the overlapped range, skipping the
   // interior block), answered from their leaf grids.
-  std::vector<int64_t> idx(b_lo);
-  std::vector<double> leaf_lo;
-  std::vector<double> leaf_hi;
+  int64_t idx[PrefixSumNd::kMaxDims];
+  for (size_t a = 0; a < d; ++a) idx[a] = b_lo[a];
+  double leaf_lo[PrefixSumNd::kMaxDims];
+  double leaf_hi[PrefixSumNd::kMaxDims];
   while (true) {
     bool interior = has_interior;
     if (interior) {
@@ -143,7 +144,7 @@ double AdaptiveGridNd::Answer(const BoxNd& query) const {
         flat = flat * static_cast<size_t>(m1_) + static_cast<size_t>(idx[a]);
       }
       const LeafBlock& block = leaves_[flat];
-      block.counts->ToCellCoords(query, &leaf_lo, &leaf_hi);
+      block.counts->ToCellCoords(query, leaf_lo, leaf_hi);
       total += block.prefix->FractionalSum(leaf_lo, leaf_hi);
     }
     bool rolled_over = true;
@@ -157,6 +158,18 @@ double AdaptiveGridNd::Answer(const BoxNd& query) const {
     if (rolled_over) break;
   }
   return total;
+}
+
+double AdaptiveGridNd::Answer(const BoxNd& query) const {
+  return AnswerOne(query);
+}
+
+void AdaptiveGridNd::AnswerBatch(std::span<const BoxNd> queries,
+                                 std::span<double> out) const {
+  DPGRID_CHECK(queries.size() == out.size());
+  const BoxNd* q = queries.data();
+  double* o = out.data();
+  for (size_t i = 0, n = queries.size(); i < n; ++i) o[i] = AnswerOne(q[i]);
 }
 
 std::string AdaptiveGridNd::Name() const {

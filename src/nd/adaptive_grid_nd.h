@@ -44,6 +44,8 @@ class AdaptiveGridNd : public SynopsisNd {
                  const AdaptiveGridNdOptions& options = {});
 
   double Answer(const BoxNd& query) const override;
+  void AnswerBatch(std::span<const BoxNd> queries,
+                   std::span<double> out) const override;
   std::string Name() const override;
 
   int level1_size() const { return m1_; }
@@ -64,6 +66,10 @@ class AdaptiveGridNd : public SynopsisNd {
   };
 
   void Build(const DatasetNd& dataset, PrivacyBudget& budget, Rng& rng);
+
+  /// The one query implementation both Answer and AnswerBatch funnel
+  /// through; runs entirely on stack scratch (no per-query allocation).
+  double AnswerOne(const BoxNd& query) const;
 
   AdaptiveGridNdOptions options_;
   int m1_ = 0;

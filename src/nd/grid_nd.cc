@@ -58,7 +58,8 @@ PrefixSumNd::PrefixSumNd(const std::vector<double>& values,
                          const std::vector<size_t>& sizes)
     : sizes_(sizes), strides_(ComputeStrides(sizes, 1)) {
   DPGRID_CHECK(!sizes_.empty());
-  DPGRID_CHECK_MSG(sizes_.size() <= 8, "PrefixSumNd supports up to 8 dims");
+  DPGRID_CHECK_MSG(sizes_.size() <= kMaxDims,
+                   "PrefixSumNd supports up to 8 dims");
   size_t cells = 1;
   size_t padded = 1;
   for (size_t n : sizes_) {
@@ -97,18 +98,16 @@ PrefixSumNd::PrefixSumNd(const std::vector<double>& values,
   }
 }
 
-size_t PrefixSumNd::PrefixIndex(const std::vector<size_t>& idx) const {
-  size_t p = 0;
-  for (size_t a = 0; a < idx.size(); ++a) p += idx[a] * strides_[a];
-  return p;
-}
-
 double PrefixSumNd::BlockSum(const std::vector<size_t>& lo,
                              const std::vector<size_t>& hi) const {
+  DPGRID_DCHECK(lo.size() == dims() && hi.size() == dims());
+  return BlockSum(lo.data(), hi.data());
+}
+
+double PrefixSumNd::BlockSum(const size_t* lo, const size_t* hi) const {
   const size_t d = dims();
-  DPGRID_DCHECK(lo.size() == d && hi.size() == d);
-  std::vector<size_t> clo(d);
-  std::vector<size_t> chi(d);
+  size_t clo[kMaxDims];
+  size_t chi[kMaxDims];
   for (size_t a = 0; a < d; ++a) {
     clo[a] = std::min(lo[a], sizes_[a]);
     chi[a] = std::min(hi[a], sizes_[a]);
@@ -116,37 +115,42 @@ double PrefixSumNd::BlockSum(const std::vector<size_t>& lo,
   }
   // Inclusion-exclusion over the 2^d corners.
   double total = 0.0;
-  std::vector<size_t> corner(d);
   for (size_t mask = 0; mask < (size_t{1} << d); ++mask) {
     int sign = 1;
+    size_t pidx = 0;
     for (size_t a = 0; a < d; ++a) {
       if (mask & (size_t{1} << a)) {
-        corner[a] = clo[a];
+        pidx += clo[a] * strides_[a];
         sign = -sign;
       } else {
-        corner[a] = chi[a];
+        pidx += chi[a] * strides_[a];
       }
     }
-    total += sign * prefix_[PrefixIndex(corner)];
+    total += sign * prefix_[pidx];
   }
   return total;
 }
 
 double PrefixSumNd::FractionalSum(const std::vector<double>& lo,
                                   const std::vector<double>& hi) const {
+  DPGRID_DCHECK(lo.size() == dims() && hi.size() == dims());
+  return FractionalSum(lo.data(), hi.data());
+}
+
+double PrefixSumNd::FractionalSum(const double* lo, const double* hi) const {
   const size_t d = dims();
-  DPGRID_DCHECK(lo.size() == d && hi.size() == d);
-  // Decompose each axis; bail out if any axis is empty.
-  std::vector<AxisSegment> segments(d * 3);
-  std::vector<int> seg_count(d);
+  // Decompose each axis; bail out if any axis is empty. Everything lives in
+  // fixed-size stack buffers (d <= kMaxDims) — no allocation per query.
+  AxisSegment segments[kMaxDims * 3];
+  int seg_count[kMaxDims];
   for (size_t a = 0; a < d; ++a) {
     seg_count[a] = DecomposeAxis(lo[a], hi[a], sizes_[a], &segments[a * 3]);
     if (seg_count[a] == 0) return 0.0;
   }
   // Odometer over segment combinations.
-  std::vector<int> pick(d, 0);
-  std::vector<size_t> blo(d);
-  std::vector<size_t> bhi(d);
+  int pick[kMaxDims] = {0};
+  size_t blo[kMaxDims];
+  size_t bhi[kMaxDims];
   double total = 0.0;
   while (true) {
     double weight = 1.0;
@@ -171,8 +175,8 @@ double PrefixSumNd::FractionalSum(const std::vector<double>& lo,
 }
 
 double PrefixSumNd::TotalSum() const {
-  std::vector<size_t> lo(dims(), 0);
-  return BlockSum(lo, sizes_);
+  size_t lo[kMaxDims] = {0};
+  return BlockSum(lo, sizes_.data());
 }
 
 // ---------------------------------------------------------------------------
@@ -187,10 +191,12 @@ GridNd::GridNd(BoxNd domain, std::vector<size_t> sizes)
   DPGRID_CHECK_MSG(!domain_.IsEmpty(), "grid domain must be non-empty");
   size_t cells = 1;
   cell_extent_.resize(sizes_.size());
+  inv_cell_extent_.resize(sizes_.size());
   for (size_t a = 0; a < sizes_.size(); ++a) {
     DPGRID_CHECK(sizes_[a] >= 1);
     cells *= sizes_[a];
     cell_extent_[a] = domain_.Extent(a) / static_cast<double>(sizes_[a]);
+    inv_cell_extent_[a] = 1.0 / cell_extent_[a];
   }
   DPGRID_CHECK_MSG(cells <= (size_t{1} << 28), "grid too large");
   values_.assign(cells, 0.0);
@@ -262,8 +268,30 @@ void GridNd::ToCellCoords(const BoxNd& query, std::vector<double>* lo,
   }
 }
 
+void GridNd::ToCellCoords(const BoxNd& query, double* lo, double* hi) const {
+  const size_t d = dims();
+  for (size_t a = 0; a < d; ++a) {
+    lo[a] = (query.lo(a) - domain_.lo(a)) * inv_cell_extent_[a];
+    hi[a] = (query.hi(a) - domain_.lo(a)) * inv_cell_extent_[a];
+  }
+}
+
 double GridNd::Total() const {
   return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+void AnswerBatchLeafGridNd(const GridNd& grid, const PrefixSumNd& prefix,
+                           std::span<const BoxNd> queries,
+                           std::span<double> out) {
+  DPGRID_CHECK(queries.size() == out.size());
+  double lo[PrefixSumNd::kMaxDims];
+  double hi[PrefixSumNd::kMaxDims];
+  const BoxNd* q = queries.data();
+  double* o = out.data();
+  for (size_t i = 0, n = queries.size(); i < n; ++i) {
+    grid.ToCellCoords(q[i], lo, hi);
+    o[i] = prefix.FractionalSum(lo, hi);
+  }
 }
 
 }  // namespace dpgrid

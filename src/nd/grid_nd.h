@@ -2,6 +2,7 @@
 #define DPGRID_ND_GRID_ND_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -18,6 +19,10 @@ namespace dpgrid {
 /// the 2^d corners of the prefix array.
 class PrefixSumNd {
  public:
+  /// Hard cap on dimensionality; lets every query run on fixed-size stack
+  /// buffers so the hot path never heap-allocates.
+  static constexpr size_t kMaxDims = 8;
+
   /// `values` is row-major with the last axis contiguous;
   /// values[(...(i0*n1 + i1)*n2 + ...) + i_{d-1}].
   PrefixSumNd(const std::vector<double>& values,
@@ -30,17 +35,21 @@ class PrefixSumNd {
   double BlockSum(const std::vector<size_t>& lo,
                   const std::vector<size_t>& hi) const;
 
+  /// Allocation-free form: `lo` and `hi` point at dims() values.
+  double BlockSum(const size_t* lo, const size_t* hi) const;
+
   /// Fractional-volume weighted sum over continuous cell coordinates
   /// [lo_a, hi_a] per axis (cell units; clamped to the grid).
   double FractionalSum(const std::vector<double>& lo,
                        const std::vector<double>& hi) const;
 
+  /// Allocation-free form: `lo` and `hi` point at dims() values.
+  double FractionalSum(const double* lo, const double* hi) const;
+
   /// Sum of all cells.
   double TotalSum() const;
 
  private:
-  size_t PrefixIndex(const std::vector<size_t>& idx) const;
-
   std::vector<size_t> sizes_;
   std::vector<size_t> strides_;  // strides of the (n_a + 1)-shaped array
   std::vector<double> prefix_;
@@ -84,6 +93,11 @@ class GridNd {
   void ToCellCoords(const BoxNd& query, std::vector<double>* lo,
                     std::vector<double>* hi) const;
 
+  /// Allocation-free form writing into caller-provided scratch of dims()
+  /// doubles each; uses precomputed reciprocal cell extents (no divisions),
+  /// so results may differ from the vector overload in the last ulp.
+  void ToCellCoords(const BoxNd& query, double* lo, double* hi) const;
+
   /// Sum of all cells.
   double Total() const;
 
@@ -92,8 +106,17 @@ class GridNd {
   std::vector<size_t> sizes_;
   std::vector<size_t> strides_;
   std::vector<double> cell_extent_;
+  std::vector<double> inv_cell_extent_;
   std::vector<double> values_;
 };
+
+/// The shared batch loop for any synopsis that answers from a single leaf
+/// grid + prefix sums (UniformGridNd, HierarchyNd): hoists the grid/prefix
+/// derefs and reuses stack scratch — no per-query allocation. Results are
+/// bitwise-identical to per-query ToCellCoords + FractionalSum calls.
+void AnswerBatchLeafGridNd(const GridNd& grid, const PrefixSumNd& prefix,
+                           std::span<const BoxNd> queries,
+                           std::span<double> out);
 
 }  // namespace dpgrid
 

@@ -135,10 +135,15 @@ void HierarchyNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
 }
 
 double HierarchyNd::Answer(const BoxNd& query) const {
-  std::vector<double> lo;
-  std::vector<double> hi;
-  leaf_->ToCellCoords(query, &lo, &hi);
+  double lo[PrefixSumNd::kMaxDims];
+  double hi[PrefixSumNd::kMaxDims];
+  leaf_->ToCellCoords(query, lo, hi);
   return prefix_->FractionalSum(lo, hi);
+}
+
+void HierarchyNd::AnswerBatch(std::span<const BoxNd> queries,
+                              std::span<double> out) const {
+  AnswerBatchLeafGridNd(*leaf_, *prefix_, queries, out);
 }
 
 std::string HierarchyNd::Name() const {

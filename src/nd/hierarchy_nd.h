@@ -38,6 +38,8 @@ class HierarchyNd : public SynopsisNd {
               const HierarchyNdOptions& options = {});
 
   double Answer(const BoxNd& query) const override;
+  void AnswerBatch(std::span<const BoxNd> queries,
+                   std::span<double> out) const override;
   std::string Name() const override;
 
   /// Per-axis grid size of level l (0 = coarsest).

@@ -1,8 +1,10 @@
 #ifndef DPGRID_ND_SYNOPSIS_ND_H_
 #define DPGRID_ND_SYNOPSIS_ND_H_
 
+#include <span>
 #include <string>
 
+#include "common/check.h"
 #include "nd/box_nd.h"
 
 namespace dpgrid {
@@ -15,6 +17,14 @@ class SynopsisNd {
 
   /// Estimated number of points in `query`.
   virtual double Answer(const BoxNd& query) const = 0;
+
+  /// Answers a batch: out[i] = Answer(queries[i]), bitwise-identical to the
+  /// scalar calls. Scalar fallback here; the grid synopses override it.
+  virtual void AnswerBatch(std::span<const BoxNd> queries,
+                           std::span<double> out) const {
+    DPGRID_CHECK(queries.size() == out.size());
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = Answer(queries[i]);
+  }
 
   /// Short method name for reports, e.g. "U3d-14".
   virtual std::string Name() const = 0;

@@ -35,10 +35,15 @@ void UniformGridNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
 }
 
 double UniformGridNd::Answer(const BoxNd& query) const {
-  std::vector<double> lo;
-  std::vector<double> hi;
-  noisy_->ToCellCoords(query, &lo, &hi);
+  double lo[PrefixSumNd::kMaxDims];
+  double hi[PrefixSumNd::kMaxDims];
+  noisy_->ToCellCoords(query, lo, hi);
   return prefix_->FractionalSum(lo, hi);
+}
+
+void UniformGridNd::AnswerBatch(std::span<const BoxNd> queries,
+                                std::span<double> out) const {
+  AnswerBatchLeafGridNd(*noisy_, *prefix_, queries, out);
 }
 
 std::string UniformGridNd::Name() const {

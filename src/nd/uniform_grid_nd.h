@@ -32,6 +32,8 @@ class UniformGridNd : public SynopsisNd {
                 const UniformGridNdOptions& options = {});
 
   double Answer(const BoxNd& query) const override;
+  void AnswerBatch(std::span<const BoxNd> queries,
+                   std::span<double> out) const override;
   std::string Name() const override;
 
   int grid_size() const { return grid_size_; }

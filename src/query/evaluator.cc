@@ -9,20 +9,31 @@ namespace dpgrid {
 std::vector<SizeErrors> EvaluateSynopsis(const Synopsis& synopsis,
                                          const Workload& workload,
                                          const RangeCountIndex& truth,
-                                         double rho) {
+                                         double rho,
+                                         const QueryEngine& engine) {
   std::vector<SizeErrors> result(workload.num_sizes());
+  std::vector<double> estimates;
   for (size_t s = 0; s < workload.num_sizes(); ++s) {
     const auto& group = workload.queries[s];
+    estimates.resize(group.size());
+    engine.AnswerAll(synopsis, group, estimates);
     result[s].relative.reserve(group.size());
     result[s].absolute.reserve(group.size());
-    for (const Rect& q : group) {
-      const double actual = static_cast<double>(truth.Count(q));
-      const double estimate = synopsis.Answer(q);
+    for (size_t i = 0; i < group.size(); ++i) {
+      const double actual = static_cast<double>(truth.Count(group[i]));
+      const double estimate = estimates[i];
       result[s].absolute.push_back(std::abs(estimate - actual));
       result[s].relative.push_back(RelativeError(estimate, actual, rho));
     }
   }
   return result;
+}
+
+std::vector<SizeErrors> EvaluateSynopsis(const Synopsis& synopsis,
+                                         const Workload& workload,
+                                         const RangeCountIndex& truth,
+                                         double rho) {
+  return EvaluateSynopsis(synopsis, workload, truth, rho, QueryEngine());
 }
 
 std::vector<double> PoolRelative(const std::vector<SizeErrors>& errors) {

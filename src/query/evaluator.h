@@ -5,6 +5,7 @@
 
 #include "grid/synopsis.h"
 #include "index/range_count_index.h"
+#include "query/query_engine.h"
 #include "query/workload.h"
 
 namespace dpgrid {
@@ -18,7 +19,16 @@ struct SizeErrors {
 /// Evaluates `synopsis` on every query of `workload` against ground truth
 /// from `truth`, producing relative errors with floor `rho`
 /// (rel = |est - A| / max(A, rho); the paper uses rho = 0.001 * N) and
-/// absolute errors |est - A|.
+/// absolute errors |est - A|. Estimates are produced through `engine`
+/// (batched, sharded across threads); results are bitwise-identical to
+/// per-query Answer calls.
+std::vector<SizeErrors> EvaluateSynopsis(const Synopsis& synopsis,
+                                         const Workload& workload,
+                                         const RangeCountIndex& truth,
+                                         double rho,
+                                         const QueryEngine& engine);
+
+/// Same, with a default-configured engine (all hardware threads).
 std::vector<SizeErrors> EvaluateSynopsis(const Synopsis& synopsis,
                                          const Workload& workload,
                                          const RangeCountIndex& truth,

@@ -1,0 +1,80 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+QueryEngine::QueryEngine(const QueryEngineOptions& options)
+    : options_(options) {
+  DPGRID_CHECK(options_.batch_size > 0);
+}
+
+int QueryEngine::num_threads() const {
+  // Don't instantiate the shared pool (hardware_concurrency - 1 OS
+  // threads) for an engine that will only ever run serially.
+  if (options_.num_threads == 1) return 1;
+  int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  if (hardware <= 0) hardware = 1;
+  if (options_.num_threads <= 0) return hardware;
+  return std::min(options_.num_threads, hardware);
+}
+
+template <typename SynopsisT, typename QueryT>
+void QueryEngine::Run(const SynopsisT& synopsis,
+                      std::span<const QueryT> queries,
+                      std::span<double> out) const {
+  DPGRID_CHECK(queries.size() == out.size());
+  if (queries.empty()) return;
+  const int threads = num_threads();
+  if (threads <= 1 || queries.size() < options_.min_parallel_batch) {
+    synopsis.AnswerBatch(queries, out);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(
+      0, queries.size(), options_.batch_size,
+      [&synopsis, queries, out](size_t begin, size_t end) {
+        synopsis.AnswerBatch(queries.subspan(begin, end - begin),
+                             out.subspan(begin, end - begin));
+      },
+      threads);
+}
+
+void QueryEngine::AnswerAll(const Synopsis& synopsis,
+                            std::span<const Rect> queries,
+                            std::span<double> out) const {
+  Run(synopsis, queries, out);
+}
+
+std::vector<double> QueryEngine::AnswerAll(
+    const Synopsis& synopsis, const std::vector<Rect>& queries) const {
+  std::vector<double> out(queries.size());
+  Run<Synopsis, Rect>(synopsis, queries, out);
+  return out;
+}
+
+std::vector<std::vector<double>> QueryEngine::AnswerWorkload(
+    const Synopsis& synopsis, const Workload& workload) const {
+  std::vector<std::vector<double>> result(workload.num_sizes());
+  for (size_t s = 0; s < workload.num_sizes(); ++s) {
+    result[s] = AnswerAll(synopsis, workload.queries[s]);
+  }
+  return result;
+}
+
+void QueryEngine::AnswerAll(const SynopsisNd& synopsis,
+                            std::span<const BoxNd> queries,
+                            std::span<double> out) const {
+  Run(synopsis, queries, out);
+}
+
+std::vector<double> QueryEngine::AnswerAll(
+    const SynopsisNd& synopsis, const std::vector<BoxNd>& queries) const {
+  std::vector<double> out(queries.size());
+  Run<SynopsisNd, BoxNd>(synopsis, queries, out);
+  return out;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,83 @@
+#ifndef DPGRID_QUERY_QUERY_ENGINE_H_
+#define DPGRID_QUERY_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "grid/synopsis.h"
+#include "nd/box_nd.h"
+#include "nd/synopsis_nd.h"
+#include "query/workload.h"
+
+namespace dpgrid {
+
+/// Tuning knobs for QueryEngine.
+struct QueryEngineOptions {
+  /// Worker threads to shard a batch across; <= 0 uses every hardware
+  /// thread (via the process-wide shared pool).
+  int num_threads = 0;
+
+  /// Chunk length handed to a worker at a time. Small enough to balance
+  /// skewed per-query cost (AG queries straddling dense regions), large
+  /// enough that the atomic cursor is cold.
+  size_t batch_size = 1024;
+
+  /// Batches shorter than this stay on the calling thread: thread handoff
+  /// costs more than answering a couple thousand O(1) grid queries. Sized
+  /// so paper-style workload groups (hundreds to thousands of queries per
+  /// size class) still shard once they reach ~2k.
+  size_t min_parallel_batch = 2048;
+};
+
+/// Evaluates query batches against a synopsis: the serving path between a
+/// workload and a published synopsis. Single queries go through the
+/// virtual Synopsis::Answer; anything bigger should come here, which
+/// funnels into the synopsis's AnswerBatch (virtual dispatch hoisted out
+/// of the loop, per-thread scratch, no per-query allocation) and shards
+/// across the shared thread pool.
+///
+/// Results are bitwise-identical to calling synopsis.Answer(q) per query,
+/// regardless of thread count: every chunk is answered independently and
+/// written to its own slice of the output.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const QueryEngineOptions& options = {});
+
+  /// out[i] = synopsis.Answer(queries[i]); `out` must match `queries`.
+  void AnswerAll(const Synopsis& synopsis, std::span<const Rect> queries,
+                 std::span<double> out) const;
+
+  /// Convenience allocating form.
+  std::vector<double> AnswerAll(const Synopsis& synopsis,
+                                const std::vector<Rect>& queries) const;
+
+  /// Answers every size group of a workload; result[s][i] matches
+  /// workload.queries[s][i].
+  std::vector<std::vector<double>> AnswerWorkload(
+      const Synopsis& synopsis, const Workload& workload) const;
+
+  /// d-dimensional counterpart.
+  void AnswerAll(const SynopsisNd& synopsis, std::span<const BoxNd> queries,
+                 std::span<double> out) const;
+
+  std::vector<double> AnswerAll(const SynopsisNd& synopsis,
+                                const std::vector<BoxNd>& queries) const;
+
+  const QueryEngineOptions& options() const { return options_; }
+
+  /// Threads a batch will actually be sharded across.
+  int num_threads() const;
+
+ private:
+  template <typename SynopsisT, typename QueryT>
+  void Run(const SynopsisT& synopsis, std::span<const QueryT> queries,
+           std::span<double> out) const;
+
+  QueryEngineOptions options_;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_QUERY_QUERY_ENGINE_H_

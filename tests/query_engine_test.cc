@@ -1,0 +1,144 @@
+// Tests for the thread pool and the batched query engine: chunk coverage,
+// degenerate inputs, and that evaluator results are independent of the
+// engine configuration.
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "data/generators.h"
+#include "grid/uniform_grid.h"
+#include "index/range_count_index.h"
+#include "metrics/error.h"
+#include "query/evaluator.h"
+#include "query/query_engine.h"
+#include "query/workload.h"
+
+namespace dpgrid {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, hits.size(), 7, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnceAcrossThreads) {
+  ThreadPool pool(4);
+  const size_t n = 100003;  // prime, so chunks never divide evenly
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, n, 64, [&](size_t begin, size_t end) {
+    ASSERT_LE(begin, end);
+    ASSERT_LE(end, n);
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ZeroGrainPicksSlabPerWorker) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(0, 90, 0, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  size_t covered = 0;
+  for (auto& [b, e] : chunks) covered += e - b;
+  EXPECT_EQ(covered, 90u);
+  EXPECT_LE(chunks.size(), 3u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(0, 1000, 10, [&](size_t begin, size_t end) {
+      size_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 1000u * 999u / 2u);
+  }
+}
+
+TEST(QueryEngineTest, EmptyBatchIsFine) {
+  Rng rng(1);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 100, 100}, 1000, rng);
+  UniformGrid ug(data, 1.0, rng);
+  QueryEngine engine;
+  std::vector<Rect> queries;
+  EXPECT_TRUE(engine.AnswerAll(ug, queries).empty());
+}
+
+TEST(QueryEngineTest, AnswerWorkloadMatchesGroupShapes) {
+  Rng rng(2);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 100, 100}, 20000, rng);
+  UniformGrid ug(data, 1.0, rng);
+  Workload w = GenerateWorkload(data.domain(), data.domain().Width() / 2,
+                                data.domain().Height() / 2, 4, 50, rng);
+  QueryEngine engine;
+  auto answers = engine.AnswerWorkload(ug, w);
+  ASSERT_EQ(answers.size(), w.num_sizes());
+  for (size_t s = 0; s < w.num_sizes(); ++s) {
+    ASSERT_EQ(answers[s].size(), w.queries[s].size());
+    for (size_t i = 0; i < answers[s].size(); ++i) {
+      EXPECT_EQ(answers[s][i], ug.Answer(w.queries[s][i]));
+    }
+  }
+}
+
+// EvaluateSynopsis must produce identical error samples whatever engine
+// configuration it runs under.
+TEST(QueryEngineTest, EvaluatorIndependentOfEngineConfig) {
+  Rng rng(3);
+  Dataset data = MakeCheckinLike(30000, rng);
+  RangeCountIndex truth(data);
+  UniformGrid ug(data, 0.5, rng);
+  Workload w = GenerateWorkload(data.domain(), data.domain().Width() / 4,
+                                data.domain().Height() / 4, 5, 100, rng);
+  const double rho = DefaultRho(30000);
+
+  QueryEngineOptions serial;
+  serial.num_threads = 1;
+  QueryEngineOptions sharded;
+  sharded.num_threads = 4;
+  sharded.batch_size = 16;
+  sharded.min_parallel_batch = 1;
+
+  auto a = EvaluateSynopsis(ug, w, truth, rho, QueryEngine(serial));
+  auto b = EvaluateSynopsis(ug, w, truth, rho, QueryEngine(sharded));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].relative.size(), b[s].relative.size());
+    for (size_t i = 0; i < a[s].relative.size(); ++i) {
+      EXPECT_EQ(a[s].relative[i], b[s].relative[i]);
+      EXPECT_EQ(a[s].absolute[i], b[s].absolute[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpgrid
