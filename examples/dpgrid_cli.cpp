@@ -11,9 +11,13 @@
 //
 // Demo mode (no files needed): `dpgrid_cli demo` generates a dataset,
 // builds a release, queries it, and round-trips through CSV.
+//
+// Set DPGRID_SEED for a reproducible noise seed (default: random).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -29,6 +33,18 @@
 namespace {
 
 using namespace dpgrid;
+
+// Set DPGRID_SEED for reproducible runs (demos, goldens, debugging). The
+// default stays non-deterministic on purpose: a custodian's released noise
+// must not be replayable from a publicly known seed, or the DP guarantee
+// is void.
+Rng MakeRng() {
+  const char* env = std::getenv("DPGRID_SEED");
+  if (env != nullptr && *env != '\0') {
+    return Rng(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
+  }
+  return Rng(std::random_device{}());
+}
 
 int CmdBuild(int argc, char** argv) {
   if (argc < 10) {
@@ -49,7 +65,7 @@ int CmdBuild(int argc, char** argv) {
   std::printf("loaded %lld points over %s\n",
               static_cast<long long>(data.size()),
               domain.ToString().c_str());
-  Rng rng(std::random_device{}());
+  Rng rng = MakeRng();
   std::vector<SynopsisCell> cells;
   std::string name;
   if (method == "ag") {
@@ -109,7 +125,7 @@ int CmdSynthesize(int argc, char** argv) {
     domain.xhi = std::max(domain.xhi, c.region.xhi);
     domain.yhi = std::max(domain.yhi, c.region.yhi);
   }
-  Rng rng(std::random_device{}());
+  Rng rng = MakeRng();
   Dataset synthetic =
       SynthesizeFromCells(cells, domain, std::atoll(argv[3]), rng);
   if (!SaveCsvPoints(argv[4], synthetic)) {

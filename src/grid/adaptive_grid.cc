@@ -22,6 +22,28 @@ AdaptiveGrid::AdaptiveGrid(const Dataset& dataset, double epsilon, Rng& rng,
   Build(dataset, budget, rng);
 }
 
+std::unique_ptr<AdaptiveGrid> AdaptiveGrid::Restore(
+    AdaptiveGridOptions options, int m1, GridCounts level1,
+    PrefixSum2D level1_prefix, std::vector<LeafBlock> leaves) {
+  DPGRID_CHECK(m1 >= 1);
+  const auto m1s = static_cast<size_t>(m1);
+  DPGRID_CHECK(level1.nx() == m1s && level1.ny() == m1s);
+  DPGRID_CHECK(level1_prefix.nx() == m1s && level1_prefix.ny() == m1s);
+  DPGRID_CHECK(leaves.size() == m1s * m1s);
+  for (const LeafBlock& block : leaves) {
+    DPGRID_CHECK(block.prefix.has_value());
+    DPGRID_CHECK(block.prefix->nx() == block.counts.nx() &&
+                 block.prefix->ny() == block.counts.ny());
+  }
+  std::unique_ptr<AdaptiveGrid> ag(new AdaptiveGrid());
+  ag->options_ = options;
+  ag->m1_ = m1;
+  ag->level1_.emplace(std::move(level1));
+  ag->level1_prefix_.emplace(std::move(level1_prefix));
+  ag->leaves_ = std::move(leaves);
+  return ag;
+}
+
 void AdaptiveGrid::Build(const Dataset& dataset, PrivacyBudget& budget,
                          Rng& rng) {
   DPGRID_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);

@@ -53,6 +53,12 @@ struct AdaptiveGridOptions {
 /// regions get fine partitioning; sparse regions stay coarse.
 class AdaptiveGrid : public Synopsis {
  public:
+  /// One leaf grid per level-1 cell, with its prefix-sum index.
+  struct LeafBlock {
+    GridCounts counts;
+    std::optional<PrefixSum2D> prefix;
+  };
+
   /// Builds the synopsis, consuming all of `budget`.
   AdaptiveGrid(const Dataset& dataset, PrivacyBudget& budget, Rng& rng,
                const AdaptiveGridOptions& options = {});
@@ -60,6 +66,14 @@ class AdaptiveGrid : public Synopsis {
   /// Convenience constructor managing its own budget of `epsilon`.
   AdaptiveGrid(const Dataset& dataset, double epsilon, Rng& rng,
                const AdaptiveGridOptions& options = {});
+
+  /// Snapshot-store restore: adopts all post-inference state (level-1
+  /// counts, leaf blocks, prefix indexes) without recomputation. `leaves`
+  /// must hold m1 × m1 blocks in row-major order, each with its prefix set.
+  static std::unique_ptr<AdaptiveGrid> Restore(AdaptiveGridOptions options,
+                                               int m1, GridCounts level1,
+                                               PrefixSum2D level1_prefix,
+                                               std::vector<LeafBlock> leaves);
 
   double Answer(const Rect& query) const override;
   void AnswerBatch(std::span<const Rect> queries,
@@ -81,11 +95,14 @@ class AdaptiveGrid : public Synopsis {
 
   const AdaptiveGridOptions& options() const { return options_; }
 
+  /// Post-inference level-1 grid, its prefix index, and the leaf blocks
+  /// (row-major per level-1 cell) — the state persisted by snapshots.
+  const GridCounts& level1_counts() const { return *level1_; }
+  const PrefixSum2D& level1_prefix() const { return *level1_prefix_; }
+  const std::vector<LeafBlock>& leaves() const { return leaves_; }
+
  private:
-  struct LeafBlock {
-    GridCounts counts;
-    std::optional<PrefixSum2D> prefix;
-  };
+  AdaptiveGrid() = default;
 
   void Build(const Dataset& dataset, PrivacyBudget& budget, Rng& rng);
 

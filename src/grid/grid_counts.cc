@@ -21,6 +21,23 @@ GridCounts::GridCounts(Rect domain, size_t nx, size_t ny)
   DPGRID_CHECK_MSG(!domain.IsEmpty(), "grid domain must be non-empty");
 }
 
+GridCounts GridCounts::FromRaw(Rect domain, size_t nx, size_t ny,
+                               std::vector<double> values) {
+  DPGRID_CHECK(nx > 0 && ny > 0);
+  DPGRID_CHECK_MSG(!domain.IsEmpty(), "grid domain must be non-empty");
+  DPGRID_CHECK(values.size() == nx * ny);
+  GridCounts grid;
+  grid.domain_ = domain;
+  grid.nx_ = nx;
+  grid.ny_ = ny;
+  grid.cell_w_ = domain.Width() / static_cast<double>(nx);
+  grid.cell_h_ = domain.Height() / static_cast<double>(ny);
+  grid.inv_cell_w_ = 1.0 / grid.cell_w_;
+  grid.inv_cell_h_ = 1.0 / grid.cell_h_;
+  grid.values_ = std::move(values);
+  return grid;
+}
+
 GridCounts GridCounts::FromDataset(const Dataset& dataset, size_t nx,
                                    size_t ny) {
   GridCounts grid(dataset.domain(), nx, ny);

@@ -24,6 +24,12 @@ class GridCounts {
   /// Builds the exact point-count histogram of `dataset` at nx × ny.
   static GridCounts FromDataset(const Dataset& dataset, size_t nx, size_t ny);
 
+  /// Adopts an existing row-major value array (values[iy * nx + ix])
+  /// without the zero-fill of the normal constructor — the snapshot-restore
+  /// path. `values` must hold nx * ny entries.
+  static GridCounts FromRaw(Rect domain, size_t nx, size_t ny,
+                            std::vector<double> values);
+
   size_t nx() const { return nx_; }
   size_t ny() const { return ny_; }
   const Rect& domain() const { return domain_; }
@@ -70,9 +76,11 @@ class GridCounts {
   double Total() const;
 
  private:
+  GridCounts() = default;
+
   Rect domain_;
-  size_t nx_;
-  size_t ny_;
+  size_t nx_ = 0;
+  size_t ny_ = 0;
   double cell_w_;
   double cell_h_;
   double inv_cell_w_;

@@ -65,6 +65,16 @@ class UniformGrid : public Synopsis {
   UniformGrid(const Dataset& dataset, double epsilon, Rng& rng,
               const UniformGridOptions& options = {});
 
+  /// Wraps an already-noised grid (e.g. a StreamingUniformGridBuilder
+  /// result) as a queryable UG synopsis; the prefix index is built here.
+  /// The grid must already be ε-DP — no further noise is added.
+  static std::unique_ptr<UniformGrid> FromNoisyCounts(GridCounts noisy);
+
+  /// Snapshot-store restore: adopts the counts and the saved prefix index
+  /// without recomputation. `prefix` must match `noisy`'s shape.
+  static std::unique_ptr<UniformGrid> Restore(GridCounts noisy,
+                                              PrefixSum2D prefix);
+
   double Answer(const Rect& query) const override;
   void AnswerBatch(std::span<const Rect> queries,
                    std::span<double> out) const override;
@@ -77,7 +87,12 @@ class UniformGrid : public Synopsis {
   /// The noisy cell grid.
   const GridCounts& noisy_counts() const { return noisy_; }
 
+  /// The prefix-sum index over the noisy grid (persisted by snapshots).
+  const PrefixSum2D& prefix() const { return *prefix_; }
+
  private:
+  UniformGrid(GridCounts noisy, std::optional<PrefixSum2D> prefix);
+
   GridCounts noisy_;
   std::optional<PrefixSum2D> prefix_;
 };

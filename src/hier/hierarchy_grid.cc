@@ -33,6 +33,23 @@ HierarchyGrid::HierarchyGrid(const Dataset& dataset, double epsilon, Rng& rng,
   Build(dataset, budget, rng);
 }
 
+std::unique_ptr<HierarchyGrid> HierarchyGrid::Restore(
+    HierarchyGridOptions options, GridCounts leaf, PrefixSum2D prefix) {
+  DPGRID_CHECK(options.depth >= 1);
+  DPGRID_CHECK(options.branching >= 2 || options.depth == 1);
+  DPGRID_CHECK(options.leaf_size >= 1);
+  DPGRID_CHECK(options.leaf_size % IPow(options.branching,
+                                        options.depth - 1) == 0);
+  const auto m = static_cast<size_t>(options.leaf_size);
+  DPGRID_CHECK(leaf.nx() == m && leaf.ny() == m);
+  DPGRID_CHECK(prefix.nx() == m && prefix.ny() == m);
+  std::unique_ptr<HierarchyGrid> h(new HierarchyGrid());
+  h->options_ = options;
+  h->leaf_.emplace(std::move(leaf));
+  h->prefix_.emplace(std::move(prefix));
+  return h;
+}
+
 int HierarchyGrid::LevelSize(int level) const {
   DPGRID_CHECK(level >= 0 && level < options_.depth);
   return options_.leaf_size /

@@ -1,6 +1,7 @@
 #ifndef DPGRID_HIER_HIERARCHY_GRID_H_
 #define DPGRID_HIER_HIERARCHY_GRID_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +47,13 @@ class HierarchyGrid : public Synopsis {
   HierarchyGrid(const Dataset& dataset, double epsilon, Rng& rng,
                 const HierarchyGridOptions& options = {});
 
+  /// Snapshot-store restore: adopts the refined leaf grid and its prefix
+  /// index without recomputation. `leaf` must be leaf_size × leaf_size and
+  /// `prefix` must match it.
+  static std::unique_ptr<HierarchyGrid> Restore(HierarchyGridOptions options,
+                                                GridCounts leaf,
+                                                PrefixSum2D prefix);
+
   double Answer(const Rect& query) const override;
   void AnswerBatch(std::span<const Rect> queries,
                    std::span<double> out) const override;
@@ -57,10 +65,15 @@ class HierarchyGrid : public Synopsis {
   /// Refined (post-inference) leaf grid.
   const GridCounts& leaf_counts() const { return *leaf_; }
 
+  /// The prefix-sum index over the leaf grid (persisted by snapshots).
+  const PrefixSum2D& prefix() const { return *prefix_; }
+
   /// Grid size of level l (0 = coarsest).
   int LevelSize(int level) const;
 
  private:
+  HierarchyGrid() = default;
+
   void Build(const Dataset& dataset, PrivacyBudget& budget, Rng& rng);
 
   HierarchyGridOptions options_;

@@ -22,6 +22,35 @@ AdaptiveGridNd::AdaptiveGridNd(const DatasetNd& dataset, double epsilon,
   Build(dataset, budget, rng);
 }
 
+std::unique_ptr<AdaptiveGridNd> AdaptiveGridNd::Restore(
+    AdaptiveGridNdOptions options, int m1, GridNd level1,
+    PrefixSumNd level1_prefix, std::vector<LeafBlock> leaves) {
+  DPGRID_CHECK(m1 >= 1);
+  const size_t d = level1.dims();
+  DPGRID_CHECK(level1_prefix.dims() == d);
+  size_t l1_cells = 1;
+  for (size_t a = 0; a < d; ++a) {
+    DPGRID_CHECK(level1.sizes()[a] == static_cast<size_t>(m1));
+    DPGRID_CHECK(level1_prefix.sizes()[a] == static_cast<size_t>(m1));
+    l1_cells *= static_cast<size_t>(m1);
+  }
+  DPGRID_CHECK(leaves.size() == l1_cells);
+  for (const LeafBlock& block : leaves) {
+    DPGRID_CHECK(block.counts.has_value() && block.prefix.has_value());
+    DPGRID_CHECK(block.counts->dims() == d && block.prefix->dims() == d);
+    for (size_t a = 0; a < d; ++a) {
+      DPGRID_CHECK(block.prefix->sizes()[a] == block.counts->sizes()[a]);
+    }
+  }
+  std::unique_ptr<AdaptiveGridNd> ag(new AdaptiveGridNd());
+  ag->options_ = options;
+  ag->m1_ = m1;
+  ag->level1_.emplace(std::move(level1));
+  ag->level1_prefix_.emplace(std::move(level1_prefix));
+  ag->leaves_ = std::move(leaves);
+  return ag;
+}
+
 void AdaptiveGridNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
                            Rng& rng) {
   DPGRID_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);

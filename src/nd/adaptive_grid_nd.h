@@ -2,6 +2,7 @@
 #define DPGRID_ND_ADAPTIVE_GRID_ND_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,11 +38,24 @@ struct AdaptiveGridNdOptions {
 /// the direct generalization of the paper's AG (§IV-B).
 class AdaptiveGridNd : public SynopsisNd {
  public:
+  /// One leaf grid per level-1 cell, with its prefix-sum index.
+  struct LeafBlock {
+    std::optional<GridNd> counts;
+    std::optional<PrefixSumNd> prefix;
+  };
+
   AdaptiveGridNd(const DatasetNd& dataset, PrivacyBudget& budget, Rng& rng,
                  const AdaptiveGridNdOptions& options = {});
 
   AdaptiveGridNd(const DatasetNd& dataset, double epsilon, Rng& rng,
                  const AdaptiveGridNdOptions& options = {});
+
+  /// Snapshot-store restore: adopts all post-inference state without
+  /// recomputation. `leaves` must hold m1^d blocks in row-major order,
+  /// each with counts and prefix set.
+  static std::unique_ptr<AdaptiveGridNd> Restore(
+      AdaptiveGridNdOptions options, int m1, GridNd level1,
+      PrefixSumNd level1_prefix, std::vector<LeafBlock> leaves);
 
   double Answer(const BoxNd& query) const override;
   void AnswerBatch(std::span<const BoxNd> queries,
@@ -59,11 +73,16 @@ class AdaptiveGridNd : public SynopsisNd {
   /// Total leaf cells across the synopsis.
   int64_t TotalLeafCells() const;
 
+  const AdaptiveGridNdOptions& options() const { return options_; }
+
+  /// Post-inference level-1 grid, its prefix index, and the leaf blocks
+  /// (row-major per level-1 cell) — the state persisted by snapshots.
+  const GridNd& level1_counts() const { return *level1_; }
+  const PrefixSumNd& level1_prefix() const { return *level1_prefix_; }
+  const std::vector<LeafBlock>& leaves() const { return leaves_; }
+
  private:
-  struct LeafBlock {
-    std::optional<GridNd> counts;
-    std::optional<PrefixSumNd> prefix;
-  };
+  AdaptiveGridNd() = default;
 
   void Build(const DatasetNd& dataset, PrivacyBudget& budget, Rng& rng);
 

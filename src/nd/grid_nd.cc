@@ -98,6 +98,24 @@ PrefixSumNd::PrefixSumNd(const std::vector<double>& values,
   }
 }
 
+PrefixSumNd PrefixSumNd::FromRaw(std::vector<size_t> sizes,
+                                 std::vector<double> corners) {
+  DPGRID_CHECK(!sizes.empty());
+  DPGRID_CHECK_MSG(sizes.size() <= kMaxDims,
+                   "PrefixSumNd supports up to 8 dims");
+  size_t padded = 1;
+  for (size_t n : sizes) {
+    DPGRID_CHECK(n >= 1);
+    padded *= n + 1;
+  }
+  DPGRID_CHECK(corners.size() == padded);
+  PrefixSumNd p;
+  p.strides_ = ComputeStrides(sizes, 1);
+  p.sizes_ = std::move(sizes);
+  p.prefix_ = std::move(corners);
+  return p;
+}
+
 double PrefixSumNd::BlockSum(const std::vector<size_t>& lo,
                              const std::vector<size_t>& hi) const {
   DPGRID_DCHECK(lo.size() == dims() && hi.size() == dims());
@@ -200,6 +218,30 @@ GridNd::GridNd(BoxNd domain, std::vector<size_t> sizes)
   }
   DPGRID_CHECK_MSG(cells <= (size_t{1} << 28), "grid too large");
   values_.assign(cells, 0.0);
+}
+
+GridNd GridNd::FromRaw(BoxNd domain, std::vector<size_t> sizes,
+                       std::vector<double> values) {
+  DPGRID_CHECK(sizes.size() == domain.dims());
+  DPGRID_CHECK_MSG(!domain.IsEmpty(), "grid domain must be non-empty");
+  GridNd grid;
+  grid.domain_ = std::move(domain);
+  grid.sizes_ = std::move(sizes);
+  grid.strides_ = ComputeStrides(grid.sizes_, 0);
+  size_t cells = 1;
+  grid.cell_extent_.resize(grid.sizes_.size());
+  grid.inv_cell_extent_.resize(grid.sizes_.size());
+  for (size_t a = 0; a < grid.sizes_.size(); ++a) {
+    DPGRID_CHECK(grid.sizes_[a] >= 1);
+    cells *= grid.sizes_[a];
+    grid.cell_extent_[a] =
+        grid.domain_.Extent(a) / static_cast<double>(grid.sizes_[a]);
+    grid.inv_cell_extent_[a] = 1.0 / grid.cell_extent_[a];
+  }
+  DPGRID_CHECK_MSG(cells <= (size_t{1} << 28), "grid too large");
+  DPGRID_CHECK(values.size() == cells);
+  grid.values_ = std::move(values);
+  return grid;
 }
 
 GridNd GridNd::FromDataset(const DatasetNd& dataset,

@@ -28,8 +28,18 @@ class PrefixSumNd {
   PrefixSumNd(const std::vector<double>& values,
               const std::vector<size_t>& sizes);
 
+  /// Adopts a previously exported corner array (see corners()) without
+  /// recomputation, so a snapshot-restored index is bit-for-bit the one
+  /// that was saved. `corners` must hold prod(sizes[a] + 1) entries.
+  static PrefixSumNd FromRaw(std::vector<size_t> sizes,
+                             std::vector<double> corners);
+
   size_t dims() const { return sizes_.size(); }
   const std::vector<size_t>& sizes() const { return sizes_; }
+
+  /// The padded corner array backing the index; what the snapshot store
+  /// persists.
+  const std::vector<double>& corners() const { return prefix_; }
 
   /// Sum over the integer cell block [lo_a, hi_a) per axis (clamped).
   double BlockSum(const std::vector<size_t>& lo,
@@ -50,6 +60,8 @@ class PrefixSumNd {
   double TotalSum() const;
 
  private:
+  PrefixSumNd() = default;
+
   std::vector<size_t> sizes_;
   std::vector<size_t> strides_;  // strides of the (n_a + 1)-shaped array
   std::vector<double> prefix_;
@@ -65,6 +77,12 @@ class GridNd {
   /// Exact histogram of a dataset at the given per-axis resolution.
   static GridNd FromDataset(const DatasetNd& dataset,
                             std::vector<size_t> sizes);
+
+  /// Adopts an existing row-major value array without the zero-fill of the
+  /// normal constructor — the snapshot-restore path. `values` must hold
+  /// prod(sizes) entries.
+  static GridNd FromRaw(BoxNd domain, std::vector<size_t> sizes,
+                        std::vector<double> values);
 
   size_t dims() const { return sizes_.size(); }
   const BoxNd& domain() const { return domain_; }
@@ -102,6 +120,8 @@ class GridNd {
   double Total() const;
 
  private:
+  GridNd() = default;
+
   BoxNd domain_;
   std::vector<size_t> sizes_;
   std::vector<size_t> strides_;

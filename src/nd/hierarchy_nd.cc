@@ -31,6 +31,28 @@ HierarchyNd::HierarchyNd(const DatasetNd& dataset, double epsilon, Rng& rng,
   Build(dataset, budget, rng);
 }
 
+std::unique_ptr<HierarchyNd> HierarchyNd::Restore(HierarchyNdOptions options,
+                                                  GridNd leaf,
+                                                  PrefixSumNd prefix) {
+  DPGRID_CHECK(options.depth >= 1);
+  DPGRID_CHECK(options.branching >= 2 || options.depth == 1);
+  DPGRID_CHECK(options.leaf_size >= 1);
+  DPGRID_CHECK(options.leaf_size % IPow(options.branching,
+                                        options.depth - 1) == 0);
+  const size_t d = leaf.dims();
+  DPGRID_CHECK(prefix.dims() == d);
+  for (size_t a = 0; a < d; ++a) {
+    DPGRID_CHECK(leaf.sizes()[a] == static_cast<size_t>(options.leaf_size));
+    DPGRID_CHECK(prefix.sizes()[a] == leaf.sizes()[a]);
+  }
+  std::unique_ptr<HierarchyNd> h(new HierarchyNd());
+  h->options_ = options;
+  h->dims_ = d;
+  h->leaf_.emplace(std::move(leaf));
+  h->prefix_.emplace(std::move(prefix));
+  return h;
+}
+
 int HierarchyNd::LevelSize(int level) const {
   DPGRID_CHECK(level >= 0 && level < options_.depth);
   return options_.leaf_size /

@@ -1,6 +1,7 @@
 #ifndef DPGRID_ND_HIERARCHY_ND_H_
 #define DPGRID_ND_HIERARCHY_ND_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,12 @@ class HierarchyNd : public SynopsisNd {
   HierarchyNd(const DatasetNd& dataset, double epsilon, Rng& rng,
               const HierarchyNdOptions& options = {});
 
+  /// Snapshot-store restore: adopts the refined leaf grid and its prefix
+  /// index without recomputation.
+  static std::unique_ptr<HierarchyNd> Restore(HierarchyNdOptions options,
+                                              GridNd leaf,
+                                              PrefixSumNd prefix);
+
   double Answer(const BoxNd& query) const override;
   void AnswerBatch(std::span<const BoxNd> queries,
                    std::span<double> out) const override;
@@ -48,7 +55,14 @@ class HierarchyNd : public SynopsisNd {
   /// Post-inference leaf grid.
   const GridNd& leaf_counts() const { return *leaf_; }
 
+  const HierarchyNdOptions& options() const { return options_; }
+
+  /// The prefix-sum index over the leaf grid (persisted by snapshots).
+  const PrefixSumNd& prefix() const { return *prefix_; }
+
  private:
+  HierarchyNd() = default;
+
   void Build(const DatasetNd& dataset, PrivacyBudget& budget, Rng& rng);
 
   HierarchyNdOptions options_;

@@ -34,6 +34,23 @@ void UniformGridNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
   prefix_.emplace(noisy_->values(), noisy_->sizes());
 }
 
+std::unique_ptr<UniformGridNd> UniformGridNd::Restore(
+    UniformGridNdOptions options, int grid_size, GridNd noisy,
+    PrefixSumNd prefix) {
+  DPGRID_CHECK(grid_size >= 1);
+  DPGRID_CHECK(noisy.dims() == prefix.dims());
+  for (size_t a = 0; a < noisy.dims(); ++a) {
+    DPGRID_CHECK(noisy.sizes()[a] == static_cast<size_t>(grid_size));
+    DPGRID_CHECK(prefix.sizes()[a] == noisy.sizes()[a]);
+  }
+  std::unique_ptr<UniformGridNd> ug(new UniformGridNd());
+  ug->options_ = options;
+  ug->grid_size_ = grid_size;
+  ug->noisy_.emplace(std::move(noisy));
+  ug->prefix_.emplace(std::move(prefix));
+  return ug;
+}
+
 double UniformGridNd::Answer(const BoxNd& query) const {
   double lo[PrefixSumNd::kMaxDims];
   double hi[PrefixSumNd::kMaxDims];

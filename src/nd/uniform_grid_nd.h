@@ -1,6 +1,7 @@
 #ifndef DPGRID_ND_UNIFORM_GRID_ND_H_
 #define DPGRID_ND_UNIFORM_GRID_ND_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -31,6 +32,12 @@ class UniformGridNd : public SynopsisNd {
   UniformGridNd(const DatasetNd& dataset, double epsilon, Rng& rng,
                 const UniformGridNdOptions& options = {});
 
+  /// Snapshot-store restore: adopts the noisy grid and its prefix index
+  /// without recomputation.
+  static std::unique_ptr<UniformGridNd> Restore(UniformGridNdOptions options,
+                                                int grid_size, GridNd noisy,
+                                                PrefixSumNd prefix);
+
   double Answer(const BoxNd& query) const override;
   void AnswerBatch(std::span<const BoxNd> queries,
                    std::span<double> out) const override;
@@ -38,8 +45,14 @@ class UniformGridNd : public SynopsisNd {
 
   int grid_size() const { return grid_size_; }
   const GridNd& noisy_counts() const { return *noisy_; }
+  const UniformGridNdOptions& options() const { return options_; }
+
+  /// The prefix-sum index over the noisy grid (persisted by snapshots).
+  const PrefixSumNd& prefix() const { return *prefix_; }
 
  private:
+  UniformGridNd() = default;
+
   void Build(const DatasetNd& dataset, PrivacyBudget& budget, Rng& rng);
 
   UniformGridNdOptions options_;

@@ -1,0 +1,40 @@
+#include "store/publish.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "grid/cell_synopsis.h"
+#include "grid/uniform_grid.h"
+
+namespace dpgrid {
+
+std::shared_ptr<const Synopsis> FinishStreamingUniformGrid(
+    StreamingUniformGridBuilder&& builder, Rng& rng) {
+  return std::shared_ptr<const Synopsis>(
+      UniformGrid::FromNoisyCounts(std::move(builder).Finish(rng)));
+}
+
+std::shared_ptr<const Synopsis> FinishStreamingAdaptiveGrid(
+    StreamingAdaptiveGridBuilder&& builder, Rng& rng) {
+  const std::string name = "A" + std::to_string(builder.level1_size()) + "s";
+  return std::make_shared<const CellSynopsis>(
+      std::move(builder).Finish(rng), name);
+}
+
+uint64_t SnapshotPublisher::Publish(const std::string& name,
+                                    std::shared_ptr<const Synopsis> synopsis,
+                                    const SnapshotMeta& meta,
+                                    std::string* error) {
+  DPGRID_CHECK(synopsis != nullptr);
+  uint64_t version = 0;
+  if (store_ != nullptr) {
+    version = store_->Publish(name, *synopsis, meta, error);
+    if (version == 0) return 0;
+  }
+  if (serving_ != nullptr) {
+    version = serving_->Publish(std::move(synopsis), meta, version);
+  }
+  return version;
+}
+
+}  // namespace dpgrid

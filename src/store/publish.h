@@ -1,0 +1,58 @@
+#ifndef DPGRID_STORE_PUBLISH_H_
+#define DPGRID_STORE_PUBLISH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "grid/streaming.h"
+#include "store/serving.h"
+#include "store/snapshot_store.h"
+
+namespace dpgrid {
+
+/// Finishes a single-pass streaming UG build into a queryable, persistable
+/// UniformGrid synopsis (paper §IV-C: one scan, O(m²) state). The builder
+/// is consumed.
+std::shared_ptr<const Synopsis> FinishStreamingUniformGrid(
+    StreamingUniformGridBuilder&& builder, Rng& rng);
+
+/// Finishes a two-pass streaming AG build into a queryable, persistable
+/// CellSynopsis over the released leaf cells. FinishLevel1 and pass 2 must
+/// already have run. The builder is consumed.
+std::shared_ptr<const Synopsis> FinishStreamingAdaptiveGrid(
+    StreamingAdaptiveGridBuilder&& builder, Rng& rng);
+
+/// Glues a durable SnapshotStore to a live ServingSynopsis: the periodic-
+/// publish endpoint for streaming builders.
+///
+///   SnapshotPublisher publisher(&store, &serving);
+///   while (stream.NextEpoch(&builder)) {
+///     auto synopsis = FinishStreamingUniformGrid(std::move(builder), rng);
+///     publisher.Publish("checkins", synopsis, {epsilon, "epoch"}, &err);
+///   }
+///
+/// Persistence happens first and the serving swap second, so readers only
+/// ever see snapshots that already survive a restart.
+class SnapshotPublisher {
+ public:
+  /// Either sink may be nullptr (persist-only or serve-only pipelines).
+  SnapshotPublisher(SnapshotStore* store, ServingSynopsis* serving)
+      : store_(store), serving_(serving) {}
+
+  /// Publishes one snapshot. Returns the version (shared by the store file
+  /// and the serving handle), or 0 with *error set; on store failure the
+  /// serving handle is left untouched.
+  uint64_t Publish(const std::string& name,
+                   std::shared_ptr<const Synopsis> synopsis,
+                   const SnapshotMeta& meta, std::string* error);
+
+ private:
+  SnapshotStore* store_;
+  ServingSynopsis* serving_;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_STORE_PUBLISH_H_

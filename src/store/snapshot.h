@@ -1,0 +1,87 @@
+#ifndef DPGRID_STORE_SNAPSHOT_H_
+#define DPGRID_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "grid/synopsis.h"
+#include "nd/synopsis_nd.h"
+
+namespace dpgrid {
+
+// Versioned binary snapshot codec for synopses.
+//
+// A snapshot is a self-describing byte string:
+//
+//   offset  size  field
+//   0       4     magic "DPGS"
+//   4       4     u32 format version (kSnapshotFormatVersion)
+//   8       4     u32 SynopsisKind
+//   12      8     u64 payload size in bytes
+//   20      8     u64 FNV-1a 64 checksum of the payload
+//   28      -     payload: SnapshotMeta, then the kind-specific body
+//
+// The payload stores the complete post-build state of the synopsis —
+// noisy cell counts *and* prefix-sum index arrays — so a decoded synopsis
+// answers queries without any rebuild, bitwise-identically to the instance
+// that was encoded. Decoding never trusts its input: any structural
+// damage (bad magic, unknown version or kind, truncation, checksum
+// mismatch, internally inconsistent payload) returns a clean error.
+
+/// Concrete synopsis type stored in a snapshot.
+enum class SynopsisKind : uint32_t {
+  kUniformGrid = 1,
+  kAdaptiveGrid = 2,
+  kHierarchyGrid = 3,
+  kUniformGridNd = 4,
+  kAdaptiveGridNd = 5,
+  kHierarchyNd = 6,
+  kCellSynopsis = 7,
+};
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr char kSnapshotMagic[4] = {'D', 'P', 'G', 'S'};
+inline constexpr size_t kSnapshotHeaderSize = 28;
+
+/// Build provenance carried alongside the synopsis state.
+struct SnapshotMeta {
+  /// Total privacy budget the synopsis was built with (informational; the
+  /// stored counts are already noisy).
+  double epsilon = 0.0;
+  /// Free-form label, e.g. the builder pipeline or epoch that produced it.
+  std::string label;
+};
+
+/// A decoded snapshot: exactly one of `synopsis` (2-D kinds) or
+/// `synopsis_nd` (N-d kinds) is set.
+struct DecodedSnapshot {
+  SynopsisKind kind = SynopsisKind::kUniformGrid;
+  SnapshotMeta meta;
+  std::unique_ptr<Synopsis> synopsis;
+  std::unique_ptr<SynopsisNd> synopsis_nd;
+};
+
+/// Encodes a 2-D synopsis. The dynamic type must be UniformGrid,
+/// AdaptiveGrid, HierarchyGrid, or CellSynopsis; returns false with *error
+/// set for any other type.
+bool EncodeSnapshot(const Synopsis& synopsis, const SnapshotMeta& meta,
+                    std::string* bytes, std::string* error);
+
+/// Encodes an N-d synopsis (UniformGridNd, AdaptiveGridNd, HierarchyNd).
+bool EncodeSnapshot(const SynopsisNd& synopsis, const SnapshotMeta& meta,
+                    std::string* bytes, std::string* error);
+
+/// Decodes a snapshot produced by EncodeSnapshot. Returns false with
+/// *error set (and *out untouched) on any malformed input; never aborts on
+/// untrusted bytes.
+bool DecodeSnapshot(std::string_view bytes, DecodedSnapshot* out,
+                    std::string* error);
+
+/// FNV-1a 64-bit checksum used by the header (exposed for tests).
+uint64_t SnapshotChecksum(std::string_view payload);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_STORE_SNAPSHOT_H_

@@ -1,0 +1,250 @@
+#include "store/snapshot_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace dpgrid {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kExtension[] = ".dpgs";
+
+bool SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Parses "<name>.v<version>.dpgs" for the given name; returns 0 on
+// mismatch (0 is never a valid published version).
+uint64_t ParseVersion(const std::string& filename, const std::string& name) {
+  const std::string prefix = name + ".v";
+  if (filename.size() <= prefix.size() + sizeof(kExtension) - 1) return 0;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return 0;
+  if (filename.compare(filename.size() - (sizeof(kExtension) - 1),
+                       sizeof(kExtension) - 1, kExtension) != 0) {
+    return 0;
+  }
+  const std::string digits = filename.substr(
+      prefix.size(),
+      filename.size() - prefix.size() - (sizeof(kExtension) - 1));
+  if (digits.empty()) return 0;
+  uint64_t version = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    if (version > (UINT64_MAX - 9) / 10) return 0;
+    version = version * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return version;
+}
+
+// Writes `bytes` to `path` and flushes them to stable storage (fsync on
+// POSIX) so a rename over the file is durable across a crash.
+bool WriteFileDurably(const std::string& path, const std::string& bytes) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  return ::close(fd) == 0 && synced;
+#else
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out ||
+      !out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    return false;
+  }
+  out.flush();
+  return static_cast<bool>(out);
+#endif
+}
+
+// Best-effort fsync of the store directory so the rename itself (the new
+// directory entry) survives a crash.
+void SyncDirectory(const std::string& dir) {
+#ifndef _WIN32
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)dir;
+#endif
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string SnapshotStore::FileName(const std::string& name,
+                                    uint64_t version) {
+  return name + ".v" + std::to_string(version) + kExtension;
+}
+
+bool SnapshotStore::ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string SnapshotStore::PathFor(const std::string& name,
+                                   uint64_t version) const {
+  return (fs::path(directory_) / FileName(name, version)).string();
+}
+
+std::vector<uint64_t> SnapshotStore::ListVersions(
+    const std::string& name) const {
+  std::vector<uint64_t> versions;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    if (ec) break;
+    const uint64_t v = ParseVersion(entry.path().filename().string(), name);
+    if (v != 0) versions.push_back(v);
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+uint64_t SnapshotStore::PublishBytes(const std::string& name,
+                                     const std::string& bytes,
+                                     std::string* error) {
+  if (!ValidName(name)) {
+    SetError(error, "invalid snapshot name: '" + name + "'");
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    SetError(error, "cannot create store directory " + directory_ + ": " +
+                        ec.message());
+    return 0;
+  }
+  // Sweep temp files a crashed writer left behind for this name (writers
+  // to one name serialize among themselves, so nobody else owns them).
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    if (ec) break;
+    const std::string filename = entry.path().filename().string();
+    constexpr size_t kTmpSuffixLen = 4;  // ".tmp"
+    if (filename.size() > kTmpSuffixLen &&
+        filename.compare(filename.size() - kTmpSuffixLen, kTmpSuffixLen,
+                         ".tmp") == 0 &&
+        ParseVersion(filename.substr(0, filename.size() - kTmpSuffixLen),
+                     name) != 0) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+    }
+  }
+  const std::vector<uint64_t> versions = ListVersions(name);
+  const uint64_t version = versions.empty() ? 1 : versions.back() + 1;
+  const std::string final_path = PathFor(name, version);
+  // The temp file lives in the store directory so the rename cannot cross
+  // filesystems (rename is only atomic within one), and the bytes are
+  // fsync'd before the rename so a crash cannot publish a hollow file.
+  const std::string tmp_path = final_path + ".tmp";
+  if (!WriteFileDurably(tmp_path, bytes)) {
+    SetError(error, "cannot write " + tmp_path);
+    std::remove(tmp_path.c_str());
+    return 0;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    SetError(error, "cannot publish " + final_path + ": " + ec.message());
+    std::remove(tmp_path.c_str());
+    return 0;
+  }
+  SyncDirectory(directory_);
+  return version;
+}
+
+uint64_t SnapshotStore::Publish(const std::string& name,
+                                const Synopsis& synopsis,
+                                const SnapshotMeta& meta,
+                                std::string* error) {
+  std::string bytes;
+  if (!EncodeSnapshot(synopsis, meta, &bytes, error)) return 0;
+  return PublishBytes(name, bytes, error);
+}
+
+uint64_t SnapshotStore::Publish(const std::string& name,
+                                const SynopsisNd& synopsis,
+                                const SnapshotMeta& meta,
+                                std::string* error) {
+  std::string bytes;
+  if (!EncodeSnapshot(synopsis, meta, &bytes, error)) return 0;
+  return PublishBytes(name, bytes, error);
+}
+
+bool SnapshotStore::Load(const std::string& name, uint64_t version,
+                         DecodedSnapshot* out, std::string* error) const {
+  const std::string path = PathFor(name, version);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return SetError(error, "cannot open " + path);
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return SetError(error, "cannot stat " + path);
+  }
+  in.seekg(0);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  if (size > 0 && !in.read(bytes.data(), size)) {
+    return SetError(error, "cannot read " + path);
+  }
+  std::string decode_error;
+  if (!DecodeSnapshot(bytes, out, &decode_error)) {
+    return SetError(error, path + ": " + decode_error);
+  }
+  return true;
+}
+
+bool SnapshotStore::LoadLatest(const std::string& name, DecodedSnapshot* out,
+                               uint64_t* version, std::string* error) const {
+  const std::vector<uint64_t> versions = ListVersions(name);
+  if (versions.empty()) {
+    return SetError(error, "no snapshots named '" + name + "' in " +
+                               directory_);
+  }
+  if (!Load(name, versions.back(), out, error)) return false;
+  if (version != nullptr) *version = versions.back();
+  return true;
+}
+
+size_t SnapshotStore::Prune(const std::string& name, size_t keep) {
+  std::vector<uint64_t> versions = ListVersions(name);
+  if (versions.size() <= keep) return 0;
+  size_t removed = 0;
+  for (size_t i = 0; i + keep < versions.size(); ++i) {
+    std::error_code ec;
+    if (fs::remove(PathFor(name, versions[i]), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace dpgrid

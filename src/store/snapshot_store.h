@@ -1,0 +1,81 @@
+#ifndef DPGRID_STORE_SNAPSHOT_STORE_H_
+#define DPGRID_STORE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.h"
+
+namespace dpgrid {
+
+/// A directory of versioned synopsis snapshots.
+///
+/// Each synopsis name maps to a monotonically growing sequence of files
+/// `<name>.v<version>.dpgs`. Publishing writes the encoded snapshot to a
+/// temp file in the same directory, fsyncs it, and renames it into place,
+/// so a reader (or a crashed writer, or a machine losing power) can never
+/// observe a half-written snapshot — the rename either happened with the
+/// bytes on stable storage or it didn't. Stale temp files from crashed
+/// writers are swept on the next publish of the same name. Version numbers
+/// are assigned by scanning the directory; publishes through one
+/// SnapshotStore instance are serialized internally, while separate
+/// processes sharing a directory must serialize among themselves.
+///
+/// All methods report failure by returning 0/false with *error set; the
+/// store never aborts on I/O problems or corrupt files.
+class SnapshotStore {
+ public:
+  /// Uses `directory` (created if missing on first publish).
+  explicit SnapshotStore(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Encodes `synopsis` and atomically publishes it as the next version of
+  /// `name`. Returns the new version, or 0 with *error set.
+  uint64_t Publish(const std::string& name, const Synopsis& synopsis,
+                   const SnapshotMeta& meta, std::string* error);
+  uint64_t Publish(const std::string& name, const SynopsisNd& synopsis,
+                   const SnapshotMeta& meta, std::string* error);
+
+  /// Publishes pre-encoded snapshot bytes (already in the DPGS format).
+  uint64_t PublishBytes(const std::string& name, const std::string& bytes,
+                        std::string* error);
+
+  /// Loads and decodes one specific version.
+  bool Load(const std::string& name, uint64_t version, DecodedSnapshot* out,
+            std::string* error) const;
+
+  /// Loads the highest published version; `version` (optional) receives it.
+  bool LoadLatest(const std::string& name, DecodedSnapshot* out,
+                  uint64_t* version, std::string* error) const;
+
+  /// All published versions of `name`, ascending. Empty if none (or the
+  /// directory does not exist).
+  std::vector<uint64_t> ListVersions(const std::string& name) const;
+
+  /// Deletes all but the newest `keep` versions of `name`. Returns how many
+  /// files were removed.
+  size_t Prune(const std::string& name, size_t keep);
+
+  /// `<name>.v<version>.dpgs` — the file naming scheme, exposed for tools.
+  static std::string FileName(const std::string& name, uint64_t version);
+
+  /// Synopsis names must be non-empty and use only [A-Za-z0-9_-], keeping
+  /// file names portable and the version suffix unambiguous.
+  static bool ValidName(const std::string& name);
+
+ private:
+  std::string PathFor(const std::string& name, uint64_t version) const;
+
+  std::string directory_;
+  // Serializes the scan-version/write-temp/rename sequence: two threads
+  // publishing the same name through one store would otherwise pick the
+  // same version and truncate each other's temp file.
+  std::mutex publish_mu_;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_STORE_SNAPSHOT_STORE_H_

@@ -1,0 +1,208 @@
+// Snapshot-swap concurrency stress test (ctest label: slow).
+//
+// Readers issue AnswerBatch through a ServingSynopsis while a writer
+// publishes a sequence of snapshots into the same slot. The invariant under
+// test: every batch is answered by exactly one snapshot version — the
+// version AnswerBatch reports — and its results are bitwise-identical to
+// that version's precomputed answers. A torn swap, a use-after-free of a
+// retired snapshot, or a batch straddling two versions all surface as
+// result mismatches here (and as ASan/UBSan reports in the sanitizer CI
+// job, which runs this suite).
+//
+// Failures are counted in atomics and asserted on the main thread, since
+// gtest assertions are not thread-safe.
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "grid/uniform_grid.h"
+#include "query/query_engine.h"
+#include "store/publish.h"
+#include "store/serving.h"
+#include "store/snapshot_store.h"
+
+namespace dpgrid {
+namespace {
+
+constexpr int kNumVersions = 12;
+constexpr int kNumReaders = 4;
+constexpr int kNumQueries = 256;
+
+std::vector<Rect> StressQueries(const Rect& domain) {
+  Rng rng(4242);
+  std::vector<Rect> queries;
+  queries.reserve(kNumQueries);
+  for (int i = 0; i < kNumQueries; ++i) {
+    const double w = rng.Uniform(0.0, domain.Width());
+    const double h = rng.Uniform(0.0, domain.Height());
+    const double xlo = rng.Uniform(domain.xlo, domain.xhi - 0.5 * w);
+    const double ylo = rng.Uniform(domain.ylo, domain.yhi - 0.5 * h);
+    queries.push_back(Rect{xlo, ylo, xlo + w, ylo + h});
+  }
+  return queries;
+}
+
+struct StressFixture {
+  StressFixture() {
+    Rng data_rng(321);
+    data = std::make_unique<Dataset>(MakeCheckinLike(4000, data_rng));
+    queries = StressQueries(data->domain());
+    const QueryEngine engine(QueryEngineOptions{.num_threads = 1});
+    for (int v = 0; v < kNumVersions; ++v) {
+      // A different noise seed per version: distinct snapshots give
+      // distinct answer vectors, so a torn batch cannot masquerade as a
+      // valid one.
+      Rng rng(1000 + static_cast<uint64_t>(v));
+      UniformGridOptions opts;
+      opts.grid_size = 32;
+      versions.push_back(std::make_shared<UniformGrid>(*data, 1.0, rng, opts));
+      expected.push_back(engine.AnswerAll(*versions.back(), queries));
+    }
+  }
+
+  std::unique_ptr<Dataset> data;
+  std::vector<Rect> queries;
+  std::vector<std::shared_ptr<const UniformGrid>> versions;
+  std::vector<std::vector<double>> expected;
+};
+
+// Runs `publish_one(v)` for versions 1..kNumVersions-1 from the writer
+// thread while kNumReaders readers hammer `serving`; returns false in
+// *consistent if any batch failed the exactly-one-version invariant.
+template <typename PublishFn>
+void RunStress(const StressFixture& fx, const ServingSynopsis& serving,
+               PublishFn publish_one, std::atomic<int64_t>* batches,
+               std::atomic<int64_t>* mismatches,
+               std::atomic<int64_t>* bad_versions) {
+  const QueryEngine engine(QueryEngineOptions{.num_threads = 1});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kNumReaders);
+  for (int t = 0; t < kNumReaders; ++t) {
+    readers.emplace_back([&] {
+      std::vector<double> out(fx.queries.size());
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t version =
+            serving.AnswerBatch(engine, fx.queries, out);
+        batches->fetch_add(1, std::memory_order_relaxed);
+        if (version < 1 || version > fx.versions.size()) {
+          bad_versions->fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const std::vector<double>& want = fx.expected[version - 1];
+        if (std::memcmp(out.data(), want.data(),
+                        out.size() * sizeof(double)) != 0) {
+          mismatches->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int v = 1; v < kNumVersions; ++v) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    publish_one(v);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+}
+
+TEST(StoreStressTest, ReadersSeeExactlyOneVersionPerBatch) {
+  StressFixture fx;
+  ServingSynopsis serving;
+  ASSERT_EQ(serving.current_version(), 0u);
+  serving.Publish(fx.versions[0], SnapshotMeta{1.0, "v1"});
+
+  std::atomic<int64_t> batches{0};
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> bad_versions{0};
+  RunStress(
+      fx, serving,
+      [&](int v) {
+        serving.Publish(fx.versions[static_cast<size_t>(v)],
+                        SnapshotMeta{1.0, "v" + std::to_string(v + 1)});
+      },
+      &batches, &mismatches, &bad_versions);
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(bad_versions.load(), 0);
+  EXPECT_GT(batches.load(), 0);
+  EXPECT_EQ(serving.current_version(),
+            static_cast<uint64_t>(kNumVersions));
+  // The last snapshot must now be the served one.
+  const auto snap = serving.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->synopsis.get(), fx.versions.back().get());
+}
+
+// Same invariant, but publishing through the full pipeline: snapshots are
+// persisted to a SnapshotStore (atomic rename) and then swapped into the
+// serving handle, as a streaming builder's periodic publish would do. After
+// the run, a "fresh process" reload of the latest stored version must
+// answer bitwise-identically to the snapshot being served.
+TEST(StoreStressTest, PublisherPipelineUnderConcurrentReads) {
+  StressFixture fx;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dpgrid_stress_store")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  SnapshotStore store(dir);
+  ServingSynopsis serving;
+  SnapshotPublisher publisher(&store, &serving);
+  std::string error;
+  ASSERT_EQ(publisher.Publish("stress", fx.versions[0],
+                              SnapshotMeta{1.0, "v1"}, &error),
+            1u)
+      << error;
+
+  std::atomic<int64_t> batches{0};
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> bad_versions{0};
+  std::atomic<int64_t> publish_failures{0};
+  RunStress(
+      fx, serving,
+      [&](int v) {
+        std::string publish_error;
+        if (publisher.Publish("stress", fx.versions[static_cast<size_t>(v)],
+                              SnapshotMeta{1.0, "v" + std::to_string(v + 1)},
+                              &publish_error) == 0) {
+          publish_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      &batches, &mismatches, &bad_versions);
+
+  EXPECT_EQ(publish_failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(bad_versions.load(), 0);
+  EXPECT_GT(batches.load(), 0);
+
+  // Fresh-process check: reload the newest durable snapshot and compare it
+  // against the live serving slot, bitwise.
+  DecodedSnapshot reloaded;
+  uint64_t version = 0;
+  ASSERT_TRUE(store.LoadLatest("stress", &reloaded, &version, &error))
+      << error;
+  EXPECT_EQ(version, static_cast<uint64_t>(kNumVersions));
+  EXPECT_EQ(serving.current_version(), version);
+  const QueryEngine engine(QueryEngineOptions{.num_threads = 1});
+  std::vector<double> from_disk(fx.queries.size());
+  std::vector<double> from_serving(fx.queries.size());
+  engine.AnswerAll(*reloaded.synopsis, fx.queries, from_disk);
+  ASSERT_EQ(serving.AnswerBatch(engine, fx.queries, from_serving), version);
+  EXPECT_EQ(from_disk, from_serving);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dpgrid

@@ -1,0 +1,571 @@
+// Snapshot store round-trip and corruption-rejection tests.
+//
+// Round-trip: every synopsis type, over a grid of (epsilon, size, dataset)
+// cases, must decode to a synopsis whose answers are bitwise-identical to
+// the original on a fixed query workload — the persisted-state extension of
+// the batch==scalar invariant. Re-encoding the decoded synopsis must also
+// reproduce the exact snapshot bytes (full state fidelity, prefix indexes
+// included).
+//
+// Corruption: byte-level damage anywhere in a snapshot must fail decoding
+// with a clean error — never a crash, never a silently misloaded synopsis.
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "grid/adaptive_grid.h"
+#include "grid/cell_synopsis.h"
+#include "grid/uniform_grid.h"
+#include "hier/hierarchy_grid.h"
+#include "nd/adaptive_grid_nd.h"
+#include "nd/dataset_nd.h"
+#include "nd/hierarchy_nd.h"
+#include "nd/uniform_grid_nd.h"
+#include "query/query_engine.h"
+#include "store/snapshot.h"
+#include "store/snapshot_store.h"
+#include "wavelet/privelet.h"
+
+namespace dpgrid {
+namespace {
+
+std::vector<Rect> FixedQueries(const Rect& domain, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    double w = rng.Uniform(0.0, domain.Width());
+    double h = rng.Uniform(0.0, domain.Height());
+    double xlo = rng.Uniform(domain.xlo - 0.1 * domain.Width(),
+                             domain.xhi - 0.5 * w);
+    double ylo = rng.Uniform(domain.ylo - 0.1 * domain.Height(),
+                             domain.yhi - 0.5 * h);
+    queries.push_back(Rect{xlo, ylo, xlo + w, ylo + h});
+  }
+  return queries;
+}
+
+std::vector<BoxNd> FixedQueriesNd(const BoxNd& domain, int count,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BoxNd> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::vector<double> lo(domain.dims());
+    std::vector<double> hi(domain.dims());
+    for (size_t a = 0; a < domain.dims(); ++a) {
+      const double extent = rng.Uniform(0.0, domain.Extent(a));
+      lo[a] = rng.Uniform(domain.lo(a), domain.hi(a) - 0.5 * extent);
+      hi[a] = lo[a] + extent;
+    }
+    queries.emplace_back(std::move(lo), std::move(hi));
+  }
+  return queries;
+}
+
+// Encode → decode → assert answers are bitwise-identical to the original
+// (batch via QueryEngine and a scalar spot check), the Name survives, and
+// re-encoding reproduces the exact bytes.
+void ExpectRoundTrip(const Synopsis& original,
+                     const std::vector<Rect>& queries, double epsilon) {
+  const SnapshotMeta meta{epsilon, "store_test"};
+  std::string bytes;
+  std::string error;
+  ASSERT_TRUE(EncodeSnapshot(original, meta, &bytes, &error)) << error;
+
+  DecodedSnapshot decoded;
+  ASSERT_TRUE(DecodeSnapshot(bytes, &decoded, &error))
+      << original.Name() << ": " << error;
+  ASSERT_NE(decoded.synopsis, nullptr);
+  EXPECT_EQ(decoded.synopsis_nd, nullptr);
+  EXPECT_EQ(decoded.meta.epsilon, epsilon);
+  EXPECT_EQ(decoded.meta.label, "store_test");
+  EXPECT_EQ(decoded.synopsis->Name(), original.Name());
+
+  const QueryEngine engine(QueryEngineOptions{.num_threads = 1});
+  const std::vector<double> expected = engine.AnswerAll(original, queries);
+  const std::vector<double> actual =
+      engine.AnswerAll(*decoded.synopsis, queries);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i])
+        << original.Name() << " query " << i << " "
+        << queries[i].ToString();
+  }
+  for (size_t i = 0; i < queries.size(); i += 37) {
+    EXPECT_EQ(original.Answer(queries[i]), decoded.synopsis->Answer(queries[i]));
+  }
+
+  std::string reencoded;
+  ASSERT_TRUE(EncodeSnapshot(*decoded.synopsis, meta, &reencoded, &error))
+      << error;
+  EXPECT_EQ(bytes, reencoded) << original.Name()
+                              << ": re-encode must be byte-identical";
+}
+
+void ExpectRoundTripNd(const SynopsisNd& original,
+                       const std::vector<BoxNd>& queries, double epsilon) {
+  const SnapshotMeta meta{epsilon, "store_test_nd"};
+  std::string bytes;
+  std::string error;
+  ASSERT_TRUE(EncodeSnapshot(original, meta, &bytes, &error)) << error;
+
+  DecodedSnapshot decoded;
+  ASSERT_TRUE(DecodeSnapshot(bytes, &decoded, &error))
+      << original.Name() << ": " << error;
+  ASSERT_NE(decoded.synopsis_nd, nullptr);
+  EXPECT_EQ(decoded.synopsis, nullptr);
+  EXPECT_EQ(decoded.synopsis_nd->Name(), original.Name());
+
+  const QueryEngine engine(QueryEngineOptions{.num_threads = 1});
+  const std::vector<double> expected = engine.AnswerAll(original, queries);
+  const std::vector<double> actual =
+      engine.AnswerAll(*decoded.synopsis_nd, queries);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i])
+        << original.Name() << " query " << i << " "
+        << queries[i].ToString();
+  }
+
+  std::string reencoded;
+  ASSERT_TRUE(EncodeSnapshot(*decoded.synopsis_nd, meta, &reencoded, &error))
+      << error;
+  EXPECT_EQ(bytes, reencoded) << original.Name()
+                              << ": re-encode must be byte-identical";
+}
+
+class StoreRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng checkin_rng(321);
+    checkin_ = std::make_unique<Dataset>(MakeCheckinLike(8000, checkin_rng));
+    Rng uniform_rng(322);
+    uniform_ = std::make_unique<Dataset>(
+        MakeUniformDataset(Rect{-10.0, -5.0, 30.0, 25.0}, 5000, uniform_rng));
+  }
+
+  std::vector<const Dataset*> Datasets() const {
+    return {checkin_.get(), uniform_.get()};
+  }
+
+  std::unique_ptr<Dataset> checkin_;
+  std::unique_ptr<Dataset> uniform_;
+};
+
+TEST_F(StoreRoundTripTest, UniformGrid) {
+  uint64_t seed = 1;
+  for (const Dataset* data : Datasets()) {
+    const std::vector<Rect> queries = FixedQueries(data->domain(), 200, 77);
+    for (double epsilon : {0.1, 1.0}) {
+      for (int m : {0, 32}) {  // 0 = Guideline 1
+        Rng rng(seed++);
+        UniformGridOptions opts;
+        opts.grid_size = m;
+        UniformGrid ug(*data, epsilon, rng, opts);
+        ExpectRoundTrip(ug, queries, epsilon);
+      }
+    }
+  }
+}
+
+TEST_F(StoreRoundTripTest, AdaptiveGrid) {
+  uint64_t seed = 100;
+  for (const Dataset* data : Datasets()) {
+    const std::vector<Rect> queries = FixedQueries(data->domain(), 200, 78);
+    for (double epsilon : {0.1, 1.0}) {
+      for (int m1 : {0, 8}) {  // 0 = max(10, m_UG / 4)
+        Rng rng(seed++);
+        AdaptiveGridOptions opts;
+        opts.level1_size = m1;
+        AdaptiveGrid ag(*data, epsilon, rng, opts);
+        ExpectRoundTrip(ag, queries, epsilon);
+      }
+    }
+  }
+}
+
+TEST_F(StoreRoundTripTest, HierarchyGrid) {
+  uint64_t seed = 200;
+  for (const Dataset* data : Datasets()) {
+    const std::vector<Rect> queries = FixedQueries(data->domain(), 200, 79);
+    for (double epsilon : {0.1, 1.0}) {
+      for (int depth : {2, 3}) {
+        Rng rng(seed++);
+        HierarchyGridOptions opts;
+        opts.leaf_size = 64;
+        opts.branching = 2;
+        opts.depth = depth;
+        HierarchyGrid h(*data, epsilon, rng, opts);
+        ExpectRoundTrip(h, queries, epsilon);
+      }
+    }
+  }
+}
+
+TEST_F(StoreRoundTripTest, CellSynopsis) {
+  Rng rng(300);
+  UniformGridOptions opts;
+  opts.grid_size = 24;
+  UniformGrid ug(*checkin_, 1.0, rng, opts);
+  CellSynopsis cells(ug.ExportCells(), "release-v1");
+  const std::vector<Rect> queries = FixedQueries(checkin_->domain(), 100, 80);
+  ExpectRoundTrip(cells, queries, 1.0);
+}
+
+TEST_F(StoreRoundTripTest, NdSynopses) {
+  const BoxNd domain = BoxNd::Cube(3, 0.0, 100.0);
+  Rng data_rng(400);
+  const DatasetNd data = MakeUniformDatasetNd(domain, 4000, data_rng);
+  const std::vector<BoxNd> queries = FixedQueriesNd(domain, 150, 81);
+  uint64_t seed = 401;
+  for (double epsilon : {0.5, 1.0}) {
+    {
+      Rng rng(seed++);
+      UniformGridNdOptions opts;
+      opts.grid_size = 8;
+      UniformGridNd ug(data, epsilon, rng, opts);
+      ExpectRoundTripNd(ug, queries, epsilon);
+    }
+    {
+      Rng rng(seed++);
+      AdaptiveGridNdOptions opts;
+      opts.level1_size = 4;
+      AdaptiveGridNd ag(data, epsilon, rng, opts);
+      ExpectRoundTripNd(ag, queries, epsilon);
+    }
+    {
+      Rng rng(seed++);
+      HierarchyNdOptions opts;
+      opts.leaf_size = 16;
+      opts.branching = 2;
+      opts.depth = 2;
+      HierarchyNd h(data, epsilon, rng, opts);
+      ExpectRoundTripNd(h, queries, epsilon);
+    }
+  }
+  // Guideline-chosen sizes (size fields 0) must round-trip too.
+  {
+    Rng rng(seed++);
+    UniformGridNd ug(data, 1.0, rng);
+    ExpectRoundTripNd(ug, queries, 1.0);
+  }
+}
+
+TEST_F(StoreRoundTripTest, UnsupportedTypeIsRejected) {
+  Rng rng(500);
+  Privelet w(*checkin_, 1.0, rng);
+  std::string bytes;
+  std::string error;
+  EXPECT_FALSE(EncodeSnapshot(w, SnapshotMeta{}, &bytes, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption rejection
+// ---------------------------------------------------------------------------
+
+class StoreCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng data_rng(321);
+    Dataset data = MakeCheckinLike(2000, data_rng);
+    Rng rng(600);
+    UniformGridOptions opts;
+    opts.grid_size = 16;
+    UniformGrid ug(data, 1.0, rng, opts);
+    std::string error;
+    ASSERT_TRUE(
+        EncodeSnapshot(ug, SnapshotMeta{1.0, "corruption"}, &base_, &error))
+        << error;
+  }
+
+  // Replaces the header's payload size and checksum so they match the
+  // current payload bytes — used to reach validation layers *behind* the
+  // checksum.
+  static void FixupHeader(std::string* bytes) {
+    ASSERT_GE(bytes->size(), kSnapshotHeaderSize);
+    const uint64_t payload_size = bytes->size() - kSnapshotHeaderSize;
+    const uint64_t checksum = SnapshotChecksum(
+        std::string_view(*bytes).substr(kSnapshotHeaderSize));
+    std::memcpy(bytes->data() + 12, &payload_size, sizeof(payload_size));
+    std::memcpy(bytes->data() + 20, &checksum, sizeof(checksum));
+  }
+
+  std::string base_;
+};
+
+TEST_F(StoreCorruptionTest, BaseSnapshotDecodes) {
+  DecodedSnapshot decoded;
+  std::string error;
+  EXPECT_TRUE(DecodeSnapshot(base_, &decoded, &error)) << error;
+}
+
+TEST_F(StoreCorruptionTest, ByteLevelMutationsAreRejected) {
+  struct Mutation {
+    const char* name;
+    void (*apply)(std::string*);
+  };
+  const Mutation kMutations[] = {
+      {"empty input", [](std::string* b) { b->clear(); }},
+      {"truncated inside header", [](std::string* b) { b->resize(10); }},
+      {"header only, no payload",
+       [](std::string* b) { b->resize(kSnapshotHeaderSize - 1); }},
+      {"flipped magic byte", [](std::string* b) { (*b)[0] ^= 0x01; }},
+      {"future format version",
+       [](std::string* b) {
+         const uint32_t v = 999;
+         std::memcpy(b->data() + 4, &v, sizeof(v));
+       }},
+      {"zero synopsis kind",
+       [](std::string* b) {
+         const uint32_t k = 0;
+         std::memcpy(b->data() + 8, &k, sizeof(k));
+       }},
+      {"unknown synopsis kind",
+       [](std::string* b) {
+         const uint32_t k = 99;
+         std::memcpy(b->data() + 8, &k, sizeof(k));
+       }},
+      {"payload size overstated",
+       [](std::string* b) {
+         uint64_t size = 0;
+         std::memcpy(&size, b->data() + 12, sizeof(size));
+         size += 1;
+         std::memcpy(b->data() + 12, &size, sizeof(size));
+       }},
+      {"truncated payload", [](std::string* b) { b->resize(b->size() - 7); }},
+      {"flipped checksum bit", [](std::string* b) { (*b)[20] ^= 0x40; }},
+      {"flipped payload byte",
+       [](std::string* b) { (*b)[b->size() / 2] ^= 0x10; }},
+      {"flipped last payload byte",
+       [](std::string* b) { b->back() ^= 0x01; }},
+  };
+  for (const Mutation& m : kMutations) {
+    std::string bytes = base_;
+    m.apply(&bytes);
+    DecodedSnapshot decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeSnapshot(bytes, &decoded, &error)) << m.name;
+    EXPECT_FALSE(error.empty()) << m.name;
+    EXPECT_EQ(decoded.synopsis, nullptr) << m.name;
+    EXPECT_EQ(decoded.synopsis_nd, nullptr) << m.name;
+  }
+}
+
+// Structural validation behind the checksum: a snapshot whose header is
+// perfectly consistent but whose payload lies about its contents must still
+// fail cleanly.
+TEST_F(StoreCorruptionTest, ConsistentHeaderBadPayloadIsRejected) {
+  {
+    // Payload cut short, header fixed up: the reader must hit a clean
+    // truncation error mid-structure.
+    std::string bytes = base_;
+    bytes.resize(bytes.size() - 16);
+    FixupHeader(&bytes);
+    DecodedSnapshot decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeSnapshot(bytes, &decoded, &error));
+    EXPECT_FALSE(error.empty());
+  }
+  {
+    // Trailing garbage after a complete payload, header fixed up.
+    std::string bytes = base_ + std::string(5, '\0');
+    FixupHeader(&bytes);
+    DecodedSnapshot decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeSnapshot(bytes, &decoded, &error));
+    EXPECT_EQ(error, "trailing bytes in snapshot payload");
+  }
+  {
+    // Grid dimension field inflated to an absurd value, header fixed up:
+    // must be rejected by bounds validation, not by an allocation attempt.
+    // The grid's nx field sits right after the meta (f64 epsilon + string)
+    // and the 4 domain doubles.
+    std::string bytes = base_;
+    const size_t meta_size = sizeof(double) + sizeof(uint32_t) +
+                             std::string("corruption").size();
+    const size_t nx_offset = kSnapshotHeaderSize + meta_size +
+                             4 * sizeof(double);
+    const uint64_t absurd = uint64_t{1} << 62;
+    std::memcpy(bytes.data() + nx_offset, &absurd, sizeof(absurd));
+    FixupHeader(&bytes);
+    DecodedSnapshot decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeSnapshot(bytes, &decoded, &error));
+    EXPECT_FALSE(error.empty());
+  }
+  {
+    // Values array length lied down to zero (an empty vector's data() is
+    // null — the reader must not touch it), header fixed up.
+    std::string bytes = base_;
+    const size_t meta_size = sizeof(double) + sizeof(uint32_t) +
+                             std::string("corruption").size();
+    const size_t len_offset = kSnapshotHeaderSize + meta_size +
+                              4 * sizeof(double) + 2 * sizeof(uint64_t);
+    const uint64_t zero = 0;
+    std::memcpy(bytes.data() + len_offset, &zero, sizeof(zero));
+    FixupHeader(&bytes);
+    DecodedSnapshot decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeSnapshot(bytes, &decoded, &error));
+    EXPECT_EQ(error, "grid value count does not match dimensions");
+  }
+}
+
+// A cell-synopsis snapshot claiming zero cells must be rejected cleanly:
+// CellSynopsis itself requires at least one cell, so letting the count
+// through would abort in its constructor.
+TEST_F(StoreCorruptionTest, ZeroCellCountIsRejected) {
+  const std::vector<SynopsisCell> cells = {
+      SynopsisCell{Rect{0, 0, 1, 1}, 5.0}};
+  const CellSynopsis synopsis(cells, "z");
+  std::string bytes;
+  std::string error;
+  ASSERT_TRUE(EncodeSnapshot(synopsis, SnapshotMeta{1.0, "m"}, &bytes,
+                             &error))
+      << error;
+  // Payload: meta (f64 + "m") then name string (u32 + "z") then u64 count.
+  const size_t count_offset = kSnapshotHeaderSize + sizeof(double) +
+                              sizeof(uint32_t) + 1 + sizeof(uint32_t) + 1;
+  const uint64_t zero = 0;
+  std::memcpy(bytes.data() + count_offset, &zero, sizeof(zero));
+  FixupHeader(&bytes);
+  DecodedSnapshot decoded;
+  EXPECT_FALSE(DecodeSnapshot(bytes, &decoded, &error));
+  EXPECT_EQ(error, "cell synopsis with zero cells");
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStore: versioned files with atomic publish
+// ---------------------------------------------------------------------------
+
+class SnapshotStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("dpgrid_store_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    Rng data_rng(321);
+    data_ = std::make_unique<Dataset>(MakeCheckinLike(2000, data_rng));
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<UniformGrid> MakeGrid(uint64_t seed) {
+    Rng rng(seed);
+    UniformGridOptions opts;
+    opts.grid_size = 16;
+    return std::make_unique<UniformGrid>(*data_, 1.0, rng, opts);
+  }
+
+  std::string dir_;
+  std::unique_ptr<Dataset> data_;
+};
+
+TEST_F(SnapshotStoreTest, PublishLoadListPrune) {
+  SnapshotStore store(dir_);
+  EXPECT_TRUE(store.ListVersions("checkins").empty());
+
+  std::vector<std::unique_ptr<UniformGrid>> grids;
+  std::string error;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    grids.push_back(MakeGrid(seed));
+    const uint64_t version = store.Publish(
+        "checkins", *grids.back(), SnapshotMeta{1.0, "epoch"}, &error);
+    ASSERT_EQ(version, seed) << error;
+  }
+  EXPECT_EQ(store.ListVersions("checkins"),
+            (std::vector<uint64_t>{1, 2, 3}));
+
+  // No temp files may survive a publish.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".dpgs") << entry.path();
+  }
+
+  const std::vector<Rect> queries = FixedQueries(data_->domain(), 100, 90);
+  const QueryEngine engine(QueryEngineOptions{.num_threads = 1});
+
+  DecodedSnapshot latest;
+  uint64_t latest_version = 0;
+  ASSERT_TRUE(store.LoadLatest("checkins", &latest, &latest_version, &error))
+      << error;
+  EXPECT_EQ(latest_version, 3u);
+  const std::vector<double> expected = engine.AnswerAll(*grids[2], queries);
+  EXPECT_EQ(engine.AnswerAll(*latest.synopsis, queries), expected);
+
+  DecodedSnapshot v2;
+  ASSERT_TRUE(store.Load("checkins", 2, &v2, &error)) << error;
+  EXPECT_EQ(engine.AnswerAll(*v2.synopsis, queries),
+            engine.AnswerAll(*grids[1], queries));
+
+  EXPECT_EQ(store.Prune("checkins", 1), 2u);
+  EXPECT_EQ(store.ListVersions("checkins"), (std::vector<uint64_t>{3}));
+  ASSERT_TRUE(store.LoadLatest("checkins", &latest, &latest_version, &error));
+  EXPECT_EQ(latest_version, 3u);
+}
+
+TEST_F(SnapshotStoreTest, IndependentNamesAndMissingLoads) {
+  SnapshotStore store(dir_);
+  std::string error;
+  auto g = MakeGrid(7);
+  ASSERT_EQ(store.Publish("alpha", *g, SnapshotMeta{}, &error), 1u) << error;
+  ASSERT_EQ(store.Publish("beta", *g, SnapshotMeta{}, &error), 1u) << error;
+  ASSERT_EQ(store.Publish("alpha", *g, SnapshotMeta{}, &error), 2u) << error;
+  EXPECT_EQ(store.ListVersions("alpha"), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(store.ListVersions("beta"), (std::vector<uint64_t>{1}));
+
+  DecodedSnapshot out;
+  EXPECT_FALSE(store.Load("alpha", 99, &out, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(store.LoadLatest("gamma", &out, nullptr, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(SnapshotStoreTest, InvalidNamesAreRejected) {
+  SnapshotStore store(dir_);
+  auto g = MakeGrid(8);
+  std::string error;
+  for (const char* bad : {"", "../escape", "a/b", "name with space"}) {
+    error.clear();
+    EXPECT_EQ(store.Publish(bad, *g, SnapshotMeta{}, &error), 0u) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST_F(SnapshotStoreTest, CorruptFileFailsCleanly) {
+  SnapshotStore store(dir_);
+  auto g = MakeGrid(9);
+  std::string error;
+  ASSERT_EQ(store.Publish("c", *g, SnapshotMeta{}, &error), 1u) << error;
+  // Stomp the published file's payload.
+  const std::string path =
+      (std::filesystem::path(dir_) / SnapshotStore::FileName("c", 1))
+          .string();
+  {
+    std::ofstream out(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(static_cast<std::streamoff>(kSnapshotHeaderSize + 3));
+    out.put('\x7f');
+  }
+  DecodedSnapshot out;
+  EXPECT_FALSE(store.Load("c", 1, &out, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace dpgrid
