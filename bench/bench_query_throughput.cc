@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "data/generators.h"
@@ -46,11 +47,8 @@
 namespace dpgrid {
 namespace {
 
-int64_t EnvInt(const char* name, int64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atoll(v);
-}
+using bench::EnvInt;
+using bench::NowSeconds;
 
 // The seed's UniformGrid query path, reconstructed verbatim from the same
 // public pieces the seed used: division-based GridCounts::ToCellCoords and
@@ -78,20 +76,14 @@ class SeedStyleUniformGrid : public Synopsis {
   PrefixSum2D prefix_;
 };
 
-double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 // Best-of-reps wall time of `fn`, which must fill `out`.
 template <typename Fn>
 double TimeBest(int reps, Fn&& fn) {
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
-    const double t0 = Now();
+    const double t0 = NowSeconds();
     fn();
-    const double dt = Now() - t0;
+    const double dt = NowSeconds() - t0;
     if (dt < best) best = dt;
   }
   return best;

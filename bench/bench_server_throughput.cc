@@ -1,0 +1,222 @@
+// Over-the-wire serving throughput of the TCP query server vs the same
+// engine called in-process, on a loopback connection.
+//
+// One client thread streams QUERY_BATCH frames of varying batch sizes at
+// a single-threaded server (per the repo perf notes: the container has
+// one CPU, so client and server handler time-share it — the numbers are
+// a conservative floor for real two-machine serving). Reported per batch
+// size:
+//
+//   wire_qps          queries/s through connect->frame->engine->frame
+//   frames_per_sec    request/response round trips per second
+//   wire_overhead     1 - wire_qps / inprocess_qps
+//
+// Answers that crossed the wire are checked bitwise against the
+// in-process engine on the same snapshot — the serving layer must never
+// perturb an answer.
+//
+// Results go to stdout and BENCH_server.json (DPGRID_BENCH_OUT
+// overrides). Env knobs: DPGRID_SRV_POINTS (default 200000),
+// DPGRID_SRV_QUERIES (default 262144 per batch-size pass),
+// DPGRID_SRV_REPS (default 3), DPGRID_SEED.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/synopsis_catalog.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "grid/uniform_grid.h"
+#include "query/query_engine.h"
+#include "query/workload.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "store/snapshot_store.h"
+
+namespace dpgrid {
+namespace {
+
+using bench::EnvInt;
+using bench::NowSeconds;
+
+struct PassResult {
+  size_t batch_size = 0;
+  double wire_qps = 0.0;
+  double frames_per_sec = 0.0;
+  double overhead = 0.0;
+  bool bitwise_equal = false;
+};
+
+}  // namespace
+}  // namespace dpgrid
+
+int main() {
+  using namespace dpgrid;
+
+  const auto num_points =
+      static_cast<int64_t>(EnvInt("DPGRID_SRV_POINTS", 200000));
+  const auto num_queries =
+      static_cast<size_t>(EnvInt("DPGRID_SRV_QUERIES", 262144));
+  const int reps = static_cast<int>(EnvInt("DPGRID_SRV_REPS", 3));
+  const auto seed = static_cast<uint64_t>(EnvInt("DPGRID_SEED", 20130408));
+  const char* out_path = std::getenv("DPGRID_BENCH_OUT");
+  if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_server.json";
+
+  std::printf("=== bench_server_throughput ===\n");
+  std::printf("points=%lld queries=%zu reps=%d seed=%llu (loopback, "
+              "1-thread engine)\n",
+              static_cast<long long>(num_points), num_queries, reps,
+              static_cast<unsigned long long>(seed));
+
+  // Build and publish one UG snapshot into a scratch store.
+  Rng data_rng(seed);
+  const Dataset data = MakeCheckinLike(num_points, data_rng);
+  Rng build_rng(seed + 2);
+  UniformGrid ug(data, 1.0, build_rng);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dpgrid_bench_server")
+          .string();
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+  std::string error;
+  if (store.Publish("bench", ug, SnapshotMeta{1.0, "bench"}, &error) == 0) {
+    std::fprintf(stderr, "publish failed: %s\n", error.c_str());
+    return 1;
+  }
+  SynopsisCatalog catalog(&store);
+  if (catalog.LoadAll(&error) != 1) {
+    std::fprintf(stderr, "catalog load failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("uniform grid: m=%d\n", ug.grid_size());
+
+  // Paper-style workload, flattened and padded.
+  Rng workload_rng(seed + 1);
+  const int per_size = static_cast<int>((num_queries + 5) / 6);
+  Workload workload =
+      GenerateWorkload(data.domain(), data.domain().Width() / 2,
+                       data.domain().Height() / 2, 6, per_size, workload_rng);
+  std::vector<Rect> queries;
+  for (const auto& group : workload.queries) {
+    queries.insert(queries.end(), group.begin(), group.end());
+  }
+  queries.resize(num_queries);
+
+  const QueryEngine engine(QueryEngineOptions{.num_threads = 1});
+
+  // --- in-process baseline --------------------------------------------------
+  const auto snap = catalog.Slot2D("bench")->Acquire();
+  std::vector<double> local(num_queries);
+  double t_local = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = NowSeconds();
+    engine.AnswerAll(*snap->synopsis, queries, local);
+    t_local = std::min(t_local, NowSeconds() - t0);
+  }
+  const double inprocess_qps = static_cast<double>(num_queries) / t_local;
+  std::printf("\nin-process engine: %.0f QPS\n", inprocess_qps);
+
+  // --- server + client ------------------------------------------------------
+  QueryServer server(&catalog, &engine, QueryServerOptions{});
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  QueryClient client;
+  if (!client.Connect("127.0.0.1", server.port(), &error)) {
+    std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  const size_t kBatchSizes[] = {256, 4096, 65536};
+  std::vector<PassResult> results;
+  std::printf("\n%-12s %14s %14s %12s %10s\n", "batch_size", "wire QPS",
+              "frames/s", "overhead", "bitwise");
+  bool all_equal = true;
+  for (const size_t batch : kBatchSizes) {
+    std::vector<double> wire(num_queries);
+    std::vector<double> answers;
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const double t0 = NowSeconds();
+      for (size_t off = 0; off < num_queries; off += batch) {
+        const size_t n = std::min(batch, num_queries - off);
+        uint64_t version = 0;
+        if (!client.QueryBatch(
+                "bench", std::span<const Rect>(queries.data() + off, n),
+                &answers, &version, nullptr, &error)) {
+          std::fprintf(stderr, "query failed: %s\n", error.c_str());
+          return 1;
+        }
+        std::copy(answers.begin(), answers.end(), wire.begin() + off);
+      }
+      best = std::min(best, NowSeconds() - t0);
+    }
+    PassResult res;
+    res.batch_size = batch;
+    res.wire_qps = static_cast<double>(num_queries) / best;
+    res.frames_per_sec =
+        static_cast<double>((num_queries + batch - 1) / batch) / best;
+    res.overhead = 1.0 - res.wire_qps / inprocess_qps;
+    res.bitwise_equal = wire == local;
+    all_equal = all_equal && res.bitwise_equal;
+    results.push_back(res);
+    std::printf("%-12zu %14.0f %14.1f %11.1f%% %10s\n", batch, res.wire_qps,
+                res.frames_per_sec, 100.0 * res.overhead,
+                res.bitwise_equal ? "yes" : "NO");
+  }
+
+  const WireStats stats = server.StatsSnapshot();
+  std::printf("\nserver counters: %llu frames, %llu queries, %llu errors\n",
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.queries_answered),
+              static_cast<unsigned long long>(stats.errors_returned));
+  client.Close();
+  server.Shutdown();
+  std::filesystem::remove_all(dir);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_server_throughput\",\n"
+               "  \"config\": {\n"
+               "    \"points\": %lld,\n"
+               "    \"queries\": %zu,\n"
+               "    \"reps\": %d,\n"
+               "    \"seed\": %llu,\n"
+               "    \"grid_size\": %d,\n"
+               "    \"transport\": \"tcp-loopback\",\n"
+               "    \"engine_threads\": 1\n"
+               "  },\n"
+               "  \"inprocess_qps\": %.0f,\n"
+               "  \"wire\": [\n",
+               static_cast<long long>(num_points), num_queries, reps,
+               static_cast<unsigned long long>(seed), ug.grid_size(),
+               inprocess_qps);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const PassResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"batch_size\": %zu, \"wire_qps\": %.0f, "
+                 "\"frames_per_sec\": %.1f, \"overhead_vs_inprocess\": %.4f, "
+                 "\"bitwise_equal_inprocess\": %s}%s\n",
+                 r.batch_size, r.wire_qps, r.frames_per_sec, r.overhead,
+                 r.bitwise_equal ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  return all_equal ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -18,13 +19,19 @@ double EnvDouble(const char* name, double fallback) {
   return std::atof(v);
 }
 
+}  // namespace
+
 int64_t EnvInt(const char* name, int64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   return std::atoll(v);
 }
 
-}  // namespace
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 BenchConfig BenchConfig::FromEnv() {
   BenchConfig c;

@@ -17,6 +17,13 @@
 namespace dpgrid {
 namespace bench {
 
+/// Integer env knob with a fallback (empty/unset uses the fallback) —
+/// shared by every bench harness instead of per-binary copies.
+int64_t EnvInt(const char* name, int64_t fallback);
+
+/// Monotonic wall-clock seconds, for best-of-reps timing loops.
+double NowSeconds();
+
 /// Runtime knobs shared by every bench binary, read from the environment:
 ///   DPGRID_SCALE    dataset scale in (0,1], default 1.0 (paper scale)
 ///   DPGRID_TRIALS   fresh-noise trials per method, default 3

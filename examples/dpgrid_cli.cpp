@@ -12,6 +12,11 @@
 // Demo mode (no files needed): `dpgrid_cli demo` generates a dataset,
 // builds a release, queries it, and round-trips through CSV.
 //
+// Network client side (talks to a running dpgrid_server):
+//   dpgrid_cli remote-list  <host> <port>
+//   dpgrid_cli remote-query <host> <port> <name> <xlo> <ylo> <xhi> <yhi>
+//   dpgrid_cli remote-stats <host> <port>
+//
 // Set DPGRID_SEED for a reproducible noise seed (default: random).
 
 #include <cstdint>
@@ -27,6 +32,9 @@
 #include "geo/dataset.h"
 #include "grid/adaptive_grid.h"
 #include "grid/uniform_grid.h"
+#include "server/client.h"
+
+#include "example_util.h"
 #include "synth/cells_io.h"
 #include "synth/synthesize.h"
 
@@ -172,18 +180,119 @@ int CmdDemo() {
   return 0;
 }
 
+// Connects to argv[2]:argv[3]; shared by the remote-* commands.
+bool ConnectRemote(char** argv, QueryClient* client) {
+  uint16_t port = 0;
+  if (!ParsePort(argv[3], /*allow_zero=*/false, &port)) {
+    std::fprintf(stderr, "error: bad port '%s' (need 1-65535)\n", argv[3]);
+    return false;
+  }
+  std::string error;
+  if (!client->Connect(argv[2], port, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdRemoteList(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: dpgrid_cli remote-list <host> <port>\n");
+    return 2;
+  }
+  QueryClient client;
+  if (!ConnectRemote(argv, &client)) return 1;
+  std::vector<CatalogEntryInfo> entries;
+  std::string error;
+  if (!client.ListSynopses(&entries, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%-20s %8s %5s %-10s %8s  %s\n", "name", "version", "dims",
+              "synopsis", "epsilon", "label");
+  for (const CatalogEntryInfo& e : entries) {
+    std::printf("%-20s %8llu %5u %-10s %8g  %s\n", e.name.c_str(),
+                static_cast<unsigned long long>(e.version), e.dims,
+                e.synopsis_name.c_str(), e.epsilon, e.label.c_str());
+  }
+  return 0;
+}
+
+int CmdRemoteQuery(int argc, char** argv) {
+  if (argc < 9) {
+    std::fprintf(stderr,
+                 "usage: dpgrid_cli remote-query <host> <port> <name> "
+                 "<xlo> <ylo> <xhi> <yhi>\n");
+    return 2;
+  }
+  QueryClient client;
+  if (!ConnectRemote(argv, &client)) return 1;
+  const Rect query{std::atof(argv[5]), std::atof(argv[6]),
+                   std::atof(argv[7]), std::atof(argv[8])};
+  std::vector<double> answers;
+  uint64_t version = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string error;
+  if (!client.QueryBatch(argv[4], std::vector<Rect>{query}, &answers,
+                         &version, &status, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%.2f  (synopsis '%s' v%llu)\n", answers[0], argv[4],
+              static_cast<unsigned long long>(version));
+  return 0;
+}
+
+int CmdRemoteStats(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: dpgrid_cli remote-stats <host> <port>\n");
+    return 2;
+  }
+  QueryClient client;
+  if (!ConnectRemote(argv, &client)) return 1;
+  WireStats stats;
+  std::string error;
+  if (!client.Stats(&stats, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("connections_accepted %llu\n"
+              "frames_received      %llu\n"
+              "malformed_frames     %llu\n"
+              "batches_answered     %llu\n"
+              "queries_answered     %llu\n"
+              "errors_returned      %llu\n"
+              "reloads_installed    %llu\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.malformed_frames),
+              static_cast<unsigned long long>(stats.batches_answered),
+              static_cast<unsigned long long>(stats.queries_answered),
+              static_cast<unsigned long long>(stats.errors_returned),
+              static_cast<unsigned long long>(stats.reloads_installed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dpgrid_cli <build|query|synthesize|demo> ...\n");
+                 "usage: dpgrid_cli <build|query|synthesize|demo|"
+                 "remote-list|remote-query|remote-stats> ...\n");
     return 2;
   }
   if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
   if (std::strcmp(argv[1], "synthesize") == 0) return CmdSynthesize(argc, argv);
   if (std::strcmp(argv[1], "demo") == 0) return CmdDemo();
+  if (std::strcmp(argv[1], "remote-list") == 0) return CmdRemoteList(argc, argv);
+  if (std::strcmp(argv[1], "remote-query") == 0) {
+    return CmdRemoteQuery(argc, argv);
+  }
+  if (std::strcmp(argv[1], "remote-stats") == 0) {
+    return CmdRemoteStats(argc, argv);
+  }
   std::fprintf(stderr, "unknown command: %s\n", argv[1]);
   return 2;
 }

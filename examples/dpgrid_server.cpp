@@ -1,0 +1,138 @@
+// dpgrid_server: serve a SnapshotStore directory over TCP.
+//
+//   ./dpgrid_server <snapshot_dir> [port] [--demo]
+//
+// Boots a SynopsisCatalog with the latest version of every synopsis in
+// <snapshot_dir> and serves them over the DPGW wire protocol (see README,
+// "Wire protocol"). Port 0 (the default) picks an ephemeral port and
+// prints it. --demo publishes a seeded demo grid first so the server has
+// something to serve on an empty directory.
+//
+// A publisher process that drops new .dpgs versions into the directory
+// becomes visible to clients on the next RELOAD op, or automatically
+// every DPGRID_RELOAD_SECS seconds (env; default 0 = disabled).
+// Ctrl-C shuts down gracefully.
+//
+// Try it:
+//   ./dpgrid_server /tmp/snaps 7171 --demo &
+//   ./dpgrid_cli remote-list 127.0.0.1 7171
+//   ./dpgrid_cli remote-query 127.0.0.1 7171 demo -100 30 -80 45
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "catalog/synopsis_catalog.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "grid/uniform_grid.h"
+#include "query/query_engine.h"
+#include "server/server.h"
+#include "store/snapshot_store.h"
+
+#include "example_util.h"
+
+using namespace dpgrid;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: dpgrid_server <snapshot_dir> [port] [--demo]\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  uint16_t port = 0;
+  bool demo = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (!ParsePort(argv[i], /*allow_zero=*/true, &port)) {
+      std::fprintf(stderr, "error: bad port '%s' (need 0-65535; 0 = "
+                           "ephemeral)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  SnapshotStore store(dir);
+  if (demo && store.ListNames().empty()) {
+    Rng rng(20130408);
+    const Dataset data = MakeLandmarkLike(100000, rng);
+    UniformGrid demo_grid(data, 1.0, rng);
+    std::string error;
+    if (store.Publish("demo", demo_grid, SnapshotMeta{1.0, "demo"}, &error) ==
+        0) {
+      std::fprintf(stderr, "demo publish failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("published demo synopsis %s into %s/\n",
+                demo_grid.Name().c_str(), dir.c_str());
+  }
+
+  SynopsisCatalog catalog(&store);
+  std::string errors;
+  const size_t loaded = catalog.LoadAll(&errors);
+  if (!errors.empty()) {
+    std::fprintf(stderr, "warning: some snapshots failed to load: %s\n",
+                 errors.c_str());
+  }
+  std::printf("catalog: %zu synopses loaded from %s/\n", loaded, dir.c_str());
+  for (const CatalogEntryInfo& e : catalog.List()) {
+    std::printf("  %-20s v%llu  %ud  %-10s epsilon=%g  %s\n", e.name.c_str(),
+                static_cast<unsigned long long>(e.version), e.dims,
+                e.synopsis_name.c_str(), e.epsilon, e.label.c_str());
+  }
+
+  const QueryEngine engine;
+  QueryServerOptions options;
+  options.port = port;
+  QueryServer server(&catalog, &engine, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serving on %s:%u (Ctrl-C to stop)\n",
+              options.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const long reload_secs =
+      std::getenv("DPGRID_RELOAD_SECS") != nullptr
+          ? std::atol(std::getenv("DPGRID_RELOAD_SECS"))
+          : 0;
+  long ticks = 0;
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (reload_secs > 0 && ++ticks * 200 >= reload_secs * 1000) {
+      ticks = 0;
+      const size_t installed = catalog.ReloadAll(nullptr);
+      if (installed > 0) {
+        std::printf("hot reload: %zu new version(s) installed\n", installed);
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  const WireStats stats = server.StatsSnapshot();
+  server.Shutdown();
+  std::printf("\nshutdown: %llu connections, %llu frames, %llu batches, "
+              "%llu queries, %llu errors\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.batches_answered),
+              static_cast<unsigned long long>(stats.queries_answered),
+              static_cast<unsigned long long>(stats.errors_returned));
+  return 0;
+}

@@ -1,0 +1,22 @@
+#ifndef DPGRID_EXAMPLES_EXAMPLE_UTIL_H_
+#define DPGRID_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+// Helpers shared by the example binaries.
+
+/// Strict TCP port parse: digits only, in range. `allow_zero` admits 0
+/// (= bind an ephemeral port) for servers; clients need a real port.
+inline bool ParsePort(const char* arg, bool allow_zero, uint16_t* out) {
+  char* end = nullptr;
+  const long port = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || port < (allow_zero ? 0 : 1) ||
+      port > 65535) {
+    return false;
+  }
+  *out = static_cast<uint16_t>(port);
+  return true;
+}
+
+#endif  // DPGRID_EXAMPLES_EXAMPLE_UTIL_H_

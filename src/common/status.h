@@ -1,0 +1,18 @@
+#ifndef DPGRID_COMMON_STATUS_H_
+#define DPGRID_COMMON_STATUS_H_
+
+#include <string>
+
+namespace dpgrid {
+
+/// The error-reporting idiom shared by the store, wire, and client layers:
+/// fill the caller's optional error slot and return false, so failure
+/// paths read `return SetError(error, "...")`.
+inline bool SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_COMMON_STATUS_H_

@@ -62,6 +62,8 @@ class AdaptiveGridNd : public SynopsisNd {
                    std::span<double> out) const override;
   std::string Name() const override;
 
+  size_t dims() const override { return level1_->dims(); }
+
   int level1_size() const { return m1_; }
 
   /// Post-inference level-1 count at a flattened level-1 index.

@@ -49,6 +49,8 @@ class HierarchyNd : public SynopsisNd {
                    std::span<double> out) const override;
   std::string Name() const override;
 
+  size_t dims() const override { return dims_; }
+
   /// Per-axis grid size of level l (0 = coarsest).
   int LevelSize(int level) const;
 

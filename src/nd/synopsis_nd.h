@@ -28,6 +28,9 @@ class SynopsisNd {
 
   /// Short method name for reports, e.g. "U3d-14".
   virtual std::string Name() const = 0;
+
+  /// Dimensionality d of the boxes this synopsis answers.
+  virtual size_t dims() const = 0;
 };
 
 }  // namespace dpgrid

@@ -43,6 +43,8 @@ class UniformGridNd : public SynopsisNd {
                    std::span<double> out) const override;
   std::string Name() const override;
 
+  size_t dims() const override { return noisy_->dims(); }
+
   int grid_size() const { return grid_size_; }
   const GridNd& noisy_counts() const { return *noisy_; }
   const UniformGridNdOptions& options() const { return options_; }

@@ -1,0 +1,218 @@
+#include "server/client.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/status.h"
+#include "server/socket_io.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace dpgrid {
+
+namespace {
+
+// Folds a non-OK wire status into the caller's out-params.
+bool WireError(WireStatus got, const std::string& message, WireStatus* status,
+               std::string* error) {
+  if (status != nullptr) *status = got;
+  return SetError(error, std::string(WireStatusName(got)) +
+                             (message.empty() ? "" : ": " + message));
+}
+
+}  // namespace
+
+bool QueryClient::HandleWireError(WireStatus got, const std::string& message,
+                                  WireStatus* status, std::string* error) {
+  // The server closes the connection after any MALFORMED_FRAME response
+  // (the stream can no longer be framed) — mirror that here so
+  // connected() tells the truth and the caller reconnects.
+  if (got == WireStatus::kMalformedFrame) Close();
+  return WireError(got, message, status, error);
+}
+
+QueryClient::~QueryClient() { Close(); }
+
+#ifndef _WIN32
+
+bool QueryClient::Connect(const std::string& host, uint16_t port,
+                          std::string* error) {
+  Close();
+  fd_ = net::ConnectTcp(host, port, error);
+  return fd_ >= 0;
+}
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool QueryClient::RoundTrip(WireOp op, const std::string& request_body,
+                            std::string* response_body, std::string* error) {
+  if (fd_ < 0) return SetError(error, "not connected");
+  const uint64_t request_id = next_request_id_++;
+  const std::string request_header =
+      EncodeFrameHeader(op, request_id, request_body);
+  if (!net::WriteFull2(fd_, request_header.data(), request_header.size(),
+                       request_body.data(), request_body.size())) {
+    Close();
+    return SetError(error, "connection lost while sending request");
+  }
+
+  char header[kWireHeaderSize];
+  if (!net::ReadFull(fd_, header, sizeof(header))) {
+    Close();
+    return SetError(error, "connection lost while reading response");
+  }
+  WireOp resp_op = WireOp::kQueryBatch;
+  uint64_t resp_id = 0;
+  uint64_t body_size = 0;
+  uint64_t checksum = 0;
+  if (!DecodeFrameHeader(std::string_view(header, sizeof(header)), &resp_op,
+                         &resp_id, &body_size, &checksum, error,
+                         max_body_bytes_)) {
+    Close();
+    return false;
+  }
+  response_body->resize(static_cast<size_t>(body_size));
+  if (body_size > 0 &&
+      !net::ReadFull(fd_, response_body->data(), response_body->size())) {
+    Close();
+    return SetError(error, "connection lost while reading response body");
+  }
+  if (!VerifyFrameBody(*response_body, checksum, error)) {
+    Close();
+    return false;
+  }
+  if (resp_id != request_id || resp_op != op) {
+    // A server deep in framing trouble echoes id 0 or a different op; the
+    // stream can no longer be matched to requests.
+    Close();
+    return SetError(error, "response does not match request");
+  }
+  return true;
+}
+
+#else  // _WIN32
+
+bool QueryClient::Connect(const std::string&, uint16_t, std::string* error) {
+  return SetError(error, "QueryClient requires POSIX sockets");
+}
+
+void QueryClient::Close() {}
+
+bool QueryClient::RoundTrip(WireOp, const std::string&, std::string*,
+                            std::string* error) {
+  return SetError(error, "not connected");
+}
+
+#endif  // _WIN32
+
+bool QueryClient::RunQueryBatch(const std::string& request_body,
+                                size_t expected_count,
+                                std::vector<double>* answers,
+                                uint64_t* version, WireStatus* status,
+                                std::string* error) {
+  // A frame the peer would reject on its header fails here, before the
+  // doomed upload. The cap is the client's configured frame limit, which
+  // the operator raises in step with the server's max_body_bytes.
+  if (request_body.size() > max_body_bytes_) {
+    if (status != nullptr) *status = WireStatus::kTooLarge;
+    return SetError(error, "encoded batch of " +
+                               std::to_string(request_body.size()) +
+                               " bytes exceeds the frame cap — split it "
+                               "into smaller batches");
+  }
+  std::string body;
+  if (!RoundTrip(WireOp::kQueryBatch, request_body, &body, error)) {
+    if (status != nullptr) *status = WireStatus::kInternal;
+    return false;
+  }
+  QueryBatchResponse resp;
+  if (!DecodeQueryBatchResponse(body, &resp, error)) {
+    Close();
+    if (status != nullptr) *status = WireStatus::kInternal;
+    return false;
+  }
+  if (resp.status != WireStatus::kOk) {
+    return HandleWireError(resp.status, resp.message, status, error);
+  }
+  if (resp.answers.size() != expected_count) {
+    Close();
+    if (status != nullptr) *status = WireStatus::kInternal;
+    return SetError(error, "answer count does not match query count");
+  }
+  if (answers != nullptr) *answers = std::move(resp.answers);
+  if (version != nullptr) *version = resp.version;
+  if (status != nullptr) *status = WireStatus::kOk;
+  return true;
+}
+
+bool QueryClient::QueryBatch(const std::string& name,
+                             std::span<const Rect> queries,
+                             std::vector<double>* answers, uint64_t* version,
+                             WireStatus* status, std::string* error) {
+  return RunQueryBatch(EncodeQueryBatchRequest(name, queries),
+                       queries.size(), answers, version, status, error);
+}
+
+bool QueryClient::QueryBatchNd(const std::string& name, uint32_t dims,
+                               std::span<const BoxNd> queries,
+                               std::vector<double>* answers,
+                               uint64_t* version, WireStatus* status,
+                               std::string* error) {
+  return RunQueryBatch(EncodeQueryBatchRequestNd(name, dims, queries),
+                       queries.size(), answers, version, status, error);
+}
+
+bool QueryClient::ListSynopses(std::vector<CatalogEntryInfo>* entries,
+                               std::string* error) {
+  std::string body;
+  if (!RoundTrip(WireOp::kListSynopses, "", &body, error)) return false;
+  ListResponse resp;
+  if (!DecodeListResponse(body, &resp, error)) {
+    Close();
+    return false;
+  }
+  if (resp.status != WireStatus::kOk) {
+    return HandleWireError(resp.status, resp.message, nullptr, error);
+  }
+  if (entries != nullptr) *entries = std::move(resp.entries);
+  return true;
+}
+
+bool QueryClient::Stats(WireStats* stats, std::string* error) {
+  std::string body;
+  if (!RoundTrip(WireOp::kStats, "", &body, error)) return false;
+  StatsResponse resp;
+  if (!DecodeStatsResponse(body, &resp, error)) {
+    Close();
+    return false;
+  }
+  if (resp.status != WireStatus::kOk) {
+    return HandleWireError(resp.status, resp.message, nullptr, error);
+  }
+  if (stats != nullptr) *stats = resp.stats;
+  return true;
+}
+
+bool QueryClient::Reload(uint64_t* installed, std::string* error) {
+  std::string body;
+  if (!RoundTrip(WireOp::kReload, "", &body, error)) return false;
+  ReloadResponse resp;
+  if (!DecodeReloadResponse(body, &resp, error)) {
+    Close();
+    return false;
+  }
+  if (resp.status != WireStatus::kOk) {
+    return HandleWireError(resp.status, resp.message, nullptr, error);
+  }
+  if (installed != nullptr) *installed = resp.installed;
+  return true;
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,92 @@
+#ifndef DPGRID_SERVER_CLIENT_H_
+#define DPGRID_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace dpgrid {
+
+/// Blocking client for the DPGW wire protocol: one TCP connection, one
+/// outstanding request at a time.
+///
+/// Every call returns true only when the server answered with status OK;
+/// a wire-level error (NOT_FOUND, WRONG_DIMS, ...) returns false with
+/// *status and *error carrying the server's code and message, and the
+/// connection stays usable. Transport failures (connection reset,
+/// malformed response, request-id mismatch) also return false and close
+/// the connection; check connected() or reconnect.
+///
+/// Not thread-safe: use one QueryClient per thread (connections are
+/// cheap; the server handles each on its own thread).
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  bool Connect(const std::string& host, uint16_t port, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Largest frame body this client will send or accept (default: the
+  /// protocol's 64 MiB cap). Raise it in step with a server configured
+  /// for bigger batches; otherwise oversized requests fail before upload
+  /// and huge responses are rejected as malformed.
+  void set_max_body_bytes(uint64_t bytes) { max_body_bytes_ = bytes; }
+
+  /// Answers a 2-D batch against `name`. On success *version is the single
+  /// snapshot version all answers came from and *answers matches `queries`
+  /// in length.
+  bool QueryBatch(const std::string& name, std::span<const Rect> queries,
+                  std::vector<double>* answers, uint64_t* version,
+                  WireStatus* status, std::string* error);
+
+  /// d-dimensional counterpart; every query must have dimensionality
+  /// `dims` (checked — a mismatched box would be mis-serialized).
+  bool QueryBatchNd(const std::string& name, uint32_t dims,
+                    std::span<const BoxNd> queries,
+                    std::vector<double>* answers, uint64_t* version,
+                    WireStatus* status, std::string* error);
+
+  /// Lists every synopsis the server catalog holds.
+  bool ListSynopses(std::vector<CatalogEntryInfo>* entries,
+                    std::string* error);
+
+  /// Fetches the server's request counters.
+  bool Stats(WireStats* stats, std::string* error);
+
+  /// Asks the server to reload its catalog from the snapshot store;
+  /// *installed receives how many new versions became servable.
+  bool Reload(uint64_t* installed, std::string* error);
+
+ private:
+  /// Sends one frame and reads the matching response frame (op and
+  /// request id must echo). False on transport/framing failure (closes).
+  bool RoundTrip(WireOp op, const std::string& request_body,
+                 std::string* response_body, std::string* error);
+
+  /// Shared QUERY_BATCH tail: round trip, decode, status/answer-count
+  /// checks, out-param fills. `expected_count` is the query count sent.
+  bool RunQueryBatch(const std::string& request_body, size_t expected_count,
+                     std::vector<double>* answers, uint64_t* version,
+                     WireStatus* status, std::string* error);
+
+  /// Surfaces a non-OK wire status; closes the connection when the server
+  /// will have closed its end (MALFORMED_FRAME). Returns false.
+  bool HandleWireError(WireStatus got, const std::string& message,
+                       WireStatus* status, std::string* error);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  uint64_t max_body_bytes_ = kWireMaxBodyBytes;
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_SERVER_CLIENT_H_

@@ -1,0 +1,414 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "server/socket_io.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace dpgrid {
+
+QueryServer::QueryServer(SynopsisCatalog* catalog, const QueryEngine* engine,
+                         QueryServerOptions options)
+    : catalog_(catalog), engine_(engine), options_(std::move(options)) {}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+WireStats QueryServer::StatsSnapshot() const {
+  WireStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.frames_received = frames_received_.load();
+  s.malformed_frames = malformed_frames_.load();
+  s.batches_answered = batches_answered_.load();
+  s.queries_answered = queries_answered_.load();
+  s.errors_returned = errors_returned_.load();
+  s.reloads_installed = reloads_installed_.load();
+  return s;
+}
+
+#ifndef _WIN32
+
+bool QueryServer::Start(std::string* error) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error != nullptr) {
+      *error = "bad bind address: " + options_.bind_address;
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    if (error != nullptr) {
+      *error = "cannot listen on " + options_.bind_address + ":" +
+               std::to_string(options_.port) + ": " + std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  started_ = true;
+  return true;
+}
+
+void QueryServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept(): shutdown() wakes a blocked accept on Linux; on
+  // BSD-family systems shutdown of a listening socket fails (ENOTCONN)
+  // and the close() is what wakes it. The loop re-checks stopping_ at the
+  // top, so a woken accept never touches the (now closed) fd again.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+
+  // Unblock every in-flight connection read, then join the handlers. The
+  // handles are moved out under the lock because handlers park themselves
+  // in finished_threads_; the joins must happen outside it for the same
+  // reason.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    for (auto& [fd, thread] : conn_threads_) {
+      ::shutdown(fd, SHUT_RDWR);
+      threads.push_back(std::move(thread));
+    }
+    conn_threads_.clear();
+    for (std::thread& t : finished_threads_) threads.push_back(std::move(t));
+    finished_threads_.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  running_.store(false, std::memory_order_release);
+  started_ = false;
+}
+
+void QueryServer::ReapFinishedThreads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    done = std::move(finished_threads_);
+    finished_threads_.clear();
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ReapFinishedThreads();
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Resource exhaustion (out of fds under a burst) is transient: a
+      // production server must keep accepting once pressure clears, not
+      // die silently while running() still reports true.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      // Listen socket shut down or fatally broken: flip running_ so an
+      // operator polling it can tell the server is no longer accepting
+      // (Shutdown() flips it too, harmlessly).
+      running_.store(false, std::memory_order_release);
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    net::SetNoDelay(fd);
+    // The registry entry and the thread are created under one lock hold,
+    // so the handler's exit path (which locks conn_mu_ to park its own
+    // handle) always finds its entry. Thread creation fails under the
+    // same resource exhaustion the accept() EAGAIN-family handling above
+    // treats as transient — shed the connection instead of letting the
+    // exception kill the server.
+    bool spawned = false;
+    try {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      const auto [it, inserted] = conn_threads_.try_emplace(fd);
+      try {
+        it->second = std::thread(&QueryServer::HandleConnection, this, fd);
+        spawned = true;
+      } catch (...) {
+        conn_threads_.erase(it);
+      }
+    } catch (...) {
+      // try_emplace allocation failure; fall through to shed below.
+    }
+    if (!spawned) {
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Reads a frame body in bounded chunks: memory is committed only as bytes
+// actually arrive, so a header CLAIMING a huge body (the size field is
+// attacker-controlled) cannot make the server pre-allocate it.
+bool ReadBodyChunked(int fd, uint64_t body_size, std::string* body) {
+  constexpr size_t kChunk = 256 * 1024;
+  body->clear();
+  while (body->size() < body_size) {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChunk, body_size - body->size()));
+    const size_t old = body->size();
+    body->resize(old + n);
+    if (!net::ReadFull(fd, body->data() + old, n)) return false;
+  }
+  return true;
+}
+
+// Reads and discards up to `n` pending bytes. Used before closing on a
+// malformed header: closing a socket with unread received data sends RST,
+// which can discard the queued error response before the peer reads it.
+// A short receive timeout bounds the stall if the claimed bytes never
+// arrive (the claim came from the malformed header itself).
+void DrainPending(int fd, uint64_t n) {
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char sink[4096];
+  while (n > 0) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(sizeof(sink), n));
+    const ssize_t r = ::read(fd, sink, want);
+    if (r <= 0) break;  // EOF, error, or timeout: stop waiting
+    n -= static_cast<uint64_t>(r);
+  }
+}
+
+}  // namespace
+
+void QueryServer::HandleConnection(int fd) {
+  // Capacity a connection may keep between frames; bigger one-off frames
+  // are served but their buffer is released afterwards.
+  constexpr size_t kRetainedBodyCapacity = 1 << 20;
+  std::string body;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    char header[kWireHeaderSize];
+    if (!net::ReadFull(fd, header, sizeof(header))) break;
+
+    WireOp op = WireOp::kQueryBatch;
+    uint64_t request_id = 0;
+    uint64_t body_size = 0;
+    uint64_t checksum = 0;
+    std::string frame_error;
+    const bool header_ok = DecodeFrameHeader(
+        std::string_view(header, sizeof(header)), &op, &request_id,
+        &body_size, &checksum, &frame_error, options_.max_body_bytes);
+    if (!header_ok) {
+      // Echo whatever sits in the request-id and op slots (when the op is
+      // at least a known code) so a client can still correlate the
+      // failure and decode the diagnostic; the stream framing is
+      // untrustworthy now, so close after responding.
+      std::memcpy(&request_id, header + 12, sizeof(request_id));
+      uint32_t raw_op = 0;
+      std::memcpy(&raw_op, header + 8, sizeof(raw_op));
+      const WireOp echo_op =
+          raw_op >= static_cast<uint32_t>(WireOp::kQueryBatch) &&
+                  raw_op <= static_cast<uint32_t>(WireOp::kReload)
+              ? static_cast<WireOp>(raw_op)
+              : WireOp::kQueryBatch;
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      errors_returned_.fetch_add(1, std::memory_order_relaxed);
+      const std::string resp = EncodeFrame(
+          echo_op, request_id,
+          EncodeErrorBody(WireStatus::kMalformedFrame, frame_error));
+      net::WriteFull(fd, resp.data(), resp.size());
+      ::shutdown(fd, SHUT_WR);  // flush response + FIN before the drain
+      uint64_t claimed_body = 0;
+      std::memcpy(&claimed_body, header + 20, sizeof(claimed_body));
+      DrainPending(fd,
+                   std::min<uint64_t>(claimed_body, options_.max_body_bytes));
+      break;
+    }
+
+    if (!ReadBodyChunked(fd, body_size, &body)) break;
+    if (!VerifyFrameBody(body, checksum, &frame_error)) {
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      errors_returned_.fetch_add(1, std::memory_order_relaxed);
+      const std::string resp = EncodeFrame(
+          op, request_id,
+          EncodeErrorBody(WireStatus::kMalformedFrame, frame_error));
+      net::WriteFull(fd, resp.data(), resp.size());
+      // Same write-then-drain-then-close treatment as the header path: a
+      // pipelined next frame sitting unread in the receive buffer would
+      // otherwise turn our close into an RST that destroys the response.
+      ::shutdown(fd, SHUT_WR);
+      DrainPending(fd, options_.max_body_bytes);
+      break;
+    }
+
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    const std::string resp_body = DispatchFrame(op, body);
+    const std::string resp_header =
+        EncodeFrameHeader(op, request_id, resp_body);
+    if (!net::WriteFull2(fd, resp_header.data(), resp_header.size(),
+                         resp_body.data(), resp_body.size())) {
+      break;
+    }
+    if (body.capacity() > kRetainedBodyCapacity) {
+      std::string().swap(body);
+    }
+  }
+  // Join earlier-finished handlers before parking this one, so an idle
+  // server retains at most one exited thread after a connection burst
+  // (the accept loop would otherwise only reap on the NEXT connection).
+  // Parked threads are past all locking — only a close and return remain
+  // — so joining them here cannot deadlock.
+  ReapFinishedThreads();
+  {
+    // Park this thread's own handle for a later handler, the accept loop,
+    // or Shutdown to join — a thread cannot join itself. The erase
+    // happens before the close so a recycled fd number can never be
+    // confused with this one.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const auto it = conn_threads_.find(fd);
+    if (it != conn_threads_.end()) {
+      finished_threads_.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+  }
+  ::close(fd);
+}
+
+#else  // _WIN32
+
+bool QueryServer::Start(std::string* error) {
+  if (error != nullptr) {
+    *error = "QueryServer requires POSIX sockets on this platform";
+  }
+  return false;
+}
+
+void QueryServer::Shutdown() {}
+void QueryServer::AcceptLoop() {}
+void QueryServer::HandleConnection(int) {}
+void QueryServer::ReapFinishedThreads() {}
+
+#endif  // _WIN32
+
+std::string QueryServer::DispatchFrame(WireOp op, const std::string& body) {
+  WireStatus status = WireStatus::kOk;
+  std::string response_body;
+  switch (op) {
+    case WireOp::kQueryBatch: {
+      QueryBatchRequest req;
+      std::string error;
+      // The decoder enforces max_batch_queries at the count field, so an
+      // over-limit batch is rejected before its queries are parsed.
+      WireStatus reject = WireStatus::kMalformedRequest;
+      if (!DecodeQueryBatchRequest(body, &req, &error,
+                                   options_.max_batch_queries, &reject)) {
+        status = reject;
+        response_body = EncodeErrorBody(status, error);
+        break;
+      }
+      std::vector<double> answers(req.count());
+      uint64_t version = 0;
+      const CatalogStatus catalog_status =
+          req.dims == 2
+              ? catalog_->AnswerBatch(*engine_, req.name, req.queries,
+                                      answers, &version)
+              : catalog_->AnswerBatchNd(*engine_, req.name, req.dims,
+                                        req.queries_nd, answers, &version);
+      switch (catalog_status) {
+        case CatalogStatus::kOk:
+          batches_answered_.fetch_add(1, std::memory_order_relaxed);
+          queries_answered_.fetch_add(req.count(),
+                                      std::memory_order_relaxed);
+          response_body = EncodeQueryBatchOkBody(version, answers);
+          break;
+        case CatalogStatus::kNotFound:
+          status = WireStatus::kNotFound;
+          response_body = EncodeErrorBody(
+              status, "no published synopsis named '" + req.name + "'");
+          break;
+        case CatalogStatus::kWrongDims:
+          status = WireStatus::kWrongDims;
+          response_body = EncodeErrorBody(
+              status, "'" + req.name + "' does not serve " +
+                          std::to_string(req.dims) + "-d queries");
+          break;
+      }
+      break;
+    }
+    case WireOp::kListSynopses:
+    case WireOp::kStats:
+    case WireOp::kReload: {
+      // These ops carry no request payload; enforcing that keeps protocol
+      // v1 strict instead of silently committing to ignore-trailing-bytes
+      // semantics.
+      if (!body.empty()) {
+        status = WireStatus::kMalformedRequest;
+        response_body = EncodeErrorBody(status, "request body must be empty");
+        break;
+      }
+      if (op == WireOp::kListSynopses) {
+        response_body = EncodeListOkBody(catalog_->List());
+      } else if (op == WireOp::kStats) {
+        response_body = EncodeStatsOkBody(StatsSnapshot());
+      } else {
+        const size_t installed = catalog_->ReloadAll(nullptr);
+        reloads_installed_.fetch_add(installed, std::memory_order_relaxed);
+        response_body = EncodeReloadOkBody(installed);
+      }
+      break;
+    }
+  }
+  if (status != WireStatus::kOk) {
+    errors_returned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response_body;
+}
+
+}  // namespace dpgrid

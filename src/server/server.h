@@ -1,0 +1,119 @@
+#ifndef DPGRID_SERVER_SERVER_H_
+#define DPGRID_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/synopsis_catalog.h"
+#include "query/query_engine.h"
+#include "server/wire.h"
+
+namespace dpgrid {
+
+/// Tuning knobs for QueryServer.
+struct QueryServerOptions {
+  /// Address to bind; loopback by default so a test or demo server is not
+  /// reachable from the network unless asked to be.
+  std::string bind_address = "127.0.0.1";
+  /// Port to bind; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int backlog = 64;
+  /// Per-request cap on batch size; bigger batches get a TOO_LARGE error.
+  size_t max_batch_queries = 1 << 20;
+  /// Per-frame cap on body bytes, enforced before the body is read.
+  uint64_t max_body_bytes = kWireMaxBodyBytes;
+};
+
+/// A TCP query server speaking the DPGW wire protocol (wire.h) over POSIX
+/// sockets: the network face of a SynopsisCatalog.
+///
+/// One thread runs the accept loop; each connection gets a handler thread
+/// that reads length-prefixed frames, routes QUERY_BATCH bodies through
+/// QueryEngine::AnswerAll against exactly one acquired snapshot version
+/// (the catalog guarantees a batch is never split across versions), and
+/// writes the response frame back. Answers are bitwise-identical to
+/// calling the engine in-process on the same snapshot — the wire carries
+/// raw IEEE doubles, no text round-trip.
+///
+/// Framing damage closes the connection after an error response (the
+/// stream can no longer be trusted); semantic errors (unknown name, wrong
+/// dims, oversized batch) fail only that request. Shutdown() stops the
+/// accept loop, unblocks every in-flight read, and joins all threads; it
+/// is safe to call from any thread and runs automatically on destruction.
+class QueryServer {
+ public:
+  /// `catalog` and `engine` are borrowed and must outlive the server.
+  QueryServer(SynopsisCatalog* catalog, const QueryEngine* engine,
+              QueryServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Returns false with
+  /// *error set on socket failures (port in use, bad address, ...).
+  bool Start(std::string* error);
+
+  /// Graceful stop: no new connections, in-flight reads unblocked, all
+  /// threads joined. Idempotent.
+  void Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the actual one when options.port was 0); 0 before
+  /// Start.
+  uint16_t port() const { return port_; }
+
+  /// Consistent-enough snapshot of the per-request metrics counters.
+  WireStats StatsSnapshot() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Dispatches one verified frame; returns the response BODY (the caller
+  /// frames it, writing header and body without another payload copy).
+  std::string DispatchFrame(WireOp op, const std::string& body);
+
+  SynopsisCatalog* catalog_;
+  const QueryEngine* engine_;
+  QueryServerOptions options_;
+
+  // Serializes Start/Shutdown; `started_` is only touched under it.
+  std::mutex lifecycle_mu_;
+  bool started_ = false;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  /// Joins and drops the handles of handler threads that have finished.
+  void ReapFinishedThreads();
+
+  std::mutex conn_mu_;
+  // Live connections, keyed by fd (erased by the handler before close).
+  std::map<int, std::thread> conn_threads_;
+  // Handles parked by exiting handlers (a thread cannot join itself);
+  // reaped by the accept loop so a long-running server does not retain
+  // one zombie handle per connection ever accepted.
+  std::vector<std::thread> finished_threads_;
+
+  // Per-request metrics (served by the STATS op).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> malformed_frames_{0};
+  std::atomic<uint64_t> batches_answered_{0};
+  std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> errors_returned_{0};
+  std::atomic<uint64_t> reloads_installed_{0};
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_SERVER_SERVER_H_

@@ -1,0 +1,138 @@
+#ifndef DPGRID_SERVER_SOCKET_IO_H_
+#define DPGRID_SERVER_SOCKET_IO_H_
+
+// Small POSIX socket helpers shared by the server and the client: full-
+// buffer reads/writes that survive short transfers and EINTR, and a
+// blocking TCP connect. Writes use send(MSG_NOSIGNAL) so a peer closing
+// mid-write surfaces as an error return instead of SIGPIPE killing the
+// process.
+
+#ifndef _WIN32
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace dpgrid {
+namespace net {
+
+/// Reads exactly `n` bytes; false on EOF or error.
+inline bool ReadFull(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r == 0) return false;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+/// Writes two buffers back to back (gathered, one syscall per send) —
+/// the frame-header + payload shape, without concatenating the payload
+/// into a new string. False on error; never raises SIGPIPE.
+inline bool WriteFull2(int fd, const void* a, size_t an, const void* b,
+                       size_t bn) {
+  iovec iov[2] = {{const_cast<void*>(a), an}, {const_cast<void*>(b), bn}};
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  size_t total = an + bn;
+  while (total > 0) {
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    total -= static_cast<size_t>(w);
+    // Advance the iovec past the bytes just sent.
+    size_t sent = static_cast<size_t>(w);
+    while (sent > 0 && msg.msg_iovlen > 0) {
+      if (sent >= msg.msg_iov[0].iov_len) {
+        sent -= msg.msg_iov[0].iov_len;
+        ++msg.msg_iov;
+        msg.msg_iovlen -= 1;
+      } else {
+        msg.msg_iov[0].iov_base =
+            static_cast<char*>(msg.msg_iov[0].iov_base) + sent;
+        msg.msg_iov[0].iov_len -= sent;
+        sent = 0;
+      }
+    }
+  }
+  return true;
+}
+
+/// Writes exactly `n` bytes; false on error. Never raises SIGPIPE.
+inline bool WriteFull(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// Disables Nagle's algorithm: the protocol is request/response with
+/// whole frames per write, so coalescing only adds latency.
+inline void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Blocking TCP connect to host:port (numeric or resolvable name).
+/// Returns the connected fd, or -1 with *error set.
+inline int ConnectTcp(const std::string& host, uint16_t port,
+                      std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &result);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = "cannot resolve " + host + ": " + ::gai_strerror(rc);
+    }
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0 && error != nullptr) {
+    *error = "cannot connect to " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+  }
+  if (fd >= 0) SetNoDelay(fd);
+  return fd;
+}
+
+}  // namespace net
+}  // namespace dpgrid
+
+#endif  // !_WIN32
+
+#endif  // DPGRID_SERVER_SOCKET_IO_H_

@@ -1,0 +1,425 @@
+#include "server/wire.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/status.h"
+
+#include "store/byte_io.h"
+#include "store/snapshot.h"
+#include "store/snapshot_store.h"
+
+namespace dpgrid {
+
+namespace {
+
+// Reads the `u32 status, str message` prefix every response body carries.
+bool ReadStatusPrefix(ByteReader* r, WireStatus* status, std::string* message,
+                      std::string* error) {
+  uint32_t raw = 0;
+  if (!r->U32(&raw) || !r->Str(message)) {
+    return SetError(error, "truncated response status: " + r->error());
+  }
+  if (raw > static_cast<uint32_t>(WireStatus::kInternal)) {
+    return SetError(error, "unknown response status code");
+  }
+  *status = static_cast<WireStatus>(raw);
+  return true;
+}
+
+// Non-OK responses carry nothing after the status prefix.
+bool FinishErrorResponse(const ByteReader& r, std::string* error) {
+  if (r.remaining() != 0) {
+    return SetError(error, "trailing bytes in error response");
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kNotFound:
+      return "NOT_FOUND";
+    case WireStatus::kMalformedRequest:
+      return "MALFORMED_REQUEST";
+    case WireStatus::kWrongDims:
+      return "WRONG_DIMS";
+    case WireStatus::kTooLarge:
+      return "TOO_LARGE";
+    case WireStatus::kMalformedFrame:
+      return "MALFORMED_FRAME";
+    case WireStatus::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// --- framing ---------------------------------------------------------------
+
+std::string EncodeFrameHeader(WireOp op, uint64_t request_id,
+                              std::string_view body) {
+  ByteWriter w;
+  uint32_t magic = 0;
+  std::memcpy(&magic, kWireMagic, sizeof(kWireMagic));
+  w.U32(magic);
+  w.U32(kWireProtocolVersion);
+  w.U32(static_cast<uint32_t>(op));
+  w.U64(request_id);
+  w.U64(body.size());
+  w.U64(SnapshotChecksum(body));
+  return std::move(w).Take();
+}
+
+std::string EncodeFrame(WireOp op, uint64_t request_id,
+                        std::string_view body) {
+  std::string frame = EncodeFrameHeader(op, request_id, body);
+  frame.append(body.data(), body.size());
+  return frame;
+}
+
+bool DecodeFrameHeader(std::string_view header, WireOp* op,
+                       uint64_t* request_id, uint64_t* body_size,
+                       uint64_t* body_checksum, std::string* error,
+                       uint64_t max_body_bytes) {
+  if (header.size() != kWireHeaderSize) {
+    return SetError(error, "frame header must be exactly 36 bytes");
+  }
+  ByteReader r(header);
+  uint32_t magic = 0;
+  uint32_t expected_magic = 0;
+  std::memcpy(&expected_magic, kWireMagic, sizeof(kWireMagic));
+  if (!r.U32(&magic) || magic != expected_magic) {
+    return SetError(error, "bad frame magic");
+  }
+  uint32_t version = 0;
+  if (!r.U32(&version) || version != kWireProtocolVersion) {
+    return SetError(error, "unsupported protocol version");
+  }
+  uint32_t raw_op = 0;
+  if (!r.U32(&raw_op) || raw_op < static_cast<uint32_t>(WireOp::kQueryBatch) ||
+      raw_op > static_cast<uint32_t>(WireOp::kReload)) {
+    return SetError(error, "unknown op code");
+  }
+  r.U64(request_id);
+  r.U64(body_size);
+  r.U64(body_checksum);
+  if (*body_size > max_body_bytes) {
+    return SetError(error, "frame body exceeds size limit");
+  }
+  *op = static_cast<WireOp>(raw_op);
+  return true;
+}
+
+bool VerifyFrameBody(std::string_view body, uint64_t expected_checksum,
+                     std::string* error) {
+  if (SnapshotChecksum(body) != expected_checksum) {
+    return SetError(error, "frame body checksum mismatch");
+  }
+  return true;
+}
+
+bool DecodeFrame(std::string_view bytes, WireFrame* out, std::string* error) {
+  if (bytes.size() < kWireHeaderSize) {
+    return SetError(error, "truncated frame header");
+  }
+  uint64_t body_size = 0;
+  uint64_t checksum = 0;
+  if (!DecodeFrameHeader(bytes.substr(0, kWireHeaderSize), &out->op,
+                         &out->request_id, &body_size, &checksum, error)) {
+    return false;
+  }
+  const std::string_view body = bytes.substr(kWireHeaderSize);
+  if (body.size() != body_size) {
+    return SetError(error, "frame body size does not match header");
+  }
+  if (!VerifyFrameBody(body, checksum, error)) return false;
+  out->body.assign(body.data(), body.size());
+  return true;
+}
+
+// --- QUERY_BATCH -----------------------------------------------------------
+
+std::string EncodeQueryBatchRequest(const std::string& name,
+                                    std::span<const Rect> queries) {
+  ByteWriter w;
+  w.Str(name);
+  w.U32(2);
+  w.U64(queries.size());
+  for (const Rect& q : queries) {
+    w.F64(q.xlo);
+    w.F64(q.ylo);
+    w.F64(q.xhi);
+    w.F64(q.yhi);
+  }
+  return std::move(w).Take();
+}
+
+std::string EncodeQueryBatchRequestNd(const std::string& name, uint32_t dims,
+                                      std::span<const BoxNd> queries) {
+  ByteWriter w;
+  w.Str(name);
+  w.U32(dims);
+  w.U64(queries.size());
+  for (const BoxNd& q : queries) {
+    // Indexing below trusts the shared dimensionality; a shorter box
+    // would read past its bounds.
+    DPGRID_CHECK_MSG(q.dims() == dims,
+                     "all queries in a batch must share `dims`");
+    for (size_t a = 0; a < dims; ++a) w.F64(q.lo(a));
+    for (size_t a = 0; a < dims; ++a) w.F64(q.hi(a));
+  }
+  return std::move(w).Take();
+}
+
+bool DecodeQueryBatchRequest(std::string_view body, QueryBatchRequest* out,
+                             std::string* error, size_t max_queries,
+                             WireStatus* reject_status) {
+  if (reject_status != nullptr) {
+    *reject_status = WireStatus::kMalformedRequest;
+  }
+  ByteReader r(body);
+  QueryBatchRequest req;
+  if (!r.Str(&req.name)) {
+    return SetError(error, "truncated name: " + r.error());
+  }
+  if (!SnapshotStore::ValidName(req.name)) {
+    return SetError(error, "invalid synopsis name");
+  }
+  if (!r.U32(&req.dims)) {
+    return SetError(error, "truncated dims: " + r.error());
+  }
+  if (req.dims == 0 || req.dims > kWireMaxDims) {
+    return SetError(error, "dims out of range");
+  }
+  uint64_t count = 0;
+  if (!r.U64(&count)) {
+    return SetError(error, "truncated query count: " + r.error());
+  }
+  if (count > max_queries) {
+    if (reject_status != nullptr) *reject_status = WireStatus::kTooLarge;
+    return SetError(error, "batch of " + std::to_string(count) +
+                               " queries exceeds limit of " +
+                               std::to_string(max_queries));
+  }
+  const size_t per_query = 2 * static_cast<size_t>(req.dims) * sizeof(double);
+  if (count > r.remaining() / per_query) {
+    return SetError(error, "query count exceeds body size");
+  }
+  if (req.dims == 2) {
+    req.queries.resize(static_cast<size_t>(count));
+    for (Rect& q : req.queries) {
+      r.F64(&q.xlo);
+      r.F64(&q.ylo);
+      r.F64(&q.xhi);
+      r.F64(&q.yhi);
+    }
+  } else {
+    req.queries_nd.reserve(static_cast<size_t>(count));
+    std::vector<double> lo(req.dims);
+    std::vector<double> hi(req.dims);
+    for (uint64_t i = 0; i < count; ++i) {
+      for (double& v : lo) r.F64(&v);
+      for (double& v : hi) r.F64(&v);
+      req.queries_nd.emplace_back(lo, hi);
+    }
+  }
+  if (!r.ok()) {
+    return SetError(error, "truncated queries: " + r.error());
+  }
+  if (r.remaining() != 0) {
+    return SetError(error, "trailing bytes in request body");
+  }
+  // The engine's coordinate-to-cell casts assume finite inputs (a NaN
+  // would sail through std::clamp into a float-to-index cast). In-process
+  // callers are trusted; bytes off a socket are not — reject here.
+  for (const Rect& q : req.queries) {
+    if (!std::isfinite(q.xlo) || !std::isfinite(q.ylo) ||
+        !std::isfinite(q.xhi) || !std::isfinite(q.yhi)) {
+      return SetError(error, "non-finite query coordinate");
+    }
+  }
+  for (const BoxNd& q : req.queries_nd) {
+    for (size_t a = 0; a < q.dims(); ++a) {
+      if (!std::isfinite(q.lo(a)) || !std::isfinite(q.hi(a))) {
+        return SetError(error, "non-finite query coordinate");
+      }
+    }
+  }
+  *out = std::move(req);
+  return true;
+}
+
+std::string EncodeQueryBatchOkBody(uint64_t version,
+                                   std::span<const double> answers) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(WireStatus::kOk));
+  w.Str("");
+  w.U64(version);
+  w.U64(answers.size());
+  for (double a : answers) w.F64(a);
+  return std::move(w).Take();
+}
+
+bool DecodeQueryBatchResponse(std::string_view body, QueryBatchResponse* out,
+                              std::string* error) {
+  ByteReader r(body);
+  QueryBatchResponse resp;
+  if (!ReadStatusPrefix(&r, &resp.status, &resp.message, error)) return false;
+  if (resp.status != WireStatus::kOk) {
+    if (!FinishErrorResponse(r, error)) return false;
+    *out = std::move(resp);
+    return true;
+  }
+  if (!r.U64(&resp.version) || !r.F64Vec(&resp.answers)) {
+    return SetError(error, "truncated query response: " + r.error());
+  }
+  if (r.remaining() != 0) {
+    return SetError(error, "trailing bytes in query response");
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+// --- LIST_SYNOPSES ---------------------------------------------------------
+
+std::string EncodeListOkBody(std::span<const CatalogEntryInfo> entries) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(WireStatus::kOk));
+  w.Str("");
+  w.U64(entries.size());
+  for (const CatalogEntryInfo& e : entries) {
+    w.Str(e.name);
+    w.U64(e.version);
+    w.U32(e.dims);
+    w.Str(e.synopsis_name);
+    w.F64(e.epsilon);
+    w.Str(e.label);
+  }
+  return std::move(w).Take();
+}
+
+bool DecodeListResponse(std::string_view body, ListResponse* out,
+                        std::string* error) {
+  ByteReader r(body);
+  ListResponse resp;
+  if (!ReadStatusPrefix(&r, &resp.status, &resp.message, error)) return false;
+  if (resp.status != WireStatus::kOk) {
+    if (!FinishErrorResponse(r, error)) return false;
+    *out = std::move(resp);
+    return true;
+  }
+  uint64_t count = 0;
+  if (!r.U64(&count)) {
+    return SetError(error, "truncated entry count: " + r.error());
+  }
+  // Each entry is at least 3 length prefixes + u64 + u32 + f64.
+  if (count > r.remaining() / (3 * sizeof(uint32_t) + 20)) {
+    return SetError(error, "entry count exceeds body size");
+  }
+  resp.entries.resize(static_cast<size_t>(count));
+  for (CatalogEntryInfo& e : resp.entries) {
+    r.Str(&e.name);
+    r.U64(&e.version);
+    r.U32(&e.dims);
+    r.Str(&e.synopsis_name);
+    r.F64(&e.epsilon);
+    r.Str(&e.label);
+  }
+  if (!r.ok()) {
+    return SetError(error, "truncated list entry: " + r.error());
+  }
+  if (r.remaining() != 0) {
+    return SetError(error, "trailing bytes in list response");
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+// --- STATS -----------------------------------------------------------------
+
+std::string EncodeStatsOkBody(const WireStats& stats) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(WireStatus::kOk));
+  w.Str("");
+  w.U64(stats.connections_accepted);
+  w.U64(stats.frames_received);
+  w.U64(stats.malformed_frames);
+  w.U64(stats.batches_answered);
+  w.U64(stats.queries_answered);
+  w.U64(stats.errors_returned);
+  w.U64(stats.reloads_installed);
+  return std::move(w).Take();
+}
+
+bool DecodeStatsResponse(std::string_view body, StatsResponse* out,
+                         std::string* error) {
+  ByteReader r(body);
+  StatsResponse resp;
+  if (!ReadStatusPrefix(&r, &resp.status, &resp.message, error)) return false;
+  if (resp.status != WireStatus::kOk) {
+    if (!FinishErrorResponse(r, error)) return false;
+    *out = std::move(resp);
+    return true;
+  }
+  WireStats& s = resp.stats;
+  r.U64(&s.connections_accepted);
+  r.U64(&s.frames_received);
+  r.U64(&s.malformed_frames);
+  r.U64(&s.batches_answered);
+  r.U64(&s.queries_answered);
+  r.U64(&s.errors_returned);
+  r.U64(&s.reloads_installed);
+  if (!r.ok()) {
+    return SetError(error, "truncated stats response: " + r.error());
+  }
+  if (r.remaining() != 0) {
+    return SetError(error, "trailing bytes in stats response");
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+// --- RELOAD ----------------------------------------------------------------
+
+std::string EncodeReloadOkBody(uint64_t installed) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(WireStatus::kOk));
+  w.Str("");
+  w.U64(installed);
+  return std::move(w).Take();
+}
+
+bool DecodeReloadResponse(std::string_view body, ReloadResponse* out,
+                          std::string* error) {
+  ByteReader r(body);
+  ReloadResponse resp;
+  if (!ReadStatusPrefix(&r, &resp.status, &resp.message, error)) return false;
+  if (resp.status != WireStatus::kOk) {
+    if (!FinishErrorResponse(r, error)) return false;
+    *out = std::move(resp);
+    return true;
+  }
+  if (!r.U64(&resp.installed)) {
+    return SetError(error, "truncated reload response: " + r.error());
+  }
+  if (r.remaining() != 0) {
+    return SetError(error, "trailing bytes in reload response");
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+// --- shared error body -----------------------------------------------------
+
+std::string EncodeErrorBody(WireStatus status, std::string_view message) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(status));
+  w.Str(std::string(message));
+  return std::move(w).Take();
+}
+
+}  // namespace dpgrid

@@ -1,0 +1,219 @@
+#ifndef DPGRID_SERVER_WIRE_H_
+#define DPGRID_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/synopsis_catalog.h"
+#include "geo/rect.h"
+#include "nd/box_nd.h"
+
+namespace dpgrid {
+
+// Length-prefixed binary wire protocol for the query server ("DPGW",
+// protocol version 1). Follows the snapshot codec's conventions
+// (store/byte_io.h primitives, magic + version + checksummed payload):
+//
+//   offset  size  field
+//   0       4     magic "DPGW"
+//   4       4     u32 protocol version (kWireProtocolVersion)
+//   8       4     u32 op code (WireOp; responses echo the request's op)
+//   12      8     u64 request id (echoed verbatim in the response)
+//   20      8     u64 body size in bytes
+//   28      8     u64 FNV-1a 64 checksum of the body
+//   36      -     body
+//
+// Every response body starts with `u32 status, str message` (message empty
+// on success), followed by the op-specific payload only when status is
+// kOk. Request bodies are op-specific (see the codec functions below);
+// integers are little-endian and strings/arrays length-prefixed, exactly
+// as in the snapshot format. Framing damage (bad magic/version/op,
+// oversized body, checksum mismatch) makes the rest of the stream
+// untrustworthy, so the server answers with a kMalformedFrame error and
+// closes the connection; a semantically bad body on a well-framed request
+// only fails that request.
+
+inline constexpr char kWireMagic[4] = {'D', 'P', 'G', 'W'};
+inline constexpr uint32_t kWireProtocolVersion = 1;
+inline constexpr size_t kWireHeaderSize = 36;
+/// Hard cap on a frame body; DecodeFrameHeader rejects bigger claims
+/// before anything is allocated or read.
+inline constexpr uint64_t kWireMaxBodyBytes = 64ull << 20;
+/// Hard cap on query dimensionality (far above anything the guidelines
+/// make useful; exists so a hostile frame cannot request absurd widths).
+inline constexpr uint32_t kWireMaxDims = 32;
+
+/// Operation codes. Responses carry the same op as the request they
+/// answer.
+enum class WireOp : uint32_t {
+  kQueryBatch = 1,
+  kListSynopses = 2,
+  kStats = 3,
+  kReload = 4,
+};
+
+/// Response status codes.
+enum class WireStatus : uint32_t {
+  kOk = 0,
+  /// Unknown synopsis name, or a name whose slot has no published version.
+  kNotFound = 1,
+  /// The request body failed structural validation.
+  kMalformedRequest = 2,
+  /// Query dimensionality does not match the served synopsis.
+  kWrongDims = 3,
+  /// Batch exceeds the server's max_batch_queries.
+  kTooLarge = 4,
+  /// Frame-level damage (bad magic/version/op, checksum mismatch); the
+  /// server closes the connection after sending this.
+  kMalformedFrame = 5,
+  /// Server-side failure unrelated to the request contents.
+  kInternal = 6,
+};
+
+/// Short identifier for logs/CLI output, e.g. "NOT_FOUND".
+const char* WireStatusName(WireStatus status);
+
+// --- framing ---------------------------------------------------------------
+
+/// Just the kWireHeaderSize-byte header for `body` (magic, version, op,
+/// request id, size, checksum) — lets a sender write header and body as
+/// two buffers instead of concatenating a large payload.
+std::string EncodeFrameHeader(WireOp op, uint64_t request_id,
+                              std::string_view body);
+
+/// Wraps `body` in a frame header (magic, version, op, request id, size,
+/// checksum).
+std::string EncodeFrame(WireOp op, uint64_t request_id, std::string_view body);
+
+/// Validates exactly kWireHeaderSize header bytes. On success fills the
+/// out-params; `max_body_bytes` lets a server enforce a cap below
+/// kWireMaxBodyBytes.
+bool DecodeFrameHeader(std::string_view header, WireOp* op,
+                       uint64_t* request_id, uint64_t* body_size,
+                       uint64_t* body_checksum, std::string* error,
+                       uint64_t max_body_bytes = kWireMaxBodyBytes);
+
+/// Checks a fully read body against the header's checksum.
+bool VerifyFrameBody(std::string_view body, uint64_t expected_checksum,
+                     std::string* error);
+
+/// One decoded frame.
+struct WireFrame {
+  WireOp op = WireOp::kQueryBatch;
+  uint64_t request_id = 0;
+  std::string body;
+};
+
+/// Decodes a complete frame from a buffer (header + body, no trailing
+/// bytes). The streaming server uses DecodeFrameHeader/VerifyFrameBody
+/// instead; this form serves tests and in-memory use.
+bool DecodeFrame(std::string_view bytes, WireFrame* out, std::string* error);
+
+// --- QUERY_BATCH -----------------------------------------------------------
+
+/// A query batch addressed to one catalog name. For dims == 2 the queries
+/// live in `queries`; for any other dimensionality in `queries_nd` (all
+/// sharing `dims`).
+struct QueryBatchRequest {
+  std::string name;
+  uint32_t dims = 2;
+  std::vector<Rect> queries;
+  std::vector<BoxNd> queries_nd;
+
+  size_t count() const {
+    return dims == 2 ? queries.size() : queries_nd.size();
+  }
+};
+
+/// Body: str name, u32 dims, u64 count, then per query 2*dims f64
+/// (lo per axis, then hi per axis; for 2-D that is xlo,ylo,xhi,yhi).
+std::string EncodeQueryBatchRequest(const std::string& name,
+                                    std::span<const Rect> queries);
+std::string EncodeQueryBatchRequestNd(const std::string& name, uint32_t dims,
+                                      std::span<const BoxNd> queries);
+
+/// Decodes a QUERY_BATCH body. A count above `max_queries` is rejected as
+/// soon as the count field is read — before any per-query parsing — with
+/// *reject_status (if given) set to kTooLarge; every other failure sets
+/// it to kMalformedRequest.
+bool DecodeQueryBatchRequest(std::string_view body, QueryBatchRequest* out,
+                             std::string* error,
+                             size_t max_queries = SIZE_MAX,
+                             WireStatus* reject_status = nullptr);
+
+struct QueryBatchResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  /// The single snapshot version every answer in the batch came from.
+  uint64_t version = 0;
+  std::vector<double> answers;
+};
+
+/// OK body: u64 version, f64vec answers.
+std::string EncodeQueryBatchOkBody(uint64_t version,
+                                   std::span<const double> answers);
+bool DecodeQueryBatchResponse(std::string_view body, QueryBatchResponse* out,
+                              std::string* error);
+
+// --- LIST_SYNOPSES ---------------------------------------------------------
+
+/// Request body: empty. OK body: u64 count, then per entry: str name,
+/// u64 version, u32 dims, str synopsis_name, f64 epsilon, str label.
+std::string EncodeListOkBody(std::span<const CatalogEntryInfo> entries);
+
+struct ListResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  std::vector<CatalogEntryInfo> entries;
+};
+bool DecodeListResponse(std::string_view body, ListResponse* out,
+                        std::string* error);
+
+// --- STATS -----------------------------------------------------------------
+
+/// Per-server counters, as served by the STATS op.
+struct WireStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_received = 0;
+  uint64_t malformed_frames = 0;
+  uint64_t batches_answered = 0;
+  uint64_t queries_answered = 0;
+  uint64_t errors_returned = 0;
+  uint64_t reloads_installed = 0;
+};
+
+/// Request body: empty. OK body: the seven u64 counters in struct order.
+std::string EncodeStatsOkBody(const WireStats& stats);
+
+struct StatsResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  WireStats stats;
+};
+bool DecodeStatsResponse(std::string_view body, StatsResponse* out,
+                         std::string* error);
+
+// --- RELOAD ----------------------------------------------------------------
+
+/// Request body: empty. OK body: u64 versions installed.
+std::string EncodeReloadOkBody(uint64_t installed);
+
+struct ReloadResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  uint64_t installed = 0;
+};
+bool DecodeReloadResponse(std::string_view body, ReloadResponse* out,
+                          std::string* error);
+
+// --- shared error body -----------------------------------------------------
+
+/// `u32 status, str message` — the body of any non-OK response.
+std::string EncodeErrorBody(WireStatus status, std::string_view message);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_SERVER_WIRE_H_

@@ -32,7 +32,15 @@ uint64_t SnapshotPublisher::Publish(const std::string& name,
     if (version == 0) return 0;
   }
   if (serving_ != nullptr) {
-    version = serving_->Publish(std::move(synopsis), meta, version);
+    if (version != 0) {
+      // Store-assigned version: install only if the slot is not already
+      // ahead — a concurrent catalog reload may have picked up a newer
+      // durable version between our store publish and this swap, and the
+      // served version must never move backwards.
+      serving_->PublishIfNewer(std::move(synopsis), meta, version);
+    } else {
+      version = serving_->Publish(std::move(synopsis), meta);
+    }
   }
   return version;
 }

@@ -43,7 +43,9 @@ class SnapshotPublisher {
 
   /// Publishes one snapshot. Returns the version (shared by the store file
   /// and the serving handle), or 0 with *error set; on store failure the
-  /// serving handle is left untouched.
+  /// serving handle is left untouched. The serving slot never moves
+  /// backwards: if a concurrent reload already installed a newer durable
+  /// version, this publish's (older) store version is not swapped in.
   uint64_t Publish(const std::string& name,
                    std::shared_ptr<const Synopsis> synopsis,
                    const SnapshotMeta& meta, std::string* error);

@@ -61,6 +61,27 @@ class BasicServingSynopsis {
     return next->version;
   }
 
+  /// Publishes only if `version` is strictly newer than what the slot
+  /// serves — the hot-reload path, where a concurrent in-process
+  /// publisher may have installed something newer between the caller's
+  /// version check and its (slow) snapshot load. The check and the swap
+  /// share the writer lock, so the served version never moves backwards.
+  /// Returns true if installed.
+  bool PublishIfNewer(std::shared_ptr<const SynopsisT> synopsis,
+                      SnapshotMeta meta, uint64_t version) {
+    DPGRID_CHECK(synopsis != nullptr);
+    DPGRID_CHECK(version != 0);
+    auto next = std::make_shared<Snapshot>();
+    next->meta = std::move(meta);
+    next->synopsis = std::move(synopsis);
+    next->version = version;
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    const auto prev = Load();
+    if (prev != nullptr && prev->version >= version) return false;
+    Store(next);
+    return true;
+  }
+
   /// The current snapshot (nullptr before the first Publish). The returned
   /// pointer stays valid — and its synopsis immutable — for as long as the
   /// caller holds it, regardless of later publishes.

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "grid/adaptive_grid.h"
 #include "grid/cell_synopsis.h"
 #include "grid/grid_counts.h"
@@ -504,11 +505,6 @@ std::string Seal(SynopsisKind kind, std::string payload) {
   append(&checksum, sizeof(checksum));
   bytes += payload;
   return bytes;
-}
-
-bool SetError(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-  return false;
 }
 
 }  // namespace

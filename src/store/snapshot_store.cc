@@ -7,6 +7,8 @@
 #include <system_error>
 #include <utility>
 
+#include "common/status.h"
+
 #ifndef _WIN32
 #include <fcntl.h>
 #include <unistd.h>
@@ -19,11 +21,6 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kExtension[] = ".dpgs";
-
-bool SetError(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-  return false;
-}
 
 // Parses "<name>.v<version>.dpgs" for the given name; returns 0 on
 // mismatch (0 is never a valid published version).
@@ -46,6 +43,23 @@ uint64_t ParseVersion(const std::string& filename, const std::string& name) {
     version = version * 10 + static_cast<uint64_t>(c - '0');
   }
   return version;
+}
+
+// Splits "<name>.v<version>.dpgs" into its parts for any name; returns
+// false if the filename does not have that shape or the version digits
+// are malformed. The name part is NOT validated here.
+bool ParseFileName(const std::string& filename, std::string* name,
+                   uint64_t* version) {
+  constexpr size_t kExtLen = sizeof(kExtension) - 1;
+  if (filename.size() <= kExtLen) return false;
+  if (filename.compare(filename.size() - kExtLen, kExtLen, kExtension) != 0) {
+    return false;
+  }
+  const std::string stem = filename.substr(0, filename.size() - kExtLen);
+  const size_t dot = stem.rfind(".v");
+  if (dot == std::string::npos || dot == 0) return false;
+  *name = stem.substr(0, dot);
+  return (*version = ParseVersion(filename, *name)) != 0;
 }
 
 // Writes `bytes` to `path` and flushes them to stable storage (fsync on
@@ -119,15 +133,41 @@ std::string SnapshotStore::PathFor(const std::string& name,
 std::vector<uint64_t> SnapshotStore::ListVersions(
     const std::string& name) const {
   std::vector<uint64_t> versions;
+  if (!ValidName(name)) return versions;
+  // increment(ec) form: the range-for over a directory_iterator reports
+  // mid-scan errors by throwing, which callers here must never see.
   std::error_code ec;
-  for (const fs::directory_entry& entry :
-       fs::directory_iterator(directory_, ec)) {
-    if (ec) break;
-    const uint64_t v = ParseVersion(entry.path().filename().string(), name);
+  for (fs::directory_iterator it(directory_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const uint64_t v = ParseVersion(it->path().filename().string(), name);
     if (v != 0) versions.push_back(v);
   }
   std::sort(versions.begin(), versions.end());
   return versions;
+}
+
+std::map<std::string, uint64_t> SnapshotStore::ListLatestVersions() const {
+  std::map<std::string, uint64_t> latest;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    std::string name;
+    uint64_t version = 0;
+    if (ParseFileName(it->path().filename().string(), &name, &version) &&
+        ValidName(name)) {
+      uint64_t& v = latest[name];
+      if (version > v) v = version;
+    }
+  }
+  return latest;
+}
+
+std::vector<std::string> SnapshotStore::ListNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, version] : ListLatestVersions()) {
+    names.push_back(name);  // map iteration order is already sorted
+  }
+  return names;
 }
 
 uint64_t SnapshotStore::PublishBytes(const std::string& name,
@@ -147,10 +187,9 @@ uint64_t SnapshotStore::PublishBytes(const std::string& name,
   }
   // Sweep temp files a crashed writer left behind for this name (writers
   // to one name serialize among themselves, so nobody else owns them).
-  for (const fs::directory_entry& entry :
-       fs::directory_iterator(directory_, ec)) {
-    if (ec) break;
-    const std::string filename = entry.path().filename().string();
+  for (fs::directory_iterator it(directory_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string filename = it->path().filename().string();
     constexpr size_t kTmpSuffixLen = 4;  // ".tmp"
     if (filename.size() > kTmpSuffixLen &&
         filename.compare(filename.size() - kTmpSuffixLen, kTmpSuffixLen,
@@ -158,9 +197,10 @@ uint64_t SnapshotStore::PublishBytes(const std::string& name,
         ParseVersion(filename.substr(0, filename.size() - kTmpSuffixLen),
                      name) != 0) {
       std::error_code remove_ec;
-      fs::remove(entry.path(), remove_ec);
+      fs::remove(it->path(), remove_ec);
     }
   }
+  ec.clear();
   const std::vector<uint64_t> versions = ListVersions(name);
   const uint64_t version = versions.empty() ? 1 : versions.back() + 1;
   const std::string final_path = PathFor(name, version);
@@ -203,6 +243,9 @@ uint64_t SnapshotStore::Publish(const std::string& name,
 
 bool SnapshotStore::Load(const std::string& name, uint64_t version,
                          DecodedSnapshot* out, std::string* error) const {
+  if (!ValidName(name)) {
+    return SetError(error, "invalid snapshot name: '" + name + "'");
+  }
   const std::string path = PathFor(name, version);
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
@@ -237,6 +280,10 @@ bool SnapshotStore::LoadLatest(const std::string& name, DecodedSnapshot* out,
 }
 
 size_t SnapshotStore::Prune(const std::string& name, size_t keep) {
+  if (!ValidName(name)) return 0;
+  // Never delete the newest version: a fully emptied name would restart
+  // version numbering and break the monotonicity serving relies on.
+  if (keep == 0) keep = 1;
   std::vector<uint64_t> versions = ListVersions(name);
   if (versions.size() <= keep) return 0;
   size_t removed = 0;

@@ -2,6 +2,7 @@
 #define DPGRID_STORE_SNAPSHOT_STORE_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -55,15 +56,30 @@ class SnapshotStore {
   /// directory does not exist).
   std::vector<uint64_t> ListVersions(const std::string& name) const;
 
-  /// Deletes all but the newest `keep` versions of `name`. Returns how many
-  /// files were removed.
+  /// All distinct synopsis names with at least one published version,
+  /// sorted. Files whose name part would fail ValidName are ignored.
+  std::vector<std::string> ListNames() const;
+
+  /// Every name's highest published version, from a single directory scan
+  /// — the catalog's reload sweep, which would otherwise pay one scan per
+  /// name.
+  std::map<std::string, uint64_t> ListLatestVersions() const;
+
+  /// Deletes all but the newest `keep` versions of `name` (`keep` is
+  /// clamped to at least 1). Returns how many files were removed. The
+  /// newest version always survives: versions are assigned by directory
+  /// scan, so deleting a name's entire history would restart its numbering
+  /// at 1 and collide with serving slots that remember a higher version —
+  /// the no-regress guard would then silently refuse every new publish.
   size_t Prune(const std::string& name, size_t keep);
 
   /// `<name>.v<version>.dpgs` — the file naming scheme, exposed for tools.
   static std::string FileName(const std::string& name, uint64_t version);
 
   /// Synopsis names must be non-empty and use only [A-Za-z0-9_-], keeping
-  /// file names portable and the version suffix unambiguous.
+  /// file names portable and the version suffix unambiguous. Enforced on
+  /// every path that turns a name into a file name — names like "../x"
+  /// must never escape the store directory, on reads as well as writes.
   static bool ValidName(const std::string& name);
 
  private:

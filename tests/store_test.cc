@@ -33,44 +33,14 @@
 #include "query/query_engine.h"
 #include "store/snapshot.h"
 #include "store/snapshot_store.h"
+#include "tests/test_util.h"
 #include "wavelet/privelet.h"
 
 namespace dpgrid {
 namespace {
 
-std::vector<Rect> FixedQueries(const Rect& domain, int count, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Rect> queries;
-  queries.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    double w = rng.Uniform(0.0, domain.Width());
-    double h = rng.Uniform(0.0, domain.Height());
-    double xlo = rng.Uniform(domain.xlo - 0.1 * domain.Width(),
-                             domain.xhi - 0.5 * w);
-    double ylo = rng.Uniform(domain.ylo - 0.1 * domain.Height(),
-                             domain.yhi - 0.5 * h);
-    queries.push_back(Rect{xlo, ylo, xlo + w, ylo + h});
-  }
-  return queries;
-}
-
-std::vector<BoxNd> FixedQueriesNd(const BoxNd& domain, int count,
-                                  uint64_t seed) {
-  Rng rng(seed);
-  std::vector<BoxNd> queries;
-  queries.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    std::vector<double> lo(domain.dims());
-    std::vector<double> hi(domain.dims());
-    for (size_t a = 0; a < domain.dims(); ++a) {
-      const double extent = rng.Uniform(0.0, domain.Extent(a));
-      lo[a] = rng.Uniform(domain.lo(a), domain.hi(a) - 0.5 * extent);
-      hi[a] = lo[a] + extent;
-    }
-    queries.emplace_back(std::move(lo), std::move(hi));
-  }
-  return queries;
-}
+using test::FixedQueries;
+using test::FixedQueriesNd;
 
 // Encode → decode → assert answers are bitwise-identical to the original
 // (batch via QueryEngine and a scalar spot check), the Name survives, and
@@ -545,6 +515,136 @@ TEST_F(SnapshotStoreTest, InvalidNamesAreRejected) {
     EXPECT_EQ(store.Publish(bad, *g, SnapshotMeta{}, &error), 0u) << bad;
     EXPECT_FALSE(error.empty()) << bad;
   }
+}
+
+TEST_F(SnapshotStoreTest, InvalidNamesAreRejectedOnLoadPathsToo) {
+  SnapshotStore store(dir_);
+  auto g = MakeGrid(10);
+  std::string error;
+  ASSERT_EQ(store.Publish("inside", *g, SnapshotMeta{}, &error), 1u) << error;
+  // A name with a path separator must not be turned into a path on ANY
+  // API — "../inside" would otherwise read (or delete) outside the store.
+  for (const char* bad : {"../inside", "..", "a/b", ""}) {
+    DecodedSnapshot out;
+    error.clear();
+    EXPECT_FALSE(store.Load(bad, 1, &out, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_FALSE(store.LoadLatest(bad, &out, nullptr, &error)) << bad;
+    EXPECT_TRUE(store.ListVersions(bad).empty()) << bad;
+    EXPECT_EQ(store.Prune(bad, 0), 0u) << bad;
+  }
+  // The store rooted one level deeper sees "../"-relative files exist but
+  // must still refuse the traversal.
+  SnapshotStore nested((std::filesystem::path(dir_) / "sub").string());
+  DecodedSnapshot out;
+  EXPECT_FALSE(nested.Load("../inside", 1, &out, &error));
+  EXPECT_EQ(nested.Prune("../inside", 0), 0u);
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir_) / SnapshotStore::FileName("inside", 1)));
+}
+
+TEST_F(SnapshotStoreTest, ListNamesFindsEveryPublishedName) {
+  SnapshotStore store(dir_);
+  EXPECT_TRUE(store.ListNames().empty());
+  auto g = MakeGrid(11);
+  std::string error;
+  ASSERT_EQ(store.Publish("zeta", *g, SnapshotMeta{}, &error), 1u) << error;
+  ASSERT_EQ(store.Publish("alpha", *g, SnapshotMeta{}, &error), 1u) << error;
+  ASSERT_EQ(store.Publish("alpha", *g, SnapshotMeta{}, &error), 2u) << error;
+  // Stray files that are not well-formed snapshot names are ignored.
+  { std::ofstream junk((std::filesystem::path(dir_) / "README.txt").string()); }
+  { std::ofstream junk((std::filesystem::path(dir_) / "noversion.dpgs").string()); }
+  EXPECT_EQ(store.ListNames(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST_F(SnapshotStoreTest, PruneToZeroStillKeepsTheNewestVersion) {
+  SnapshotStore store(dir_);
+  auto g = MakeGrid(12);
+  std::string error;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(store.Publish("p", *g, SnapshotMeta{}, &error), 0u) << error;
+  }
+  // keep=0 clamps to 1: deleting a name's whole history would restart its
+  // version numbering at 1, and a serving slot remembering v3 would then
+  // (correctly) refuse the "new" v1/v2/v3 forever. Pinned here.
+  EXPECT_EQ(store.Prune("p", 0), 2u);
+  EXPECT_EQ(store.ListVersions("p"), (std::vector<uint64_t>{3}));
+  DecodedSnapshot out;
+  uint64_t version = 0;
+  ASSERT_TRUE(store.LoadLatest("p", &out, &version, &error)) << error;
+  EXPECT_EQ(version, 3u);
+  // Publishing after a deep prune continues the sequence, never reuses.
+  EXPECT_EQ(store.Publish("p", *g, SnapshotMeta{}, &error), 4u) << error;
+  // Pruning below the current count is a no-op.
+  EXPECT_EQ(store.Prune("p", 5), 0u);
+  EXPECT_EQ(store.ListVersions("p"), (std::vector<uint64_t>{3, 4}));
+}
+
+TEST_F(SnapshotStoreTest, PruneWhileLatestIsLoaded) {
+  SnapshotStore store(dir_);
+  std::string error;
+  auto g1 = MakeGrid(13);
+  auto g2 = MakeGrid(14);
+  ASSERT_EQ(store.Publish("q", *g1, SnapshotMeta{}, &error), 1u) << error;
+  ASSERT_EQ(store.Publish("q", *g2, SnapshotMeta{}, &error), 2u) << error;
+
+  DecodedSnapshot latest;
+  uint64_t version = 0;
+  ASSERT_TRUE(store.LoadLatest("q", &latest, &version, &error)) << error;
+  ASSERT_EQ(version, 2u);
+
+  // Prune away everything but the newest; the decoded synopsis is pure
+  // in-memory state, so it keeps answering even as files disappear.
+  const std::vector<Rect> queries = FixedQueries(data_->domain(), 50, 91);
+  const QueryEngine engine(QueryEngineOptions{.num_threads = 1});
+  const std::vector<double> before =
+      engine.AnswerAll(*latest.synopsis, queries);
+  EXPECT_EQ(store.Prune("q", 1), 1u);
+  EXPECT_EQ(engine.AnswerAll(*latest.synopsis, queries), before);
+  EXPECT_EQ(store.ListVersions("q"), (std::vector<uint64_t>{2}));
+  // The pruned version now fails to load with a clean error.
+  DecodedSnapshot gone;
+  EXPECT_FALSE(store.Load("q", 1, &gone, &error));
+  EXPECT_FALSE(error.empty());
+  // And the survivor still loads.
+  DecodedSnapshot kept;
+  ASSERT_TRUE(store.Load("q", 2, &kept, &error)) << error;
+  EXPECT_EQ(engine.AnswerAll(*kept.synopsis, queries), before);
+}
+
+TEST_F(SnapshotStoreTest, StaleTempFromCrashedWriterIsSweptOnNextPublish) {
+  SnapshotStore store(dir_);
+  auto g = MakeGrid(15);
+  std::string error;
+  ASSERT_EQ(store.Publish("r", *g, SnapshotMeta{}, &error), 1u) << error;
+
+  // Simulate a writer that crashed mid-publish: a half-written temp file
+  // for this name, plus one belonging to a DIFFERENT name (which this
+  // name's publishes must never touch — its writer may still be alive).
+  const auto tmp_r = std::filesystem::path(dir_) /
+                     (SnapshotStore::FileName("r", 2) + ".tmp");
+  const auto tmp_other = std::filesystem::path(dir_) /
+                         (SnapshotStore::FileName("other", 1) + ".tmp");
+  {
+    std::ofstream f(tmp_r.string(), std::ios::binary);
+    f << "half-written garbage";
+  }
+  {
+    std::ofstream f(tmp_other.string(), std::ios::binary);
+    f << "someone else's half-written publish";
+  }
+  ASSERT_TRUE(std::filesystem::exists(tmp_r));
+
+  // The stale temp is invisible to readers...
+  EXPECT_EQ(store.ListVersions("r"), (std::vector<uint64_t>{1}));
+  // ...and the next publish of the same name sweeps it.
+  ASSERT_EQ(store.Publish("r", *g, SnapshotMeta{}, &error), 2u) << error;
+  EXPECT_FALSE(std::filesystem::exists(tmp_r));
+  EXPECT_TRUE(std::filesystem::exists(tmp_other));
+  EXPECT_EQ(store.ListVersions("r"), (std::vector<uint64_t>{1, 2}));
+  // Everything that survived decodes cleanly.
+  DecodedSnapshot out;
+  ASSERT_TRUE(store.LoadLatest("r", &out, nullptr, &error)) << error;
 }
 
 TEST_F(SnapshotStoreTest, CorruptFileFailsCleanly) {

@@ -1,0 +1,370 @@
+// Wire-protocol codec tests: frame and body round-trips, and table-driven
+// malformed-frame rejection in the style of store_test.cc — byte-level
+// damage anywhere in a frame must fail decoding with a clean error, never
+// a crash or a silently misread request.
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/wire.h"
+#include "store/snapshot.h"
+
+namespace dpgrid {
+namespace {
+
+std::vector<Rect> SampleQueries() {
+  return {
+      Rect{0.0, 0.0, 1.0, 1.0},
+      Rect{-3.5, 2.25, 10.0, 7.5},
+      Rect{5.0, 5.0, 5.0, 5.0},  // empty
+  };
+}
+
+TEST(WireFrameTest, RoundTrip) {
+  const std::string body = EncodeQueryBatchRequest("taxi", SampleQueries());
+  const std::string frame = EncodeFrame(WireOp::kQueryBatch, 42, body);
+  ASSERT_EQ(frame.size(), kWireHeaderSize + body.size());
+
+  WireFrame decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeFrame(frame, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.op, WireOp::kQueryBatch);
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.body, body);
+}
+
+TEST(WireFrameTest, EmptyBodyRoundTrip) {
+  const std::string frame = EncodeFrame(WireOp::kStats, 7, "");
+  WireFrame decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeFrame(frame, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.op, WireOp::kStats);
+  EXPECT_EQ(decoded.request_id, 7u);
+  EXPECT_TRUE(decoded.body.empty());
+}
+
+TEST(WireFrameTest, MalformedFramesAreRejected) {
+  const std::string base = EncodeFrame(
+      WireOp::kQueryBatch, 9, EncodeQueryBatchRequest("a", SampleQueries()));
+  struct Mutation {
+    const char* name;
+    void (*apply)(std::string*);
+  };
+  const Mutation kMutations[] = {
+      {"empty input", [](std::string* f) { f->clear(); }},
+      {"truncated inside header", [](std::string* f) { f->resize(20); }},
+      {"header cut one byte short",
+       [](std::string* f) { f->resize(kWireHeaderSize - 1); }},
+      {"flipped magic byte", [](std::string* f) { (*f)[0] ^= 0x01; }},
+      {"future protocol version",
+       [](std::string* f) {
+         const uint32_t v = 99;
+         std::memcpy(f->data() + 4, &v, sizeof(v));
+       }},
+      {"zero op code",
+       [](std::string* f) {
+         const uint32_t op = 0;
+         std::memcpy(f->data() + 8, &op, sizeof(op));
+       }},
+      {"unknown op code",
+       [](std::string* f) {
+         const uint32_t op = 200;
+         std::memcpy(f->data() + 8, &op, sizeof(op));
+       }},
+      {"body size overstated",
+       [](std::string* f) {
+         uint64_t size = 0;
+         std::memcpy(&size, f->data() + 20, sizeof(size));
+         size += 1;
+         std::memcpy(f->data() + 20, &size, sizeof(size));
+       }},
+      {"body size beyond hard cap",
+       [](std::string* f) {
+         const uint64_t size = kWireMaxBodyBytes + 1;
+         std::memcpy(f->data() + 20, &size, sizeof(size));
+       }},
+      {"truncated body", [](std::string* f) { f->resize(f->size() - 3); }},
+      {"flipped checksum bit", [](std::string* f) { (*f)[28] ^= 0x04; }},
+      {"flipped body byte",
+       [](std::string* f) { (*f)[kWireHeaderSize + 5] ^= 0x20; }},
+      {"flipped last body byte", [](std::string* f) { f->back() ^= 0x01; }},
+      {"trailing garbage", [](std::string* f) { f->push_back('\x55'); }},
+  };
+  for (const Mutation& m : kMutations) {
+    std::string frame = base;
+    m.apply(&frame);
+    WireFrame decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeFrame(frame, &decoded, &error)) << m.name;
+    EXPECT_FALSE(error.empty()) << m.name;
+  }
+}
+
+TEST(WireFrameTest, HeaderHonorsCallerBodyCap) {
+  const std::string body(1024, 'x');
+  const std::string frame = EncodeFrame(WireOp::kQueryBatch, 1, body);
+  WireOp op;
+  uint64_t id = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+  std::string error;
+  EXPECT_TRUE(DecodeFrameHeader(
+      std::string_view(frame).substr(0, kWireHeaderSize), &op, &id, &size,
+      &checksum, &error));
+  EXPECT_FALSE(DecodeFrameHeader(
+      std::string_view(frame).substr(0, kWireHeaderSize), &op, &id, &size,
+      &checksum, &error, /*max_body_bytes=*/512));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WireQueryBatchTest, RequestRoundTrip2D) {
+  const std::vector<Rect> queries = SampleQueries();
+  const std::string body = EncodeQueryBatchRequest("checkins", queries);
+  QueryBatchRequest req;
+  std::string error;
+  ASSERT_TRUE(DecodeQueryBatchRequest(body, &req, &error)) << error;
+  EXPECT_EQ(req.name, "checkins");
+  EXPECT_EQ(req.dims, 2u);
+  ASSERT_EQ(req.queries.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(req.queries[i], queries[i]) << i;
+  }
+  EXPECT_TRUE(req.queries_nd.empty());
+}
+
+TEST(WireQueryBatchTest, RequestRoundTripNd) {
+  const std::vector<BoxNd> queries = {
+      BoxNd({0.0, 1.0, 2.0}, {3.0, 4.0, 5.0}),
+      BoxNd({-1.0, -2.0, -3.0}, {0.5, 0.25, 0.125}),
+  };
+  const std::string body = EncodeQueryBatchRequestNd("cube", 3, queries);
+  QueryBatchRequest req;
+  std::string error;
+  ASSERT_TRUE(DecodeQueryBatchRequest(body, &req, &error)) << error;
+  EXPECT_EQ(req.name, "cube");
+  EXPECT_EQ(req.dims, 3u);
+  ASSERT_EQ(req.queries_nd.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(req.queries_nd[i] == queries[i]) << i;
+  }
+}
+
+TEST(WireQueryBatchTest, EmptyBatchRoundTrips) {
+  const std::string body =
+      EncodeQueryBatchRequest("empty", std::vector<Rect>{});
+  QueryBatchRequest req;
+  std::string error;
+  ASSERT_TRUE(DecodeQueryBatchRequest(body, &req, &error)) << error;
+  EXPECT_EQ(req.count(), 0u);
+}
+
+TEST(WireQueryBatchTest, MalformedRequestBodiesAreRejected) {
+  const std::string base = EncodeQueryBatchRequest("ok", SampleQueries());
+  struct Mutation {
+    const char* name;
+    std::string (*make)(const std::string&);
+  };
+  const Mutation kMutations[] = {
+      {"empty body", [](const std::string&) { return std::string(); }},
+      {"truncated mid-query",
+       [](const std::string& b) { return b.substr(0, b.size() - 9); }},
+      {"trailing bytes",
+       [](const std::string& b) { return b + std::string(4, '\0'); }},
+      {"invalid name",
+       [](const std::string&) {
+         return EncodeQueryBatchRequest("../escape", SampleQueries());
+       }},
+      {"empty name",
+       [](const std::string&) {
+         return EncodeQueryBatchRequest("", SampleQueries());
+       }},
+      {"zero dims",
+       [](const std::string& b) {
+         std::string m = b;
+         // dims sits right after the 4-byte length prefix + "ok".
+         const uint32_t dims = 0;
+         std::memcpy(m.data() + sizeof(uint32_t) + 2, &dims, sizeof(dims));
+         return m;
+       }},
+      {"absurd dims",
+       [](const std::string& b) {
+         std::string m = b;
+         const uint32_t dims = kWireMaxDims + 1;
+         std::memcpy(m.data() + sizeof(uint32_t) + 2, &dims, sizeof(dims));
+         return m;
+       }},
+      {"count exceeds body",
+       [](const std::string& b) {
+         std::string m = b;
+         const uint64_t count = 1u << 30;
+         std::memcpy(m.data() + 2 * sizeof(uint32_t) + 2, &count,
+                     sizeof(count));
+         return m;
+       }},
+      // Non-finite coordinates would reach unchecked float-to-index casts
+      // in the query kernels; the trust boundary must reject them.
+      {"NaN coordinate",
+       [](const std::string&) {
+         const double nan = std::numeric_limits<double>::quiet_NaN();
+         return EncodeQueryBatchRequest(
+             "ok", std::vector<Rect>{Rect{nan, 0.0, 1.0, 1.0}});
+       }},
+      {"infinite coordinate",
+       [](const std::string&) {
+         const double inf = std::numeric_limits<double>::infinity();
+         return EncodeQueryBatchRequest(
+             "ok", std::vector<Rect>{Rect{0.0, 0.0, inf, 1.0}});
+       }},
+      {"NaN nd coordinate",
+       [](const std::string&) {
+         const double nan = std::numeric_limits<double>::quiet_NaN();
+         return EncodeQueryBatchRequestNd(
+             "ok", 3,
+             std::vector<BoxNd>{BoxNd({0.0, nan, 0.0}, {1.0, 1.0, 1.0})});
+       }},
+  };
+  for (const Mutation& m : kMutations) {
+    QueryBatchRequest req;
+    std::string error;
+    EXPECT_FALSE(DecodeQueryBatchRequest(m.make(base), &req, &error))
+        << m.name;
+    EXPECT_FALSE(error.empty()) << m.name;
+  }
+}
+
+TEST(WireQueryBatchTest, OverLimitCountIsRejectedEarlyAsTooLarge) {
+  const std::string body = EncodeQueryBatchRequest("ok", SampleQueries());
+  QueryBatchRequest req;
+  std::string error;
+  WireStatus reject = WireStatus::kOk;
+  EXPECT_FALSE(DecodeQueryBatchRequest(body, &req, &error,
+                                       /*max_queries=*/2, &reject));
+  EXPECT_EQ(reject, WireStatus::kTooLarge);
+  EXPECT_FALSE(error.empty());
+  // At the limit it decodes fine.
+  reject = WireStatus::kOk;
+  EXPECT_TRUE(DecodeQueryBatchRequest(body, &req, &error,
+                                      /*max_queries=*/3, &reject))
+      << error;
+}
+
+TEST(WireResponseTest, QueryBatchOkRoundTrip) {
+  const std::vector<double> answers = {1.5, -2.25, 0.0, 1e300};
+  const std::string body = EncodeQueryBatchOkBody(12, answers);
+  QueryBatchResponse resp;
+  std::string error;
+  ASSERT_TRUE(DecodeQueryBatchResponse(body, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(resp.version, 12u);
+  EXPECT_EQ(resp.answers, answers);
+}
+
+TEST(WireResponseTest, ErrorBodyRoundTripsThroughEveryDecoder) {
+  const std::string body =
+      EncodeErrorBody(WireStatus::kNotFound, "no such synopsis");
+  {
+    QueryBatchResponse resp;
+    std::string error;
+    ASSERT_TRUE(DecodeQueryBatchResponse(body, &resp, &error)) << error;
+    EXPECT_EQ(resp.status, WireStatus::kNotFound);
+    EXPECT_EQ(resp.message, "no such synopsis");
+  }
+  {
+    ListResponse resp;
+    std::string error;
+    ASSERT_TRUE(DecodeListResponse(body, &resp, &error)) << error;
+    EXPECT_EQ(resp.status, WireStatus::kNotFound);
+  }
+  {
+    StatsResponse resp;
+    std::string error;
+    ASSERT_TRUE(DecodeStatsResponse(body, &resp, &error)) << error;
+    EXPECT_EQ(resp.status, WireStatus::kNotFound);
+  }
+  {
+    ReloadResponse resp;
+    std::string error;
+    ASSERT_TRUE(DecodeReloadResponse(body, &resp, &error)) << error;
+    EXPECT_EQ(resp.status, WireStatus::kNotFound);
+  }
+}
+
+TEST(WireResponseTest, ListOkRoundTrip) {
+  std::vector<CatalogEntryInfo> entries(2);
+  entries[0].name = "alpha";
+  entries[0].version = 3;
+  entries[0].dims = 2;
+  entries[0].synopsis_name = "U32";
+  entries[0].epsilon = 0.5;
+  entries[0].label = "epoch-3";
+  entries[1].name = "cube";
+  entries[1].version = 1;
+  entries[1].dims = 4;
+  entries[1].synopsis_name = "U4d-6";
+  entries[1].epsilon = 1.0;
+
+  const std::string body = EncodeListOkBody(entries);
+  ListResponse resp;
+  std::string error;
+  ASSERT_TRUE(DecodeListResponse(body, &resp, &error)) << error;
+  ASSERT_EQ(resp.entries.size(), 2u);
+  EXPECT_EQ(resp.entries[0].name, "alpha");
+  EXPECT_EQ(resp.entries[0].version, 3u);
+  EXPECT_EQ(resp.entries[0].synopsis_name, "U32");
+  EXPECT_EQ(resp.entries[0].epsilon, 0.5);
+  EXPECT_EQ(resp.entries[0].label, "epoch-3");
+  EXPECT_EQ(resp.entries[1].dims, 4u);
+}
+
+TEST(WireResponseTest, StatsAndReloadRoundTrip) {
+  WireStats stats;
+  stats.connections_accepted = 3;
+  stats.frames_received = 100;
+  stats.malformed_frames = 2;
+  stats.batches_answered = 90;
+  stats.queries_answered = 90000;
+  stats.errors_returned = 8;
+  stats.reloads_installed = 4;
+  StatsResponse sresp;
+  std::string error;
+  ASSERT_TRUE(DecodeStatsResponse(EncodeStatsOkBody(stats), &sresp, &error))
+      << error;
+  EXPECT_EQ(sresp.stats.queries_answered, 90000u);
+  EXPECT_EQ(sresp.stats.reloads_installed, 4u);
+
+  ReloadResponse rresp;
+  ASSERT_TRUE(DecodeReloadResponse(EncodeReloadOkBody(6), &rresp, &error))
+      << error;
+  EXPECT_EQ(rresp.installed, 6u);
+}
+
+TEST(WireResponseTest, MalformedResponsesAreRejected) {
+  struct Case {
+    const char* name;
+    std::string body;
+  };
+  const std::string ok = EncodeQueryBatchOkBody(1, {{1.0, 2.0}});
+  const Case kCases[] = {
+      {"empty body", std::string()},
+      {"unknown status code", std::string("\x63\x00\x00\x00", 4) +
+                                  std::string("\x00\x00\x00\x00", 4)},
+      {"ok body truncated", ok.substr(0, ok.size() - 4)},
+      {"ok body trailing bytes", ok + "zz"},
+      {"error body with payload",
+       EncodeErrorBody(WireStatus::kNotFound, "x") + "extra"},
+  };
+  for (const Case& c : kCases) {
+    QueryBatchResponse resp;
+    std::string error;
+    EXPECT_FALSE(DecodeQueryBatchResponse(c.body, &resp, &error)) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace dpgrid
