@@ -24,7 +24,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <span>
 #include <string>
 #include <vector>
@@ -75,15 +74,15 @@ int main() {
               static_cast<long long>(num_points), num_queries, reps,
               static_cast<unsigned long long>(seed));
 
-  // Build and publish one UG snapshot into a scratch store.
+  // Build and publish one UG snapshot into a scratch store. The per-PID
+  // RAII dir means concurrent runs don't collide and every early-exit
+  // path below still cleans up.
   Rng data_rng(seed);
   const Dataset data = MakeCheckinLike(num_points, data_rng);
   Rng build_rng(seed + 2);
   UniformGrid ug(data, 1.0, build_rng);
-  const std::string dir =
-      (std::filesystem::temp_directory_path() / "dpgrid_bench_server")
-          .string();
-  std::filesystem::remove_all(dir);
+  const bench::ScratchDir scratch("dpgrid_bench_server");
+  const std::string& dir = scratch.path();
   SnapshotStore store(dir);
   std::string error;
   if (store.Publish("bench", ug, SnapshotMeta{1.0, "bench"}, &error) == 0) {
@@ -180,7 +179,6 @@ int main() {
               static_cast<unsigned long long>(stats.errors_returned));
   client.Close();
   server.Shutdown();
-  std::filesystem::remove_all(dir);
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {

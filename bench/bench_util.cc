@@ -3,34 +3,59 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "metrics/table.h"
 #include "query/evaluator.h"
 
 namespace dpgrid {
 namespace bench {
 
-namespace {
-
-double EnvDouble(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atof(v);
-}
-
-}  // namespace
-
 int64_t EnvInt(const char* name, int64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atoll(v);
+  return EnvInt64(name, fallback);
 }
 
 double NowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+ScratchDir::ScratchDir(const std::string& prefix) {
+  const std::filesystem::path tmp = std::filesystem::temp_directory_path();
+  // Self-heal: sweep <prefix>.<pid> leftovers whose owning process is gone
+  // (SIGKILL / OOM skipped the destructor), so crashed runs cannot
+  // accumulate on a long-lived machine. Live PIDs are left alone — that is
+  // the concurrent run the per-PID suffix exists to protect.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(tmp, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix + ".", 0) != 0) continue;
+    const std::string suffix = name.substr(prefix.size() + 1);
+    char* end = nullptr;
+    const long long pid = std::strtoll(suffix.c_str(), &end, 10);
+    if (end == suffix.c_str() || *end != '\0' || pid <= 0) continue;
+    if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
+      std::filesystem::remove_all(entry.path(), ec);
+    }
+  }
+  path_ = (tmp / (prefix + "." +
+                  std::to_string(static_cast<long long>(::getpid()))))
+              .string();
+  std::filesystem::remove_all(path_);
+  std::filesystem::create_directories(path_);
+}
+
+ScratchDir::~ScratchDir() {
+  std::error_code ec;  // best effort; never throw out of a destructor
+  std::filesystem::remove_all(path_, ec);
 }
 
 BenchConfig BenchConfig::FromEnv() {

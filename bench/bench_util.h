@@ -21,6 +21,25 @@ namespace bench {
 /// shared by every bench harness instead of per-binary copies.
 int64_t EnvInt(const char* name, int64_t fallback);
 
+/// A per-process scratch directory under the system temp dir, removed on
+/// destruction (RAII: early-exit paths clean up too). The PID suffix keeps
+/// concurrent bench runs from colliding on a shared /tmp.
+class ScratchDir {
+ public:
+  /// Creates `<tmp>/<prefix>.<pid>` fresh (removing any stale leftover
+  /// from a crashed run with the same PID).
+  explicit ScratchDir(const std::string& prefix);
+  ~ScratchDir();
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
 /// Monotonic wall-clock seconds, for best-of-reps timing loops.
 double NowSeconds();
 

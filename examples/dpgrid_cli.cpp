@@ -225,10 +225,19 @@ int CmdRemoteQuery(int argc, char** argv) {
                  "<xlo> <ylo> <xhi> <yhi>\n");
     return 2;
   }
+  // Coordinates are validated as strictly as the port: a typo'd number
+  // must fail loudly, not silently become 0.0 and query the wrong box.
+  Rect query;
+  double* coords[] = {&query.xlo, &query.ylo, &query.xhi, &query.yhi};
+  for (int i = 0; i < 4; ++i) {
+    if (!ParseCoord(argv[5 + i], coords[i])) {
+      std::fprintf(stderr, "error: bad coordinate '%s' (need a finite "
+                           "number)\n", argv[5 + i]);
+      return 2;
+    }
+  }
   QueryClient client;
   if (!ConnectRemote(argv, &client)) return 1;
-  const Rect query{std::atof(argv[5]), std::atof(argv[6]),
-                   std::atof(argv[7]), std::atof(argv[8])};
   std::vector<double> answers;
   uint64_t version = 0;
   WireStatus status = WireStatus::kOk;

@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
     if (reload_secs > 0 && ++ticks * 200 >= reload_secs * 1000) {
       ticks = 0;
       const size_t installed = catalog.ReloadAll(nullptr);
+      server.RecordReloads(installed);
       if (installed > 0) {
         std::printf("hot reload: %zu new version(s) installed\n", installed);
         std::fflush(stdout);

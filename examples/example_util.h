@@ -1,6 +1,7 @@
 #ifndef DPGRID_EXAMPLES_EXAMPLE_UTIL_H_
 #define DPGRID_EXAMPLES_EXAMPLE_UTIL_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 
@@ -16,6 +17,17 @@ inline bool ParsePort(const char* arg, bool allow_zero, uint16_t* out) {
     return false;
   }
   *out = static_cast<uint16_t>(port);
+  return true;
+}
+
+/// Strict coordinate parse: the whole argument must be a finite double.
+/// Unlike atof, garbage ("abc", "1.5x", "nan") is rejected instead of
+/// silently reading 0.0 and querying the wrong rectangle.
+inline bool ParseCoord(const char* arg, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || !std::isfinite(v)) return false;
+  *out = v;
   return true;
 }
 

@@ -1,0 +1,38 @@
+#ifndef DPGRID_COMMON_ENV_H_
+#define DPGRID_COMMON_ENV_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+// Environment knob parsers shared by the bench harnesses, the experiment
+// harness and the examples (one copy, not one per binary). Unset or empty
+// uses the fallback; a set-but-garbled value aborts with the variable
+// name rather than silently parsing to 0 — a typo'd DPGRID_SEED must not
+// quietly publish numbers under seed 0.
+
+inline int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  DPGRID_CHECK_MSG(end != v && *end == '\0', name);
+  return parsed;
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  DPGRID_CHECK_MSG(end != v && *end == '\0' && std::isfinite(parsed), name);
+  return parsed;
+}
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_COMMON_ENV_H_

@@ -1,0 +1,437 @@
+#include "experiments/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "data/ascii_map.h"
+#include "data/generators.h"
+#include "geo/dataset.h"
+#include "grid/adaptive_grid.h"
+#include "grid/uniform_grid.h"
+#include "hier/hierarchy_grid.h"
+#include "index/range_count_index.h"
+#include "kd/kd_tree.h"
+#include "nd/adaptive_grid_nd.h"
+#include "nd/dataset_nd.h"
+#include "nd/hierarchy_nd.h"
+#include "nd/uniform_grid_nd.h"
+#include "nd/workload_nd.h"
+#include "query/evaluator.h"
+#include "query/query_engine.h"
+#include "query/workload.h"
+#include "synth/synthesize.h"
+#include "wavelet/privelet.h"
+
+namespace dpgrid {
+namespace experiments {
+
+namespace {
+
+// Stream ids for deriving independent per-purpose seeds from config.seed.
+enum SeedStream : uint64_t {
+  kStreamData = 1,
+  kStreamWorkload = 2,
+  kStreamTrial = 3,
+  kStreamSynthRegen = 4,
+  kStreamNdData = 5,
+  kStreamNdWorkload = 6,
+};
+
+// SplitMix64 finalizer: decorrelates structured (seed, index...) tuples so
+// every trial gets an independent stream no matter how the grid is indexed.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream, uint64_t a = 0,
+                    uint64_t b = 0, uint64_t c = 0) {
+  uint64_t h = Mix64(seed ^ Mix64(stream));
+  h = Mix64(h ^ Mix64(a + 1));
+  h = Mix64(h ^ Mix64(b + 1));
+  h = Mix64(h ^ Mix64(c + 1));
+  return h;
+}
+
+std::unique_ptr<Synopsis> BuildMethod(const std::string& name,
+                                      const Dataset& data, double epsilon,
+                                      Rng& rng) {
+  if (name == "UG") {
+    return std::make_unique<UniformGrid>(data, epsilon, rng);
+  }
+  if (name == "AG") {
+    return std::make_unique<AdaptiveGrid>(data, epsilon, rng);
+  }
+  if (name == "Hier") {
+    HierarchyGridOptions opts;
+    opts.leaf_size = 256;
+    opts.branching = 2;
+    opts.depth = 3;
+    return std::make_unique<HierarchyGrid>(data, epsilon, rng, opts);
+  }
+  if (name == "Kd-std") {
+    return std::make_unique<KdTree>(data, epsilon, rng, KdStandardOptions());
+  }
+  if (name == "Kd-hyb") {
+    return std::make_unique<KdTree>(data, epsilon, rng, KdHybridOptions());
+  }
+  if (name == "Privelet") {
+    return std::make_unique<Privelet>(data, epsilon, rng);
+  }
+  DPGRID_CHECK_MSG(false, name.c_str());
+  return nullptr;
+}
+
+std::unique_ptr<SynopsisNd> BuildMethodNd(const std::string& name,
+                                          const DatasetNd& data,
+                                          double epsilon, Rng& rng) {
+  if (name == "UG-nd") {
+    return std::make_unique<UniformGridNd>(data, epsilon, rng);
+  }
+  if (name == "AG-nd") {
+    return std::make_unique<AdaptiveGridNd>(data, epsilon, rng);
+  }
+  if (name == "Hier-nd") {
+    HierarchyNdOptions opts;
+    opts.leaf_size = 16;
+    opts.branching = 2;
+    opts.depth = 2;
+    return std::make_unique<HierarchyNd>(data, epsilon, rng, opts);
+  }
+  DPGRID_CHECK_MSG(false, name.c_str());
+  return nullptr;
+}
+
+// One prepared 2-D evaluation scenario (dataset built once, shared by every
+// method/epsilon/trial job).
+struct Scenario2D {
+  std::string name;
+  Dataset dataset;
+  RangeCountIndex truth;
+  Workload workload;
+  double rho = 1.0;
+};
+
+// Output of a single trial: enough to aggregate deterministically later.
+struct TrialOut {
+  std::vector<double> mean_rel_by_size;
+  std::vector<double> pooled_rel;
+  std::vector<double> pooled_abs;
+};
+
+Scenario2D MakeScenario2D(const DatasetSpec& spec,
+                          const ExperimentConfig& config, Dataset dataset,
+                          uint64_t dataset_idx) {
+  RangeCountIndex truth(dataset);
+  Rng workload_rng(DeriveSeed(config.seed, kStreamWorkload, dataset_idx));
+  Workload workload =
+      GenerateWorkload(dataset.domain(), spec.q_max_w, spec.q_max_h,
+                       config.num_sizes, config.queries_per_size,
+                       workload_rng);
+  const double rho = DefaultRho(static_cast<double>(dataset.size()));
+  return Scenario2D{spec.name, std::move(dataset), std::move(truth),
+                    std::move(workload), rho};
+}
+
+// Builds one trial's synopsis and returns its per-size error samples.
+using TrialEvaluator = std::function<std::vector<SizeErrors>(
+    size_t method_idx, size_t eps_idx, Rng& rng)>;
+
+// The shared methods × epsilons × trials fan-out: jobs run across the
+// process-wide pool, each trial on an independent stream derived from
+// (seed, dataset_key, method, epsilon, trial); aggregation then runs on
+// one thread in a fixed order, so the report is byte-identical however
+// the jobs were scheduled.
+std::vector<CellResult> RunTrialGrid(const std::string& dataset_name,
+                                     uint64_t dataset_key,
+                                     const std::vector<std::string>& methods,
+                                     size_t num_sizes,
+                                     const ExperimentConfig& config,
+                                     const TrialEvaluator& evaluate) {
+  const size_t num_methods = methods.size();
+  const size_t num_eps = config.epsilons.size();
+  const auto trials = static_cast<size_t>(config.trials);
+  const size_t num_jobs = num_methods * num_eps * trials;
+  std::vector<TrialOut> outs(num_jobs);
+
+  ThreadPool::Shared().ParallelFor(0, num_jobs, 1, [&](size_t lo, size_t hi) {
+    for (size_t j = lo; j < hi; ++j) {
+      const size_t m = j / (num_eps * trials);
+      const size_t e = (j / trials) % num_eps;
+      const size_t t = j % trials;
+      Rng rng(DeriveSeed(config.seed, kStreamTrial,
+                         Mix64(dataset_key * 131 + m), e, t));
+      const std::vector<SizeErrors> errors = evaluate(m, e, rng);
+      TrialOut& out = outs[j];
+      out.mean_rel_by_size.reserve(errors.size());
+      for (const SizeErrors& se : errors) {
+        out.mean_rel_by_size.push_back(Mean(se.relative));
+      }
+      out.pooled_rel = PoolRelative(errors);
+      out.pooled_abs = PoolAbsolute(errors);
+    }
+  });
+
+  std::vector<CellResult> cells;
+  cells.reserve(num_eps * num_methods);
+  for (size_t e = 0; e < num_eps; ++e) {
+    for (size_t m = 0; m < num_methods; ++m) {
+      CellResult cell;
+      cell.dataset = dataset_name;
+      cell.method = methods[m];
+      cell.epsilon = config.epsilons[e];
+      cell.mean_rel_by_size.assign(num_sizes, 0.0);
+      std::vector<double> pooled_rel;
+      std::vector<double> pooled_abs;
+      for (size_t t = 0; t < trials; ++t) {
+        const TrialOut& out = outs[(m * num_eps + e) * trials + t];
+        for (size_t s = 0; s < out.mean_rel_by_size.size(); ++s) {
+          cell.mean_rel_by_size[s] +=
+              out.mean_rel_by_size[s] / static_cast<double>(trials);
+        }
+        pooled_rel.insert(pooled_rel.end(), out.pooled_rel.begin(),
+                          out.pooled_rel.end());
+        pooled_abs.insert(pooled_abs.end(), out.pooled_abs.begin(),
+                          out.pooled_abs.end());
+      }
+      cell.rel = ComputeSummary(pooled_rel);
+      cell.abs = ComputeSummary(pooled_abs);
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+void RunScenario(const Scenario2D& scenario, uint64_t dataset_idx,
+                 const std::vector<std::string>& methods,
+                 const ExperimentConfig& config, const QueryEngine& engine,
+                 std::vector<CellResult>* results) {
+  std::vector<CellResult> cells = RunTrialGrid(
+      scenario.name, dataset_idx, methods, scenario.workload.num_sizes(),
+      config, [&](size_t m, size_t e, Rng& rng) {
+        std::unique_ptr<Synopsis> synopsis = BuildMethod(
+            methods[m], scenario.dataset, config.epsilons[e], rng);
+        return EvaluateSynopsis(*synopsis, scenario.workload, scenario.truth,
+                                scenario.rho, engine);
+      });
+  results->insert(results->end(), std::make_move_iterator(cells.begin()),
+                  std::make_move_iterator(cells.end()));
+}
+
+void RunNdSection(const ExperimentConfig& config, const QueryEngine& engine,
+                  ExperimentResults* results) {
+  const size_t dims = static_cast<size_t>(config.nd_dims);
+  DPGRID_CHECK(dims >= 2);
+  BoxNd domain(std::vector<double>(dims, 0.0),
+               std::vector<double>(dims, 100.0));
+  const int64_t n = std::max<int64_t>(
+      2000, static_cast<int64_t>(
+                static_cast<double>(config.nd_points) * config.scale));
+  Rng data_rng(DeriveSeed(config.seed, kStreamNdData));
+  const std::vector<ClusterNd> clusters =
+      MakeRandomClustersNd(domain, 24, 0.02, 0.08, 1.0, data_rng);
+  const DatasetNd dataset =
+      MakeGaussianMixtureNd(domain, n, clusters, 0.1, data_rng);
+
+  Rng workload_rng(DeriveSeed(config.seed, kStreamNdWorkload));
+  const WorkloadNd workload = GenerateWorkloadNd(
+      domain, std::vector<double>(dims, 50.0), config.nd_num_sizes,
+      config.queries_per_size, workload_rng);
+  const double rho = DefaultRho(static_cast<double>(dataset.size()));
+
+  const std::string dataset_name =
+      "synthetic-" + std::to_string(dims) + "d";
+  DatasetInfo info;
+  info.name = dataset_name;
+  info.n = dataset.size();
+  info.size_labels = workload.size_labels;
+  results->datasets.push_back(std::move(info));
+
+  // 0x4e44 ("ND") keys the N-d trial streams apart from the 2-D dataset
+  // indexes; changing it would change every published N-d number.
+  const std::vector<std::string> methods = {"UG-nd", "AG-nd", "Hier-nd"};
+  results->nd_cells = RunTrialGrid(
+      dataset_name, 0x4e44ull, methods, workload.num_sizes(), config,
+      [&](size_t m, size_t e, Rng& rng) {
+        std::unique_ptr<SynopsisNd> synopsis =
+            BuildMethodNd(methods[m], dataset, config.epsilons[e], rng);
+        return EvaluateSynopsisNd(*synopsis, workload, dataset, rho, engine);
+      });
+}
+
+const CellResult* FindCell(const std::vector<CellResult>& cells,
+                           const std::string& dataset, double epsilon,
+                           const std::string& method) {
+  for (const CellResult& c : cells) {
+    if (c.dataset == dataset && c.epsilon == epsilon && c.method == method) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+void ComputeOrderingChecks(ExperimentResults* results) {
+  const std::vector<std::string> baselines = BaselineMethodNames();
+  for (const DatasetInfo& info : results->datasets) {
+    for (double eps : results->config.epsilons) {
+      const CellResult* ag = FindCell(results->cells, info.name, eps, "AG");
+      const CellResult* ug = FindCell(results->cells, info.name, eps, "UG");
+      if (ag == nullptr || ug == nullptr) continue;
+      double worst = 0.0;
+      bool any_baseline = false;
+      for (const std::string& b : baselines) {
+        const CellResult* cell = FindCell(results->cells, info.name, eps, b);
+        if (cell == nullptr) continue;
+        worst = std::max(worst, cell->rel.mean);
+        any_baseline = true;
+      }
+      if (!any_baseline) continue;
+      OrderingCheck check;
+      check.dataset = info.name;
+      check.epsilon = eps;
+      check.ag_mean = ag->rel.mean;
+      check.ug_mean = ug->rel.mean;
+      check.worst_baseline_mean = worst;
+      check.holds =
+          check.ag_mean <= check.ug_mean && check.ug_mean <= worst;
+      results->ordering.push_back(std::move(check));
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::Full() { return ExperimentConfig{}; }
+
+ExperimentConfig ExperimentConfig::Smoke() {
+  ExperimentConfig c;
+  c.scale = 0.2;
+  c.trials = 1;
+  c.queries_per_size = 30;
+  c.num_sizes = 4;
+  c.epsilons = {1.0};
+  c.datasets = {"storage"};
+  c.include_synth_regen = false;
+  c.include_nd = true;
+  c.nd_points = 4000;
+  c.nd_num_sizes = 2;
+  c.preset = "smoke";
+  return c;
+}
+
+void ExperimentConfig::ApplyEnv() {
+  seed = static_cast<uint64_t>(
+      EnvInt64("DPGRID_SEED", static_cast<int64_t>(seed)));
+  scale = EnvDouble("DPGRID_SCALE", scale);
+  trials = static_cast<int>(EnvInt64("DPGRID_TRIALS", trials));
+  queries_per_size =
+      static_cast<int>(EnvInt64("DPGRID_QUERIES", queries_per_size));
+  DPGRID_CHECK(scale > 0.0 && scale <= 1.0);
+  DPGRID_CHECK(trials >= 1);
+  DPGRID_CHECK(queries_per_size >= 1);
+}
+
+std::vector<std::string> MethodNames() {
+  return {"UG", "AG", "Hier", "Kd-std", "Kd-hyb", "Privelet"};
+}
+
+std::vector<std::string> BaselineMethodNames() {
+  return {"Hier", "Kd-std", "Kd-hyb", "Privelet"};
+}
+
+ExperimentResults RunExperiments(const ExperimentConfig& config) {
+  DPGRID_CHECK(config.scale > 0.0 && config.scale <= 1.0);
+  DPGRID_CHECK(config.trials >= 1);
+  DPGRID_CHECK(config.queries_per_size >= 1);
+  DPGRID_CHECK(config.num_sizes >= 1);
+  DPGRID_CHECK(!config.epsilons.empty());
+
+  ExperimentResults results;
+  results.config = config;
+
+  std::vector<std::string> methods =
+      config.methods.empty() ? MethodNames() : config.methods;
+
+  const std::vector<DatasetSpec> specs = PaperDatasets(config.scale);
+  auto wants = [&config](const std::string& name) {
+    if (config.datasets.empty()) return true;
+    return std::find(config.datasets.begin(), config.datasets.end(), name) !=
+           config.datasets.end();
+  };
+
+  const QueryEngine engine;
+  uint64_t dataset_idx = 0;
+  for (const DatasetSpec& spec : specs) {
+    if (!wants(spec.name)) {
+      ++dataset_idx;
+      continue;
+    }
+    Rng data_rng(DeriveSeed(config.seed, kStreamData, dataset_idx));
+    Scenario2D scenario = MakeScenario2D(
+        spec, config, spec.make(spec.n, data_rng), dataset_idx);
+
+    DatasetInfo info;
+    info.name = scenario.name;
+    info.n = scenario.dataset.size();
+    info.size_labels = scenario.workload.size_labels;
+    info.heatmap = RenderAsciiHeatmap(scenario.dataset, 56, 18);
+    results.datasets.push_back(std::move(info));
+
+    RunScenario(scenario, dataset_idx, methods, config, engine,
+                &results.cells);
+    ++dataset_idx;
+  }
+
+  // The "synthregen" dataset exercises the paper's second release mode
+  // (§II-B): a synthetic dataset regenerated from a published AG synopsis
+  // via src/synth, then evaluated like any raw dataset.
+  const bool want_regen = config.datasets.empty()
+                              ? config.include_synth_regen
+                              : wants("synthregen");
+  if (want_regen) {
+    const DatasetSpec* landmark = nullptr;
+    for (const DatasetSpec& spec : specs) {
+      if (std::string(spec.name) == "landmark") landmark = &spec;
+    }
+    DPGRID_CHECK(landmark != nullptr);
+    Rng regen_rng(DeriveSeed(config.seed, kStreamSynthRegen));
+    const Dataset source = landmark->make(landmark->n, regen_rng);
+    AdaptiveGrid release(source, 1.0, regen_rng);
+    Dataset regenerated = SynthesizeFromSynopsis(release, source.domain(),
+                                                 source.size(), regen_rng);
+    DatasetSpec regen_spec = *landmark;
+    regen_spec.name = "synthregen";
+    Scenario2D scenario = MakeScenario2D(regen_spec, config,
+                                         std::move(regenerated), dataset_idx);
+
+    DatasetInfo info;
+    info.name = scenario.name;
+    info.n = scenario.dataset.size();
+    info.size_labels = scenario.workload.size_labels;
+    info.heatmap = RenderAsciiHeatmap(scenario.dataset, 56, 18);
+    results.datasets.push_back(std::move(info));
+
+    RunScenario(scenario, dataset_idx, methods, config, engine,
+                &results.cells);
+  }
+
+  if (config.include_nd) {
+    RunNdSection(config, engine, &results);
+  }
+
+  ComputeOrderingChecks(&results);
+  return results;
+}
+
+}  // namespace experiments
+}  // namespace dpgrid

@@ -1,0 +1,118 @@
+#ifndef DPGRID_EXPERIMENTS_EXPERIMENT_H_
+#define DPGRID_EXPERIMENTS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/error.h"
+
+namespace dpgrid {
+namespace experiments {
+
+/// Configuration of one experiment run: the cross product
+/// method × epsilon × dataset × query-size class, with `trials` fresh-noise
+/// builds per cell. Every random draw derives from `seed`, so two runs with
+/// the same config produce byte-identical reports regardless of thread
+/// count (trials run in parallel but aggregate in a fixed order, and the
+/// engine's batch answers are bitwise-identical to scalar answers).
+struct ExperimentConfig {
+  /// Fraction of the paper dataset sizes in (0, 1].
+  double scale = 1.0;
+  /// Fresh-noise builds per (method, epsilon, dataset) cell.
+  int trials = 3;
+  /// Queries per size class (the paper uses 200).
+  int queries_per_size = 200;
+  /// Size classes per workload (the paper uses q1..q6).
+  int num_sizes = 6;
+  /// Base seed; every dataset/build/workload stream is derived from it.
+  uint64_t seed = 20130408;
+  /// Privacy budgets to sweep (the paper's Figures 5/6 use these three).
+  std::vector<double> epsilons = {0.01, 0.1, 1.0};
+  /// Dataset names to run; empty = every paper dataset. Known names:
+  /// "road", "checkin", "landmark", "storage", plus "synthregen" (a
+  /// synthetic re-release generated from an AG synopsis via src/synth).
+  std::vector<std::string> datasets;
+  /// Method names to run; empty = all of UG, AG, Hier, Kd-std, Kd-hyb,
+  /// Privelet (names match MethodNames()).
+  std::vector<std::string> methods;
+  /// Include the "synthregen" dataset when `datasets` is empty.
+  bool include_synth_regen = true;
+  /// Run the d-dimensional section (UG/AG/hierarchy in nd_dims dims).
+  bool include_nd = true;
+  int nd_dims = 3;
+  /// Points in the N-d dataset before `scale` (ground truth is brute
+  /// force, so this stays evaluation-sized).
+  int64_t nd_points = 40000;
+  int nd_num_sizes = 4;
+  /// Which CLI preset produced this config ("full" or "smoke"); the
+  /// generated report's regenerate command echoes it so the command
+  /// actually reproduces the report it is printed in.
+  std::string preset = "full";
+
+  /// The full paper-style grid (defaults above).
+  static ExperimentConfig Full();
+  /// A seconds-scale configuration exercising every stage of the pipeline:
+  /// registered as the `experiments` ctest and run by CI.
+  static ExperimentConfig Smoke();
+  /// Applies DPGRID_SEED / DPGRID_SCALE / DPGRID_TRIALS / DPGRID_QUERIES
+  /// env overrides (unset or empty leaves the field unchanged).
+  void ApplyEnv();
+};
+
+/// Canonical 2-D method names, in report order.
+std::vector<std::string> MethodNames();
+/// Methods treated as baselines by the ordering check (everything except
+/// the paper's UG and AG).
+std::vector<std::string> BaselineMethodNames();
+
+/// Aggregated accuracy of one method on one (dataset, epsilon) cell.
+struct CellResult {
+  std::string dataset;
+  std::string method;
+  double epsilon = 0.0;
+  /// Mean relative error per size class, averaged over trials.
+  std::vector<double> mean_rel_by_size;
+  /// Candlestick stats pooled over all sizes and trials.
+  Summary rel;
+  Summary abs;
+};
+
+/// One evaluated dataset, as echoed into the report.
+struct DatasetInfo {
+  std::string name;
+  int64_t n = 0;
+  std::vector<std::string> size_labels;
+  /// ASCII density map of the dataset (the paper's Fig. 1 illustration).
+  std::string heatmap;
+};
+
+/// The paper's headline claim, checked per (dataset, epsilon):
+/// mean_rel(AG) <= mean_rel(UG) <= max over baselines.
+struct OrderingCheck {
+  std::string dataset;
+  double epsilon = 0.0;
+  double ag_mean = 0.0;
+  double ug_mean = 0.0;
+  double worst_baseline_mean = 0.0;
+  bool holds = false;
+};
+
+struct ExperimentResults {
+  ExperimentConfig config;
+  std::vector<DatasetInfo> datasets;
+  /// 2-D cells, ordered dataset-major, then epsilon, then method.
+  std::vector<CellResult> cells;
+  /// N-d cells (dataset name encodes the dimensionality), same order.
+  std::vector<CellResult> nd_cells;
+  std::vector<OrderingCheck> ordering;
+};
+
+/// Runs the configured grid. Deterministic under config.seed; trials are
+/// sharded across the process-wide thread pool.
+ExperimentResults RunExperiments(const ExperimentConfig& config);
+
+}  // namespace experiments
+}  // namespace dpgrid
+
+#endif  // DPGRID_EXPERIMENTS_EXPERIMENT_H_

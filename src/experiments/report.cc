@@ -1,0 +1,295 @@
+#include "experiments/report.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace dpgrid {
+namespace experiments {
+
+namespace {
+
+// Fixed-format double for machine-readable files: round-trips exactly and
+// is byte-stable across runs (the determinism contract of the report).
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Short human-facing form for Markdown tables.
+std::string Short(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Quoted(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
+
+std::string JsonDoubleArray(const std::vector<double>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Num(values[i]);
+  }
+  return out + "]";
+}
+
+std::string JsonStringArray(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Quoted(values[i]);
+  }
+  return out + "]";
+}
+
+std::string JsonSummary(const Summary& s) {
+  return "{\"mean\": " + Num(s.mean) + ", \"p25\": " + Num(s.p25) +
+         ", \"p50\": " + Num(s.p50) + ", \"p75\": " + Num(s.p75) +
+         ", \"p95\": " + Num(s.p95) + "}";
+}
+
+void AppendCells(const std::vector<CellResult>& cells, std::string* out) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    *out += "    {\"dataset\": " + Quoted(c.dataset) +
+            ", \"method\": " + Quoted(c.method) +
+            ", \"epsilon\": " + Num(c.epsilon) +
+            ",\n     \"mean_rel_by_size\": " +
+            JsonDoubleArray(c.mean_rel_by_size) +
+            ",\n     \"rel\": " + JsonSummary(c.rel) +
+            ",\n     \"abs\": " + JsonSummary(c.abs) + "}";
+    *out += (i + 1 < cells.size()) ? ",\n" : "\n";
+  }
+}
+
+void AppendCsvSection(const char* section,
+                      const std::vector<CellResult>& cells,
+                      const ExperimentResults& results, std::string* out) {
+  for (const CellResult& c : cells) {
+    // Size labels live on the dataset entry.
+    const std::vector<std::string>* labels = nullptr;
+    for (const DatasetInfo& d : results.datasets) {
+      if (d.name == c.dataset) labels = &d.size_labels;
+    }
+    for (size_t s = 0; s < c.mean_rel_by_size.size(); ++s) {
+      const std::string label = (labels != nullptr && s < labels->size())
+                                    ? (*labels)[s]
+                                    : "q" + std::to_string(s + 1);
+      *out += std::string(section) + "," + c.dataset + "," + c.method + "," +
+              Num(c.epsilon) + "," + label + "," +
+              Num(c.mean_rel_by_size[s]) + ",,,,,\n";
+    }
+    *out += std::string(section) + "," + c.dataset + "," + c.method + "," +
+            Num(c.epsilon) + ",all," + Num(c.rel.mean) + "," +
+            Num(c.rel.p25) + "," + Num(c.rel.p50) + "," + Num(c.rel.p75) +
+            "," + Num(c.rel.p95) + "," + Num(c.abs.mean) + "\n";
+  }
+}
+
+// One Fig.5-style Markdown table: rows = methods, columns = per-size mean
+// relative error plus the pooled candlestick stats.
+void AppendMarkdownTable(const std::vector<CellResult>& cells,
+                         const DatasetInfo& info, double epsilon,
+                         std::string* out) {
+  std::vector<const CellResult*> rows;
+  for (const CellResult& c : cells) {
+    if (c.dataset == info.name && c.epsilon == epsilon) rows.push_back(&c);
+  }
+  if (rows.empty()) return;
+  *out += "\n**ε = " + Short(epsilon) + "** — mean relative error\n\n";
+  *out += "| method |";
+  for (const std::string& label : info.size_labels) *out += " " + label + " |";
+  *out += " pooled mean | p50 | p95 |\n";
+  *out += "|---|";
+  for (size_t i = 0; i < info.size_labels.size(); ++i) *out += "---|";
+  *out += "---|---|---|\n";
+  for (const CellResult* c : rows) {
+    *out += "| " + c->method + " |";
+    for (double v : c->mean_rel_by_size) *out += " " + Short(v) + " |";
+    *out += " " + Short(c->rel.mean) + " | " + Short(c->rel.p50) + " | " +
+            Short(c->rel.p95) + " |\n";
+  }
+}
+
+}  // namespace
+
+std::string ToJson(const ExperimentResults& results) {
+  const ExperimentConfig& c = results.config;
+  std::string out;
+  out += "{\n";
+  out += "  \"experiment\": \"dpgrid_experiments\",\n";
+  out += "  \"paper\": \"conf_icde_QardajiYL13\",\n";
+  out += "  \"config\": {\n";
+  out += "    \"preset\": " + Quoted(c.preset) + ",\n";
+  out += "    \"dataset_filter\": " + JsonStringArray(c.datasets) + ",\n";
+  out += "    \"method_filter\": " + JsonStringArray(c.methods) + ",\n";
+  out += "    \"scale\": " + Num(c.scale) + ",\n";
+  out += "    \"trials\": " + std::to_string(c.trials) + ",\n";
+  out += "    \"queries_per_size\": " + std::to_string(c.queries_per_size) +
+         ",\n";
+  out += "    \"num_sizes\": " + std::to_string(c.num_sizes) + ",\n";
+  out += "    \"seed\": " + std::to_string(c.seed) + ",\n";
+  out += "    \"epsilons\": " + JsonDoubleArray(c.epsilons) + ",\n";
+  out += "    \"include_nd\": " +
+         std::string(c.include_nd ? "true" : "false") + ",\n";
+  out += "    \"nd_dims\": " + std::to_string(c.nd_dims) + "\n";
+  out += "  },\n";
+  out += "  \"datasets\": [\n";
+  for (size_t i = 0; i < results.datasets.size(); ++i) {
+    const DatasetInfo& d = results.datasets[i];
+    out += "    {\"name\": " + Quoted(d.name) +
+           ", \"n\": " + std::to_string(d.n) +
+           ", \"size_labels\": " + JsonStringArray(d.size_labels) + "}";
+    out += (i + 1 < results.datasets.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"cells\": [\n";
+  AppendCells(results.cells, &out);
+  out += "  ],\n";
+  out += "  \"nd_cells\": [\n";
+  AppendCells(results.nd_cells, &out);
+  out += "  ],\n";
+  out += "  \"ordering_checks\": [\n";
+  for (size_t i = 0; i < results.ordering.size(); ++i) {
+    const OrderingCheck& o = results.ordering[i];
+    out += "    {\"dataset\": " + Quoted(o.dataset) +
+           ", \"epsilon\": " + Num(o.epsilon) +
+           ", \"ag_mean\": " + Num(o.ag_mean) +
+           ", \"ug_mean\": " + Num(o.ug_mean) +
+           ", \"worst_baseline_mean\": " + Num(o.worst_baseline_mean) +
+           ", \"holds\": " + (o.holds ? "true" : "false") + "}";
+    out += (i + 1 < results.ordering.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ToCsv(const ExperimentResults& results) {
+  std::string out =
+      "section,dataset,method,epsilon,size,rel_mean,rel_p25,rel_p50,"
+      "rel_p75,rel_p95,abs_mean\n";
+  AppendCsvSection("2d", results.cells, results, &out);
+  AppendCsvSection("nd", results.nd_cells, results, &out);
+  return out;
+}
+
+std::string ToMarkdown(const ExperimentResults& results) {
+  const ExperimentConfig& c = results.config;
+  std::string out;
+  out += "# Reproduction results — Qardaji, Yang, Li, \"Differentially "
+         "Private Grids for Geospatial Data\" (ICDE 2013)\n\n";
+  out += "Generated by `dpgrid_experiments`; do not edit by hand. "
+         "Regenerate with:\n\n";
+  out += "```sh\n";
+  out += "DPGRID_SEED=" + std::to_string(c.seed) +
+         " DPGRID_SCALE=" + Short(c.scale) +
+         " DPGRID_TRIALS=" + std::to_string(c.trials) +
+         " DPGRID_QUERIES=" + std::to_string(c.queries_per_size) +
+         " ./build/dpgrid_experiments " +
+         (c.preset == "smoke" ? "--smoke --out experiment-report\n"
+                              : "--out docs\n");
+  out += "```\n\n";
+  out += "Runs with the same seed are byte-identical (JSON and this file); "
+         "the relative-error metric is the paper's §V-A "
+         "`|est − actual| / max(actual, 0.001·N)`.\n\n";
+  out += "## Configuration\n\n";
+  out += "| scale | trials | queries/size | size classes | seed | ε sweep "
+         "|\n|---|---|---|---|---|---|\n";
+  out += "| " + Short(c.scale) + " | " + std::to_string(c.trials) + " | " +
+         std::to_string(c.queries_per_size) + " | " +
+         std::to_string(c.num_sizes) + " | " + std::to_string(c.seed) +
+         " | ";
+  for (size_t i = 0; i < c.epsilons.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Short(c.epsilons[i]);
+  }
+  out += " |\n\n";
+  out += "Datasets are the synthetic stand-ins for the paper's four "
+         "evaluation datasets (Table II parameters at `scale`× size), plus "
+         "`synthregen`, a synthetic re-release generated from a published "
+         "AG synopsis (the paper's §II-B second use), and a d-dimensional "
+         "mixture for the N-d generalization.\n";
+
+  out += "\n## Paper ordering check (Fig. 5 headline)\n\n";
+  out += "Per (dataset, ε): does mean relative error satisfy "
+         "AG ≤ UG ≤ worst baseline (Hier / KD-standard / KD-hybrid / "
+         "Privelet)?\n\n";
+  if (results.ordering.empty()) {
+    out += "_Not computed (methods filtered)._\n";
+  } else {
+    out += "| dataset | ε | AG | UG | worst baseline | holds |\n";
+    out += "|---|---|---|---|---|---|\n";
+    for (const OrderingCheck& o : results.ordering) {
+      out += "| " + o.dataset + " | " + Short(o.epsilon) + " | " +
+             Short(o.ag_mean) + " | " + Short(o.ug_mean) + " | " +
+             Short(o.worst_baseline_mean) + " | " +
+             (o.holds ? "✓" : "✗") + " |\n";
+    }
+  }
+
+  for (const DatasetInfo& info : results.datasets) {
+    if (info.heatmap.empty()) continue;  // N-d datasets have no 2-D map
+    out += "\n## Dataset `" + info.name + "` (N = " +
+           std::to_string(info.n) + ")\n\n";
+    out += "```\n" + info.heatmap;
+    if (!info.heatmap.empty() && info.heatmap.back() != '\n') out += "\n";
+    out += "```\n";
+    for (double eps : c.epsilons) {
+      AppendMarkdownTable(results.cells, info, eps, &out);
+    }
+  }
+
+  for (const DatasetInfo& info : results.datasets) {
+    if (!info.heatmap.empty()) continue;
+    out += "\n## N-dimensional section — `" + info.name + "` (N = " +
+           std::to_string(info.n) + ")\n\n";
+    out += "The generalized guidelines (§IV-C): UG/AG/hierarchy in " +
+           std::to_string(c.nd_dims) + " dimensions on a Gaussian-mixture "
+           "dataset; ground truth is exact brute force.\n";
+    for (double eps : c.epsilons) {
+      AppendMarkdownTable(results.nd_cells, info, eps, &out);
+    }
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;  // close even after a short write
+  const bool ok = written == content.size() && closed;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace experiments
+}  // namespace dpgrid

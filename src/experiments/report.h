@@ -1,0 +1,32 @@
+#ifndef DPGRID_EXPERIMENTS_REPORT_H_
+#define DPGRID_EXPERIMENTS_REPORT_H_
+
+#include <string>
+
+#include "experiments/experiment.h"
+
+namespace dpgrid {
+namespace experiments {
+
+/// Machine-readable JSON of the full results. Deterministic: field order is
+/// fixed and doubles are printed with a fixed format, so two runs with the
+/// same config and seed produce byte-identical output.
+std::string ToJson(const ExperimentResults& results);
+
+/// Long-format CSV, one row per (section, dataset, method, epsilon, size)
+/// plus a pooled "all" row per cell carrying the candlestick stats.
+std::string ToCsv(const ExperimentResults& results);
+
+/// The generated Markdown report (docs/RESULTS.md): configuration echo,
+/// per-dataset ASCII density maps, per-figure accuracy tables, the paper
+/// ordering check, and the N-d section.
+std::string ToMarkdown(const ExperimentResults& results);
+
+/// Writes `content` to `path`. Returns false with *error set on failure.
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error);
+
+}  // namespace experiments
+}  // namespace dpgrid
+
+#endif  // DPGRID_EXPERIMENTS_REPORT_H_

@@ -36,6 +36,25 @@ std::vector<SizeErrors> EvaluateSynopsis(const Synopsis& synopsis,
   return EvaluateSynopsis(synopsis, workload, truth, rho, QueryEngine());
 }
 
+std::vector<SizeErrors> EvaluateSynopsisNd(const SynopsisNd& synopsis,
+                                           const WorkloadNd& workload,
+                                           const DatasetNd& truth, double rho,
+                                           const QueryEngine& engine) {
+  std::vector<SizeErrors> result(workload.num_sizes());
+  for (size_t s = 0; s < workload.num_sizes(); ++s) {
+    const std::vector<BoxNd>& queries = workload.queries[s];
+    const std::vector<double> estimates = engine.AnswerAll(synopsis, queries);
+    result[s].relative.reserve(queries.size());
+    result[s].absolute.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto actual = static_cast<double>(truth.CountInBox(queries[i]));
+      result[s].absolute.push_back(std::abs(estimates[i] - actual));
+      result[s].relative.push_back(RelativeError(estimates[i], actual, rho));
+    }
+  }
+  return result;
+}
+
 std::vector<double> PoolRelative(const std::vector<SizeErrors>& errors) {
   std::vector<double> pooled;
   for (const SizeErrors& e : errors) {

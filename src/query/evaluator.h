@@ -5,6 +5,9 @@
 
 #include "grid/synopsis.h"
 #include "index/range_count_index.h"
+#include "nd/dataset_nd.h"
+#include "nd/synopsis_nd.h"
+#include "nd/workload_nd.h"
 #include "query/query_engine.h"
 #include "query/workload.h"
 
@@ -33,6 +36,13 @@ std::vector<SizeErrors> EvaluateSynopsis(const Synopsis& synopsis,
                                          const Workload& workload,
                                          const RangeCountIndex& truth,
                                          double rho);
+
+/// The d-dimensional counterpart: estimates go through the engine's
+/// batched N-d path; ground truth is the dataset's exact CountInBox.
+std::vector<SizeErrors> EvaluateSynopsisNd(const SynopsisNd& synopsis,
+                                           const WorkloadNd& workload,
+                                           const DatasetNd& truth, double rho,
+                                           const QueryEngine& engine);
 
 /// Flattens per-size samples into one pooled vector (the paper's
 /// "profile over all query sizes" candlesticks).

@@ -399,7 +399,7 @@ std::string QueryServer::DispatchFrame(WireOp op, const std::string& body) {
         response_body = EncodeStatsOkBody(StatsSnapshot());
       } else {
         const size_t installed = catalog_->ReloadAll(nullptr);
-        reloads_installed_.fetch_add(installed, std::memory_order_relaxed);
+        RecordReloads(installed);
         response_body = EncodeReloadOkBody(installed);
       }
       break;

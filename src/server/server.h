@@ -72,6 +72,14 @@ class QueryServer {
   /// Consistent-enough snapshot of the per-request metrics counters.
   WireStats StatsSnapshot() const;
 
+  /// Credits `n` hot reloads to the STATS counters. The RELOAD op calls
+  /// this internally; external reload drivers (e.g. dpgrid_server's
+  /// DPGRID_RELOAD_SECS poll, which reloads the catalog directly) must
+  /// call it too, or STATS under-reports poll-driven installs.
+  void RecordReloads(uint64_t n) {
+    reloads_installed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);

@@ -2,8 +2,13 @@
 // table rendering. The harness produces every number in EXPERIMENTS.md, so
 // it deserves the same coverage as the library.
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -138,6 +143,63 @@ TEST(RunMethodTest, TrialsAffectOnlyNoise) {
   MethodResult b = RunMethod("U", MakeUgFactory(16), s, one_trial);
   EXPECT_NEAR(a.rel_summary.mean, b.rel_summary.mean,
               0.05 + 0.5 * a.rel_summary.mean);
+}
+
+TEST(ScratchDirTest, CreatesPerPidDirAndRemovesItOnDestruction) {
+  std::string path;
+  {
+    ScratchDir scratch("dpgrid_scratch_test");
+    path = scratch.path();
+    // Per-PID suffix: concurrent bench runs must not collide.
+    EXPECT_NE(path.find(std::to_string(static_cast<long long>(getpid()))),
+              std::string::npos);
+    ASSERT_TRUE(std::filesystem::is_directory(path));
+    // A file inside is swept too (the RAII covers early-exit paths that
+    // leave partial state behind).
+    std::FILE* f = std::fopen((path + "/leftover").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ScratchDirTest, SweepsDeadPidLeftoversButSparesLiveAndForeign) {
+  namespace fs = std::filesystem;
+  const fs::path tmp = fs::temp_directory_path();
+  // A leftover from a "crashed" run: PID far above any real pid_max.
+  const fs::path dead = tmp / "dpgrid_scratch_sweep.99999999";
+  // The parent process is alive, so its dir reads as a concurrent run;
+  // a non-numeric suffix is not ours to touch.
+  const fs::path live =
+      tmp / ("dpgrid_scratch_sweep." +
+             std::to_string(static_cast<long long>(getppid())));
+  const fs::path foreign = tmp / "dpgrid_scratch_sweep.notapid";
+  fs::create_directories(dead);
+  fs::create_directories(live);
+  fs::create_directories(foreign);
+  {
+    ScratchDir scratch("dpgrid_scratch_sweep");
+    EXPECT_FALSE(fs::exists(dead));
+    EXPECT_TRUE(fs::exists(live));
+    EXPECT_TRUE(fs::exists(foreign));
+  }
+  fs::remove_all(live);
+  fs::remove_all(foreign);
+}
+
+TEST(ScratchDirTest, ReplacesStaleLeftoverFromACrashedRun) {
+  std::string stale_file;
+  {
+    ScratchDir first("dpgrid_scratch_stale");
+    stale_file = first.path() + "/old";
+    std::FILE* f = std::fopen(stale_file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    // Simulate a crash: recreate over the same path while it still exists.
+    ScratchDir second("dpgrid_scratch_stale");
+    EXPECT_EQ(second.path(), first.path());
+    EXPECT_FALSE(std::filesystem::exists(stale_file));
+  }
 }
 
 TEST(FactoriesTest, ProduceExpectedTypesAndNames) {

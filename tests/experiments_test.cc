@@ -1,0 +1,172 @@
+// Tests for the paper-reproduction experiment harness: the pipeline that
+// produces docs/RESULTS.md must be deterministic, structurally complete,
+// and numerically sane — CI runs it (ctest label `experiments`) so the
+// reproduction stays checkable, not just runnable.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiment.h"
+#include "experiments/report.h"
+
+namespace dpgrid {
+namespace experiments {
+namespace {
+
+// A tiny configuration that still exercises every stage: two methods,
+// two epsilons, the smallest dataset, and the N-d section.
+ExperimentConfig TinyConfig() {
+  ExperimentConfig c;
+  c.scale = 0.25;
+  c.trials = 2;
+  c.queries_per_size = 12;
+  c.num_sizes = 3;
+  c.seed = 42;
+  c.epsilons = {0.5, 2.0};
+  c.datasets = {"storage"};
+  c.methods = {"UG", "AG"};
+  c.include_nd = true;
+  c.nd_points = 3000;
+  c.nd_num_sizes = 2;
+  return c;
+}
+
+TEST(RunExperimentsTest, ProducesTheFullGrid) {
+  const ExperimentConfig config = TinyConfig();
+  const ExperimentResults r = RunExperiments(config);
+
+  // One 2-D dataset plus the N-d dataset.
+  ASSERT_EQ(r.datasets.size(), 2u);
+  EXPECT_EQ(r.datasets[0].name, "storage");
+  EXPECT_FALSE(r.datasets[0].heatmap.empty());
+  EXPECT_EQ(r.datasets[1].name, "synthetic-3d");
+  EXPECT_TRUE(r.datasets[1].heatmap.empty());
+
+  // methods × epsilons cells, each with num_sizes per-size means.
+  ASSERT_EQ(r.cells.size(), 2u * 2u);
+  for (const CellResult& c : r.cells) {
+    EXPECT_EQ(c.dataset, "storage");
+    ASSERT_EQ(c.mean_rel_by_size.size(), 3u);
+    for (double v : c.mean_rel_by_size) EXPECT_GE(v, 0.0);
+    EXPECT_GE(c.rel.p95, c.rel.p25);
+    EXPECT_GE(c.abs.mean, 0.0);
+  }
+  // 3 N-d methods × 2 epsilons.
+  ASSERT_EQ(r.nd_cells.size(), 3u * 2u);
+  for (const CellResult& c : r.nd_cells) {
+    EXPECT_EQ(c.dataset, "synthetic-3d");
+    ASSERT_EQ(c.mean_rel_by_size.size(), 2u);
+  }
+}
+
+TEST(RunExperimentsTest, SameSeedIsByteIdentical) {
+  const ExperimentConfig config = TinyConfig();
+  const ExperimentResults a = RunExperiments(config);
+  const ExperimentResults b = RunExperiments(config);
+  EXPECT_EQ(ToJson(a), ToJson(b));
+  EXPECT_EQ(ToCsv(a), ToCsv(b));
+  EXPECT_EQ(ToMarkdown(a), ToMarkdown(b));
+}
+
+TEST(RunExperimentsTest, DifferentSeedChangesTheNoise) {
+  ExperimentConfig config = TinyConfig();
+  const ExperimentResults a = RunExperiments(config);
+  config.seed = 43;
+  const ExperimentResults b = RunExperiments(config);
+  EXPECT_NE(ToJson(a), ToJson(b));
+}
+
+TEST(RunExperimentsTest, MoreBudgetMeansLessError) {
+  // ε = 2.0 must beat ε = 0.5 on pooled mean for a grid method — the most
+  // basic sanity requirement of the whole report.
+  const ExperimentResults r = RunExperiments(TinyConfig());
+  double ug_low = -1.0;
+  double ug_high = -1.0;
+  for (const CellResult& c : r.cells) {
+    if (c.method != "UG") continue;
+    if (c.epsilon == 0.5) ug_low = c.rel.mean;
+    if (c.epsilon == 2.0) ug_high = c.rel.mean;
+  }
+  ASSERT_GE(ug_low, 0.0);
+  ASSERT_GE(ug_high, 0.0);
+  EXPECT_LT(ug_high, ug_low);
+}
+
+TEST(RunExperimentsTest, SmokeConfigRunsEveryMethodAndChecksOrdering) {
+  ExperimentConfig config = ExperimentConfig::Smoke();
+  const ExperimentResults r = RunExperiments(config);
+  // All six 2-D methods on one dataset × one epsilon.
+  ASSERT_EQ(r.cells.size(), MethodNames().size());
+  ASSERT_EQ(r.ordering.size(), 1u);
+  EXPECT_EQ(r.ordering[0].dataset, "storage");
+  EXPECT_GT(r.ordering[0].worst_baseline_mean, 0.0);
+}
+
+TEST(ReportTest, JsonHasTheExpectedShape) {
+  const ExperimentResults r = RunExperiments(TinyConfig());
+  const std::string json = ToJson(r);
+  EXPECT_NE(json.find("\"experiment\": \"dpgrid_experiments\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"paper\": \"conf_icde_QardajiYL13\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cells\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"nd_cells\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  // No timestamps or timings: they would break byte-stability.
+  EXPECT_EQ(json.find("time"), std::string::npos);
+}
+
+TEST(ReportTest, CsvIsRectangular) {
+  const ExperimentResults r = RunExperiments(TinyConfig());
+  const std::string csv = ToCsv(r);
+  size_t lines = 0;
+  size_t first_commas = 0;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    const size_t eol = csv.find('\n', pos);
+    const std::string line = csv.substr(pos, eol - pos);
+    const auto commas =
+        static_cast<size_t>(std::count(line.begin(), line.end(), ','));
+    if (lines == 0) {
+      first_commas = commas;
+    } else {
+      EXPECT_EQ(commas, first_commas) << "line " << lines << ": " << line;
+    }
+    ++lines;
+    pos = eol + 1;
+  }
+  // header + per cell (num_sizes + 1 pooled) rows for both sections.
+  EXPECT_EQ(lines, 1u + r.cells.size() * 4u + r.nd_cells.size() * 3u);
+}
+
+TEST(ReportTest, MarkdownContainsFigureTablesAndHeatmap) {
+  const ExperimentResults r = RunExperiments(TinyConfig());
+  const std::string md = ToMarkdown(r);
+  EXPECT_NE(md.find("# Reproduction results"), std::string::npos);
+  EXPECT_NE(md.find("## Dataset `storage`"), std::string::npos);
+  EXPECT_NE(md.find("## N-dimensional section"), std::string::npos);
+  EXPECT_NE(md.find("| method |"), std::string::npos);
+  EXPECT_NE(md.find("dpgrid_experiments"), std::string::npos);
+}
+
+TEST(ReportTest, WriteTextFileRoundTripsAndReportsFailure) {
+  const std::string path = testing::TempDir() + "/dpgrid_report_test.txt";
+  std::string error;
+  ASSERT_TRUE(WriteTextFile(path, "hello\n", &error));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {0};
+  const size_t len = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, len), "hello\n");
+  EXPECT_FALSE(WriteTextFile("/nonexistent-dir/x.txt", "y", &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace experiments
+}  // namespace dpgrid

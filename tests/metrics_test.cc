@@ -78,6 +78,79 @@ TEST(SummaryDeathTest, EmptySampleAborts) {
   EXPECT_DEATH(ComputeSummary({}), "empty");
 }
 
+// Known-answer and degenerate cases for the measures the experiment
+// harness aggregates into docs/RESULTS.md — the report's numbers rest on
+// these definitions.
+
+TEST(RelativeErrorTest, ExactEstimateIsZero) {
+  EXPECT_DOUBLE_EQ(RelativeError(123.0, 123.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0, 5.0), 0.0);
+}
+
+TEST(RelativeErrorTest, NegativeNoisyEstimate) {
+  // Laplace noise can push a released count below zero; the error is the
+  // plain distance, not clamped.
+  EXPECT_DOUBLE_EQ(RelativeError(-20.0, 80.0, 10.0), 1.25);
+  // Empty query (actual = 0) with a negative estimate: rho floors the
+  // denominator, |est| / rho.
+  EXPECT_DOUBLE_EQ(RelativeError(-5.0, 0.0, 10.0), 0.5);
+}
+
+TEST(RelativeErrorTest, PaperRhoEndToEnd) {
+  // The paper's setting: rho = 0.001·N. A query answering 50 where the
+  // truth is 0 on a 1M-point dataset has error 50/1000.
+  const double rho = DefaultRho(1e6);
+  EXPECT_DOUBLE_EQ(RelativeError(50.0, 0.0, rho), 0.05);
+}
+
+TEST(DefaultRhoTest, DegenerateDatasetSizes) {
+  // An empty dataset gives rho = 0, which RelativeError rejects (it
+  // DCHECKs rho > 0) — callers must guard, as the harness does by
+  // construction (every generator emits at least one point).
+  EXPECT_DOUBLE_EQ(DefaultRho(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(DefaultRho(1.0), 0.001);
+}
+
+TEST(PercentileDeathTest, EmptySampleAborts) {
+  EXPECT_DEATH(Percentile({}, 50.0), "empty");
+}
+
+TEST(PercentileDeathTest, OutOfRangePAborts) {
+  EXPECT_DEATH(Percentile({1.0, 2.0}, -1.0), "p >=");
+  EXPECT_DEATH(Percentile({1.0, 2.0}, 100.5), "p >=");
+}
+
+TEST(SummaryTest, ConstantSampleCollapsesEveryStat) {
+  Summary s = ComputeSummary({7.5, 7.5, 7.5, 7.5});
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.p25, 7.5);
+  EXPECT_DOUBLE_EQ(s.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s.p75, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+}
+
+TEST(SummaryTest, TwoValueInterpolationKnownAnswers) {
+  // Sorted {0, 100}: rank = p/100, linear interpolation between the two.
+  Summary s = ComputeSummary({100.0, 0.0});
+  EXPECT_DOUBLE_EQ(s.mean, 50.0);
+  EXPECT_DOUBLE_EQ(s.p25, 25.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p75, 75.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+}
+
+TEST(SummaryTest, SingleValueSample) {
+  Summary s = ComputeSummary({3.25});
+  EXPECT_DOUBLE_EQ(s.mean, 3.25);
+  EXPECT_DOUBLE_EQ(s.p25, 3.25);
+  EXPECT_DOUBLE_EQ(s.p95, 3.25);
+}
+
+TEST(MeanTest, SingleAndNegativeValues) {
+  EXPECT_DOUBLE_EQ(Mean({42.0}), 42.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+}
+
 TEST(FormatDoubleTest, Precision) {
   EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
   EXPECT_EQ(FormatDouble(1000000.0, 4), "1e+06");

@@ -376,6 +376,16 @@ TEST_F(ServerTest, ListStatsAndReloadOps) {
   EXPECT_EQ(stats.reloads_installed, 2u);
   EXPECT_EQ(stats.batches_answered, 2u);
   EXPECT_GE(stats.frames_received, 5u);
+
+  // An external reload driver (dpgrid_server's DPGRID_RELOAD_SECS poll)
+  // reloads the catalog directly and credits the counter via
+  // RecordReloads, so STATS reflects poll-driven installs too.
+  auto v3 = MakeGrid(24);
+  ASSERT_EQ(other.Publish("alpha", *v3, SnapshotMeta{0.5, "a3"}, &error), 3u)
+      << error;
+  server_->RecordReloads(catalog_->ReloadAll(nullptr));
+  ASSERT_TRUE(client.Stats(&stats, &error)) << error;
+  EXPECT_EQ(stats.reloads_installed, 3u);
 }
 
 // The acceptance path: a SnapshotPublisher publish mid-stream bumps the
