@@ -1,5 +1,6 @@
 // Query-serving throughput of the batched engine vs the seed's serial
-// per-query loop, on a paper-scale uniform-grid workload.
+// per-query loop, plus per-method scalar-vs-batch sections for the
+// synopses with non-trivial batch paths.
 //
 // The seed answered every query through a virtual Synopsis::Answer call
 // that converted domain to cell coordinates with four divisions and ran
@@ -16,15 +17,32 @@
 //   batch_1thread     QueryEngine, single thread
 //   batch_threads     QueryEngine, all hardware threads
 //
-// Batch answers are checked bitwise against scalar Answer; the absolute
-// deviation from the seed algorithm (pure FP rounding) is reported.
+// Per-method sections (mixed paper workload, all six size classes):
+//
+//   adaptive_grid     scalar Answer vs the flattened-leaf batch pipeline
+//                     (index/leaf_index.h), at production scale: the AG
+//                     dataset defaults to 16M points, where the scalar
+//                     border walk is memory-latency-bound — exactly the
+//                     regime the flat index and its cell-grouped kernels
+//                     target. The speedup is a ratio within one run, so
+//                     VM noise largely cancels.
+//   hierarchy_grid    scalar Answer vs the shared FracView2D batch kernel
+//                     over the refined leaf grid.
+//   adaptive_grid_nd  scalar Answer vs the flattened N-d leaf path
+//                     (nd/leaf_index_nd.h), 3-d mixture dataset.
+//
+// Every batch answer is checked bitwise against the scalar Answer path;
+// any mismatch fails the bench (and the bench_throughput_smoke ctest).
 //
 // Results are appended-to-stdout and written as JSON (default
 // BENCH_throughput.json, override with DPGRID_BENCH_OUT) so future PRs
 // have a perf trajectory to compare against.
 //
 // Env knobs: DPGRID_TP_QUERIES (default 1000000), DPGRID_TP_POINTS
-// (default 1000000), DPGRID_TP_REPS (default 3), DPGRID_SEED.
+// (default 1000000), DPGRID_TP_AG_POINTS (default 16000000),
+// DPGRID_TP_AG_QUERIES (default 100000), DPGRID_TP_ND_POINTS (default
+// 2000000), DPGRID_TP_ND_QUERIES (default 50000), DPGRID_TP_REPS
+// (default 5), DPGRID_SEED.
 
 #include <chrono>
 #include <cmath>
@@ -35,12 +53,17 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/check.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "data/generators.h"
 #include "grid/adaptive_grid.h"
 #include "grid/uniform_grid.h"
+#include "hier/hierarchy_grid.h"
 #include "index/prefix_sum2d.h"
+#include "nd/adaptive_grid_nd.h"
+#include "nd/dataset_nd.h"
+#include "nd/workload_nd.h"
 #include "query/query_engine.h"
 #include "query/workload.h"
 
@@ -89,18 +112,49 @@ double TimeBest(int reps, Fn&& fn) {
   return best;
 }
 
-std::vector<Rect> FlattenWorkload(const Workload& w) {
+std::vector<Rect> MakePaperWorkload(const Rect& domain, size_t num_queries,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  const int per_size = static_cast<int>((num_queries + 5) / 6);
+  Workload workload = GenerateWorkload(domain, domain.Width() / 2,
+                                       domain.Height() / 2, 6, per_size, rng);
   std::vector<Rect> queries;
-  for (const auto& group : w.queries) {
+  for (const auto& group : workload.queries) {
     queries.insert(queries.end(), group.begin(), group.end());
   }
+  queries.resize(num_queries);
   return queries;
 }
 
-struct ModeResult {
-  std::string name;
-  double qps = 0.0;
+// Scalar-vs-batch ratio of one 2-D synopsis on `queries`; batch answers
+// must be bitwise-equal to scalar ones.
+struct MethodResult {
+  double scalar_qps = 0.0;
+  double batch_qps = 0.0;
+  double speedup = 0.0;
+  bool bitwise_equal = false;
 };
+
+MethodResult RunMethodSection(const Synopsis& synopsis,
+                              const std::vector<Rect>& queries, int reps) {
+  const size_t n = queries.size();
+  std::vector<double> scalar_out(n);
+  std::vector<double> batch_out(n);
+  const double t_scalar = TimeBest(reps, [&] {
+    for (size_t i = 0; i < n; ++i) scalar_out[i] = synopsis.Answer(queries[i]);
+  });
+  const double t_batch = TimeBest(reps, [&] {
+    synopsis.AnswerBatch(queries, batch_out);
+  });
+  MethodResult r;
+  r.scalar_qps = static_cast<double>(n) / t_scalar;
+  r.batch_qps = static_cast<double>(n) / t_batch;
+  r.speedup = t_scalar / t_batch;
+  r.bitwise_equal =
+      std::memcmp(scalar_out.data(), batch_out.data(), n * sizeof(double)) ==
+      0;
+  return r;
+}
 
 }  // namespace
 }  // namespace dpgrid
@@ -111,6 +165,12 @@ int main() {
   const auto num_queries =
       static_cast<size_t>(EnvInt("DPGRID_TP_QUERIES", 1000000));
   const int64_t num_points = EnvInt("DPGRID_TP_POINTS", 1000000);
+  const int64_t ag_points = EnvInt("DPGRID_TP_AG_POINTS", 16000000);
+  const auto ag_queries =
+      static_cast<size_t>(EnvInt("DPGRID_TP_AG_QUERIES", 100000));
+  const int64_t nd_points = EnvInt("DPGRID_TP_ND_POINTS", 2000000);
+  const auto nd_queries =
+      static_cast<size_t>(EnvInt("DPGRID_TP_ND_QUERIES", 50000));
   const int reps = static_cast<int>(EnvInt("DPGRID_TP_REPS", 5));
   const auto seed = static_cast<uint64_t>(EnvInt("DPGRID_SEED", 20130408));
   const char* out_path = std::getenv("DPGRID_BENCH_OUT");
@@ -119,22 +179,17 @@ int main() {
   }
 
   std::printf("=== bench_query_throughput ===\n");
-  std::printf("points=%lld queries=%zu reps=%d seed=%llu\n",
-              static_cast<long long>(num_points), num_queries, reps,
+  std::printf("points=%lld queries=%zu ag_points=%lld ag_queries=%zu "
+              "nd_points=%lld nd_queries=%zu reps=%d seed=%llu\n",
+              static_cast<long long>(num_points), num_queries,
+              static_cast<long long>(ag_points), ag_queries,
+              static_cast<long long>(nd_points), nd_queries, reps,
               static_cast<unsigned long long>(seed));
 
   Rng data_rng(seed);
   Dataset data = MakeCheckinLike(num_points, data_rng);
-
-  // Paper-style workload (6 size classes up to half the domain), flattened
-  // and padded to the requested query count.
-  Rng workload_rng(seed + 1);
-  const int per_size = static_cast<int>((num_queries + 5) / 6);
-  Workload workload =
-      GenerateWorkload(data.domain(), data.domain().Width() / 2,
-                       data.domain().Height() / 2, 6, per_size, workload_rng);
-  std::vector<Rect> queries = FlattenWorkload(workload);
-  queries.resize(num_queries);
+  std::vector<Rect> queries =
+      MakePaperWorkload(data.domain(), num_queries, seed + 1);
 
   Rng build_rng(seed + 2);
   UniformGrid ug(data, 1.0, build_rng);
@@ -208,32 +263,77 @@ int main() {
   std::printf("speedup (batched multi-threaded vs seed serial): %.2fx\n",
               speedup);
 
-  // --- AdaptiveGrid trajectory numbers (no seed baseline reconstruction) ----
+  // --- hierarchy grid: scalar vs shared FracView2D batch kernel -------------
+  Rng hier_rng(seed + 4);
+  HierarchyGrid hier(data, 1.0, hier_rng);
+  const size_t hier_queries = std::max<size_t>(num_queries / 4, 1);
+  std::vector<Rect> hier_q(queries.begin(), queries.begin() + hier_queries);
+  const MethodResult hier_res = RunMethodSection(hier, hier_q, reps);
+  std::printf("\nhierarchy grid (%s): scalar %.0f QPS, batch %.0f QPS "
+              "(%.2fx), bitwise %s\n",
+              hier.Name().c_str(), hier_res.scalar_qps, hier_res.batch_qps,
+              hier_res.speedup, hier_res.bitwise_equal ? "yes" : "NO");
+
+  // --- adaptive grid at production scale: flattened-leaf batch pipeline -----
+  std::printf("\nbuilding adaptive grid on %lld points...\n",
+              static_cast<long long>(ag_points));
+  Rng ag_data_rng(seed + 5);
+  Dataset ag_data = MakeCheckinLike(ag_points, ag_data_rng);
   Rng ag_rng(seed + 3);
-  AdaptiveGrid ag(data, 1.0, ag_rng);
-  const size_t ag_queries = num_queries / 4;
-  std::vector<double> ag_scalar(ag_queries);
-  std::vector<double> ag_batch(ag_queries);
-  const Synopsis& ag_ref = ag;
-  const double t_ag_scalar = TimeBest(reps, [&] {
-    for (size_t i = 0; i < ag_queries; ++i) {
-      ag_scalar[i] = ag_ref.Answer(queries[i]);
+  AdaptiveGrid ag(ag_data, 1.0, ag_rng);
+  DPGRID_CHECK_MSG(ag.flat_index().built(),
+                   "adaptive grid flat leaf index must be materialized");
+  std::vector<Rect> ag_q =
+      MakePaperWorkload(ag_data.domain(), ag_queries, seed + 6);
+  const MethodResult ag_res = RunMethodSection(ag, ag_q, reps);
+  std::printf("adaptive grid (m1=%d, %lld leaf cells, %zu flat-arena "
+              "doubles): scalar %.0f QPS, batch %.0f QPS (%.2fx), "
+              "bitwise %s\n",
+              ag.level1_size(), static_cast<long long>(ag.TotalLeafCells()),
+              ag.flat_index().arena_size(), ag_res.scalar_qps,
+              ag_res.batch_qps, ag_res.speedup,
+              ag_res.bitwise_equal ? "yes" : "NO");
+
+  // --- adaptive grid N-d: flattened leaf path --------------------------------
+  const size_t nd_dims = 3;
+  BoxNd nd_domain(std::vector<double>(nd_dims, 0.0),
+                  std::vector<double>(nd_dims, 100.0));
+  Rng nd_data_rng(seed + 7);
+  const std::vector<ClusterNd> clusters =
+      MakeRandomClustersNd(nd_domain, 24, 0.02, 0.08, 1.0, nd_data_rng);
+  const DatasetNd nd_data =
+      MakeGaussianMixtureNd(nd_domain, nd_points, clusters, 0.1, nd_data_rng);
+  Rng nd_workload_rng(seed + 8);
+  const WorkloadNd nd_workload = GenerateWorkloadNd(
+      nd_domain, std::vector<double>(nd_dims, 50.0), 4,
+      static_cast<int>((nd_queries + 3) / 4), nd_workload_rng);
+  std::vector<BoxNd> nd_q;
+  for (const auto& group : nd_workload.queries) {
+    nd_q.insert(nd_q.end(), group.begin(), group.end());
+  }
+  if (nd_q.size() > nd_queries) nd_q.resize(nd_queries);
+  Rng nd_build_rng(seed + 9);
+  AdaptiveGridNd ag_nd(nd_data, 1.0, nd_build_rng);
+  DPGRID_CHECK_MSG(ag_nd.flat_index().built(),
+                   "N-d flat leaf index must be materialized");
+  std::vector<double> nd_scalar(nd_q.size());
+  std::vector<double> nd_batch(nd_q.size());
+  const double t_nd_scalar = TimeBest(reps, [&] {
+    for (size_t i = 0; i < nd_q.size(); ++i) {
+      nd_scalar[i] = ag_nd.Answer(nd_q[i]);
     }
   });
-  const double t_ag_batch = TimeBest(reps, [&] {
-    engine_mt.AnswerAll(
-        ag, std::span<const Rect>(queries.data(), ag_queries),
-        std::span<double>(ag_batch.data(), ag_queries));
+  const double t_nd_batch = TimeBest(reps, [&] {
+    ag_nd.AnswerBatch(nd_q, nd_batch);
   });
-  size_t ag_mismatches = 0;
-  for (size_t i = 0; i < ag_queries; ++i) {
-    if (ag_batch[i] != ag_scalar[i]) ++ag_mismatches;
-  }
-  const double ag_n = static_cast<double>(ag_queries);
-  std::printf("\nadaptive grid (m1=%d): scalar %0.f QPS, batched %.0f QPS "
-              "(%.2fx), mismatches %zu\n",
-              ag.level1_size(), ag_n / t_ag_scalar, ag_n / t_ag_batch,
-              t_ag_scalar / t_ag_batch, ag_mismatches);
+  const bool nd_equal = std::memcmp(nd_scalar.data(), nd_batch.data(),
+                                    nd_q.size() * sizeof(double)) == 0;
+  const double nd_n = static_cast<double>(nd_q.size());
+  std::printf("adaptive grid %zu-d (m1=%d): scalar %.0f QPS, batch %.0f "
+              "QPS (%.2fx), bitwise %s\n",
+              nd_dims, ag_nd.level1_size(), nd_n / t_nd_scalar,
+              nd_n / t_nd_batch, t_nd_scalar / t_nd_batch,
+              nd_equal ? "yes" : "NO");
 
   // --- JSON for the perf trajectory -----------------------------------------
   std::FILE* f = std::fopen(out_path, "w");
@@ -247,6 +347,10 @@ int main() {
                "  \"config\": {\n"
                "    \"points\": %lld,\n"
                "    \"queries\": %zu,\n"
+               "    \"ag_points\": %lld,\n"
+               "    \"ag_queries\": %zu,\n"
+               "    \"nd_points\": %lld,\n"
+               "    \"nd_queries\": %zu,\n"
                "    \"reps\": %d,\n"
                "    \"seed\": %llu,\n"
                "    \"threads\": %d\n"
@@ -260,23 +364,55 @@ int main() {
                "    \"speedup_batch_vs_seed\": %.3f,\n"
                "    \"batch_bitwise_equal_scalar\": %s,\n"
                "    \"max_abs_diff_vs_seed\": %.6g\n"
-               "  },\n"
+               "  },\n",
+               static_cast<long long>(num_points), num_queries,
+               static_cast<long long>(ag_points), ag_queries,
+               static_cast<long long>(nd_points), nd_queries, reps,
+               static_cast<unsigned long long>(seed), threads, ug.grid_size(),
+               qps_seed, qps_scalar, qps_batch1, qps_batchn, speedup,
+               mismatches == 0 ? "true" : "false", max_diff_vs_seed);
+  std::fprintf(f,
                "  \"adaptive_grid\": {\n"
+               "    \"level1_size\": %d,\n"
+               "    \"leaf_cells\": %lld,\n"
+               "    \"flat_arena_doubles\": %zu,\n"
+               "    \"queries\": %zu,\n"
+               "    \"scalar_qps\": %.0f,\n"
+               "    \"batch_qps\": %.0f,\n"
+               "    \"speedup_batch_vs_scalar\": %.3f,\n"
+               "    \"batch_bitwise_equal_scalar\": %s\n"
+               "  },\n"
+               "  \"hierarchy_grid\": {\n"
+               "    \"name\": \"%s\",\n"
+               "    \"queries\": %zu,\n"
+               "    \"scalar_qps\": %.0f,\n"
+               "    \"batch_qps\": %.0f,\n"
+               "    \"speedup_batch_vs_scalar\": %.3f,\n"
+               "    \"batch_bitwise_equal_scalar\": %s\n"
+               "  },\n"
+               "  \"adaptive_grid_nd\": {\n"
+               "    \"dims\": %zu,\n"
                "    \"level1_size\": %d,\n"
                "    \"queries\": %zu,\n"
                "    \"scalar_qps\": %.0f,\n"
                "    \"batch_qps\": %.0f,\n"
+               "    \"speedup_batch_vs_scalar\": %.3f,\n"
                "    \"batch_bitwise_equal_scalar\": %s\n"
                "  }\n"
                "}\n",
-               static_cast<long long>(num_points), num_queries, reps,
-               static_cast<unsigned long long>(seed), threads, ug.grid_size(),
-               qps_seed, qps_scalar, qps_batch1, qps_batchn, speedup,
-               mismatches == 0 ? "true" : "false", max_diff_vs_seed,
-               ag.level1_size(), ag_queries, ag_n / t_ag_scalar,
-               ag_n / t_ag_batch, ag_mismatches == 0 ? "true" : "false");
+               ag.level1_size(), static_cast<long long>(ag.TotalLeafCells()),
+               ag.flat_index().arena_size(), ag_q.size(), ag_res.scalar_qps,
+               ag_res.batch_qps, ag_res.speedup,
+               ag_res.bitwise_equal ? "true" : "false", hier.Name().c_str(),
+               hier_q.size(), hier_res.scalar_qps, hier_res.batch_qps,
+               hier_res.speedup, hier_res.bitwise_equal ? "true" : "false",
+               nd_dims, ag_nd.level1_size(), nd_q.size(), nd_n / t_nd_scalar,
+               nd_n / t_nd_batch, t_nd_scalar / t_nd_batch,
+               nd_equal ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
 
-  return mismatches == 0 && ag_mismatches == 0 ? 0 : 1;
+  const bool all_equal = mismatches == 0 && ag_res.bitwise_equal &&
+                         hier_res.bitwise_equal && nd_equal;
+  return all_equal ? 0 : 1;
 }

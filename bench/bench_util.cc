@@ -11,6 +11,7 @@
 #include <cerrno>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/env.h"
 #include "metrics/table.h"
 #include "query/evaluator.h"
@@ -22,11 +23,7 @@ int64_t EnvInt(const char* name, int64_t fallback) {
   return EnvInt64(name, fallback);
 }
 
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+double NowSeconds() { return dpgrid::NowSeconds(); }
 
 ScratchDir::ScratchDir(const std::string& prefix) {
   const std::filesystem::path tmp = std::filesystem::temp_directory_path();

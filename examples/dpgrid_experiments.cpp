@@ -1,6 +1,6 @@
 // dpgrid_experiments: the paper-reproduction experiment harness.
 //
-//   ./dpgrid_experiments [--smoke] [--out <dir>]
+//   ./dpgrid_experiments [--smoke] [--figure N] [--out <dir>]
 //
 // Runs the evaluation grid of Qardaji-Yang-Li (ICDE 2013): every synopsis
 // method (UG, AG, grid hierarchy, KD-standard, KD-hybrid, Privelet, plus
@@ -11,6 +11,13 @@
 //   <dir>/results.json   machine-readable results (byte-stable per seed)
 //   <dir>/results.csv    long-format table for spreadsheets/pandas
 //   <dir>/RESULTS.md     the generated Markdown report
+//   <dir>/timings.json   per-(dataset, method) build/query wall time —
+//                        measured, NOT byte-deterministic, which is why it
+//                        is a separate file from results.json
+//
+// --figure N (1-6) narrows the run to the methods one paper figure needs
+// (e.g. --figure 4 runs only UG and AG), regenerating that figure's
+// tables in minutes instead of the full grid.
 //
 // --smoke runs the seconds-scale configuration CI uses (ctest label
 // `experiments`). Env knobs: DPGRID_SEED, DPGRID_SCALE, DPGRID_TRIALS,
@@ -33,23 +40,32 @@ using namespace dpgrid::experiments;
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  int figure = 0;
   std::string out_dir = "experiments-out";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--full") == 0) {
       smoke = false;
+    } else if (std::strcmp(argv[i], "--figure") == 0 && i + 1 < argc) {
+      figure = std::atoi(argv[++i]);
+      if (figure < 1 || figure > 6) {
+        std::fprintf(stderr, "--figure expects a paper figure in [1, 6]\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: dpgrid_experiments [--smoke|--full] [--out <dir>]\n");
+                   "usage: dpgrid_experiments [--smoke|--full] "
+                   "[--figure N] [--out <dir>]\n");
       return 2;
     }
   }
 
   ExperimentConfig config =
       smoke ? ExperimentConfig::Smoke() : ExperimentConfig::Full();
+  if (figure > 0) ApplyFigureFilter(&config, figure);
   config.ApplyEnv();
 
   std::printf("=== dpgrid_experiments (%s) ===\n", smoke ? "smoke" : "full");
@@ -116,13 +132,17 @@ int main(int argc, char** argv) {
   const std::string json_path = out_dir + "/results.json";
   const std::string csv_path = out_dir + "/results.csv";
   const std::string md_path = out_dir + "/RESULTS.md";
+  const std::string timings_path = out_dir + "/timings.json";
   if (!WriteTextFile(json_path, ToJson(results), &error) ||
       !WriteTextFile(csv_path, ToCsv(results), &error) ||
-      !WriteTextFile(md_path, ToMarkdown(results), &error)) {
+      !WriteTextFile(md_path, ToMarkdown(results), &error) ||
+      !WriteTextFile(timings_path, ToTimingsJson(results), &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
   std::printf("wrote %s, %s, %s\n", json_path.c_str(), csv_path.c_str(),
               md_path.c_str());
+  std::printf("wrote %s (wall-clock timings; not byte-deterministic)\n",
+              timings_path.c_str());
   return 0;
 }

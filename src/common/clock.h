@@ -1,0 +1,18 @@
+#ifndef DPGRID_COMMON_CLOCK_H_
+#define DPGRID_COMMON_CLOCK_H_
+
+#include <chrono>
+
+namespace dpgrid {
+
+/// Monotonic wall clock in seconds — the one timing primitive shared by
+/// the bench harnesses and the experiment pipeline's timings file.
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_COMMON_CLOCK_H_

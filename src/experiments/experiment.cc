@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/env.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -127,6 +128,9 @@ struct TrialOut {
   std::vector<double> mean_rel_by_size;
   std::vector<double> pooled_rel;
   std::vector<double> pooled_abs;
+  // Measured, not derived — flows only into the separate timings file.
+  double build_seconds = 0.0;
+  double total_seconds = 0.0;
 };
 
 Scenario2D MakeScenario2D(const DatasetSpec& spec,
@@ -143,21 +147,30 @@ Scenario2D MakeScenario2D(const DatasetSpec& spec,
                     std::move(workload), rho};
 }
 
-// Builds one trial's synopsis and returns its per-size error samples.
+// Builds one trial's synopsis and returns its per-size error samples,
+// reporting how long the build alone took via *build_seconds.
 using TrialEvaluator = std::function<std::vector<SizeErrors>(
-    size_t method_idx, size_t eps_idx, Rng& rng)>;
+    size_t method_idx, size_t eps_idx, Rng& rng, double* build_seconds)>;
 
 // The shared methods × epsilons × trials fan-out: jobs run across the
 // process-wide pool, each trial on an independent stream derived from
 // (seed, dataset_key, method, epsilon, trial); aggregation then runs on
 // one thread in a fixed order, so the report is byte-identical however
 // the jobs were scheduled.
+// `method_keys[m]` is the method's CANONICAL index (its position in
+// MethodNames(), not in the possibly-filtered `methods` vector): trial
+// seed streams are keyed by it, so a filtered run (--figure, or
+// config.methods) draws exactly the noise the full run draws for the
+// same method and reproduces the full run's numbers cell for cell.
 std::vector<CellResult> RunTrialGrid(const std::string& dataset_name,
                                      uint64_t dataset_key,
                                      const std::vector<std::string>& methods,
+                                     const std::vector<uint64_t>& method_keys,
                                      size_t num_sizes,
                                      const ExperimentConfig& config,
-                                     const TrialEvaluator& evaluate) {
+                                     int64_t queries_per_trial,
+                                     const TrialEvaluator& evaluate,
+                                     std::vector<MethodTiming>* timings) {
   const size_t num_methods = methods.size();
   const size_t num_eps = config.epsilons.size();
   const auto trials = static_cast<size_t>(config.trials);
@@ -170,9 +183,12 @@ std::vector<CellResult> RunTrialGrid(const std::string& dataset_name,
       const size_t e = (j / trials) % num_eps;
       const size_t t = j % trials;
       Rng rng(DeriveSeed(config.seed, kStreamTrial,
-                         Mix64(dataset_key * 131 + m), e, t));
-      const std::vector<SizeErrors> errors = evaluate(m, e, rng);
+                         Mix64(dataset_key * 131 + method_keys[m]), e, t));
       TrialOut& out = outs[j];
+      const double t0 = NowSeconds();
+      const std::vector<SizeErrors> errors =
+          evaluate(m, e, rng, &out.build_seconds);
+      out.total_seconds = NowSeconds() - t0;
       out.mean_rel_by_size.reserve(errors.size());
       for (const SizeErrors& se : errors) {
         out.mean_rel_by_size.push_back(Mean(se.relative));
@@ -209,21 +225,57 @@ std::vector<CellResult> RunTrialGrid(const std::string& dataset_name,
       cells.push_back(std::move(cell));
     }
   }
+  if (timings != nullptr) {
+    for (size_t m = 0; m < num_methods; ++m) {
+      MethodTiming timing;
+      timing.dataset = dataset_name;
+      timing.method = methods[m];
+      for (size_t e = 0; e < num_eps; ++e) {
+        for (size_t t = 0; t < trials; ++t) {
+          const TrialOut& out = outs[(m * num_eps + e) * trials + t];
+          ++timing.builds;
+          timing.build_seconds += out.build_seconds;
+          timing.query_seconds += out.total_seconds - out.build_seconds;
+          timing.queries += queries_per_trial;
+        }
+      }
+      timings->push_back(std::move(timing));
+    }
+  }
   return cells;
 }
 
 void RunScenario(const Scenario2D& scenario, uint64_t dataset_idx,
                  const std::vector<std::string>& methods,
                  const ExperimentConfig& config, const QueryEngine& engine,
-                 std::vector<CellResult>* results) {
+                 std::vector<CellResult>* results,
+                 std::vector<MethodTiming>* timings) {
+  int64_t queries_per_trial = 0;
+  for (const auto& group : scenario.workload.queries) {
+    queries_per_trial += static_cast<int64_t>(group.size());
+  }
+  // Canonical stream keys (see RunTrialGrid). BuildMethod aborts on any
+  // name outside MethodNames(), so the lookup cannot miss.
+  const std::vector<std::string> canonical = MethodNames();
+  std::vector<uint64_t> method_keys;
+  method_keys.reserve(methods.size());
+  for (const std::string& name : methods) {
+    const auto it = std::find(canonical.begin(), canonical.end(), name);
+    DPGRID_CHECK_MSG(it != canonical.end(), name.c_str());
+    method_keys.push_back(static_cast<uint64_t>(it - canonical.begin()));
+  }
   std::vector<CellResult> cells = RunTrialGrid(
-      scenario.name, dataset_idx, methods, scenario.workload.num_sizes(),
-      config, [&](size_t m, size_t e, Rng& rng) {
+      scenario.name, dataset_idx, methods, method_keys,
+      scenario.workload.num_sizes(), config, queries_per_trial,
+      [&](size_t m, size_t e, Rng& rng, double* build_seconds) {
+        const double t0 = NowSeconds();
         std::unique_ptr<Synopsis> synopsis = BuildMethod(
             methods[m], scenario.dataset, config.epsilons[e], rng);
+        *build_seconds = NowSeconds() - t0;
         return EvaluateSynopsis(*synopsis, scenario.workload, scenario.truth,
                                 scenario.rho, engine);
-      });
+      },
+      timings);
   results->insert(results->end(), std::make_move_iterator(cells.begin()),
                   std::make_move_iterator(cells.end()));
 }
@@ -260,13 +312,22 @@ void RunNdSection(const ExperimentConfig& config, const QueryEngine& engine,
   // 0x4e44 ("ND") keys the N-d trial streams apart from the 2-D dataset
   // indexes; changing it would change every published N-d number.
   const std::vector<std::string> methods = {"UG-nd", "AG-nd", "Hier-nd"};
+  const std::vector<uint64_t> method_keys = {0, 1, 2};
+  int64_t queries_per_trial = 0;
+  for (const auto& group : workload.queries) {
+    queries_per_trial += static_cast<int64_t>(group.size());
+  }
   results->nd_cells = RunTrialGrid(
-      dataset_name, 0x4e44ull, methods, workload.num_sizes(), config,
-      [&](size_t m, size_t e, Rng& rng) {
+      dataset_name, 0x4e44ull, methods, method_keys, workload.num_sizes(),
+      config, queries_per_trial,
+      [&](size_t m, size_t e, Rng& rng, double* build_seconds) {
+        const double t0 = NowSeconds();
         std::unique_ptr<SynopsisNd> synopsis =
             BuildMethodNd(methods[m], dataset, config.epsilons[e], rng);
+        *build_seconds = NowSeconds() - t0;
         return EvaluateSynopsisNd(*synopsis, workload, dataset, rho, engine);
-      });
+      },
+      &results->timings);
 }
 
 const CellResult* FindCell(const std::vector<CellResult>& cells,
@@ -349,6 +410,34 @@ std::vector<std::string> BaselineMethodNames() {
   return {"Hier", "Kd-std", "Kd-hyb", "Privelet"};
 }
 
+void ApplyFigureFilter(ExperimentConfig* config, int figure) {
+  DPGRID_CHECK_MSG(figure >= 1 && figure <= 6,
+                   "--figure expects a paper figure in [1, 6]");
+  switch (figure) {
+    case 1:
+      // Dataset illustrations + per-size error profiles need one method.
+      config->methods = {"UG"};
+      break;
+    case 2:
+      config->methods = {"UG", "Kd-std", "Kd-hyb"};
+      break;
+    case 3:
+      config->methods = {"UG", "Hier"};
+      break;
+    case 4:
+      config->methods = {"UG", "AG"};
+      break;
+    case 5:
+    case 6:
+      // The full 2-D method set; Fig. 5 reads the relative tables,
+      // Fig. 6 the absolute ones — both come from the same run.
+      config->methods.clear();
+      break;
+  }
+  config->include_nd = false;
+  config->preset += "-fig" + std::to_string(figure);
+}
+
 ExperimentResults RunExperiments(const ExperimentConfig& config) {
   DPGRID_CHECK(config.scale > 0.0 && config.scale <= 1.0);
   DPGRID_CHECK(config.trials >= 1);
@@ -388,7 +477,7 @@ ExperimentResults RunExperiments(const ExperimentConfig& config) {
     results.datasets.push_back(std::move(info));
 
     RunScenario(scenario, dataset_idx, methods, config, engine,
-                &results.cells);
+                &results.cells, &results.timings);
     ++dataset_idx;
   }
 
@@ -422,7 +511,7 @@ ExperimentResults RunExperiments(const ExperimentConfig& config) {
     results.datasets.push_back(std::move(info));
 
     RunScenario(scenario, dataset_idx, methods, config, engine,
-                &results.cells);
+                &results.cells, &results.timings);
   }
 
   if (config.include_nd) {

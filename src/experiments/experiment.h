@@ -98,6 +98,21 @@ struct OrderingCheck {
   bool holds = false;
 };
 
+/// Wall-clock spent building and querying one method on one dataset,
+/// summed over every epsilon and trial. Timings are measured, so they are
+/// NOT byte-deterministic — they are reported in a separate timings file
+/// (see ToTimingsJson), never in results.json/RESULTS.md.
+struct MethodTiming {
+  std::string dataset;
+  std::string method;
+  /// Builds timed (epsilons x trials).
+  int builds = 0;
+  double build_seconds = 0.0;
+  double query_seconds = 0.0;
+  /// Queries answered across all builds.
+  int64_t queries = 0;
+};
+
 struct ExperimentResults {
   ExperimentConfig config;
   std::vector<DatasetInfo> datasets;
@@ -106,7 +121,20 @@ struct ExperimentResults {
   /// N-d cells (dataset name encodes the dimensionality), same order.
   std::vector<CellResult> nd_cells;
   std::vector<OrderingCheck> ordering;
+  /// Per-(dataset, method) build/query wall time, in run order.
+  std::vector<MethodTiming> timings;
 };
+
+/// Narrows `config` to the subset that regenerates one paper figure:
+///   1  datasets + per-size error profiles (UG only)
+///   2  UG vs the KD-tree baselines
+///   3  grid hierarchies vs UG
+///   4  AG vs UG (the headline comparison)
+///   5  all 2-D methods, relative error (Fig. 5 tables)
+///   6  all 2-D methods, absolute error (Fig. 6 tables)
+/// Figures 1-6 are 2-D; the N-d section is dropped. Aborts on a figure
+/// outside [1, 6].
+void ApplyFigureFilter(ExperimentConfig* config, int figure);
 
 /// Runs the configured grid. Deterministic under config.seed; trials are
 /// sharded across the process-wide thread pool.

@@ -205,13 +205,26 @@ std::string ToMarkdown(const ExperimentResults& results) {
   out += "Generated by `dpgrid_experiments`; do not edit by hand. "
          "Regenerate with:\n\n";
   out += "```sh\n";
+  std::string invocation;
+  if (c.preset == "smoke") {
+    invocation = "--smoke --out experiment-report\n";
+  } else if (c.preset == "full") {
+    invocation = "--out docs\n";
+  } else {
+    // Figure-filtered presets ("full-figN" / "smoke-figN") regenerate a
+    // standalone report; keep them out of docs/.
+    const size_t fig = c.preset.find("-fig");
+    invocation = (c.preset.rfind("smoke", 0) == 0 ? "--smoke " : "");
+    if (fig != std::string::npos) {
+      invocation += "--figure " + c.preset.substr(fig + 4) + " ";
+    }
+    invocation += "--out experiments-out\n";
+  }
   out += "DPGRID_SEED=" + std::to_string(c.seed) +
          " DPGRID_SCALE=" + Short(c.scale) +
          " DPGRID_TRIALS=" + std::to_string(c.trials) +
          " DPGRID_QUERIES=" + std::to_string(c.queries_per_size) +
-         " ./build/dpgrid_experiments " +
-         (c.preset == "smoke" ? "--smoke --out experiment-report\n"
-                              : "--out docs\n");
+         " ./build/dpgrid_experiments " + invocation;
   out += "```\n\n";
   out += "Runs with the same seed are byte-identical (JSON and this file); "
          "the relative-error metric is the paper's §V-A "
@@ -274,6 +287,36 @@ std::string ToMarkdown(const ExperimentResults& results) {
       AppendMarkdownTable(results.nd_cells, info, eps, &out);
     }
   }
+  return out;
+}
+
+std::string ToTimingsJson(const ExperimentResults& results) {
+  const ExperimentConfig& c = results.config;
+  std::string out = "{\n";
+  out += "  \"note\": \"measured wall clock — not byte-deterministic; "
+         "kept out of results.json so that file stays byte-stable\",\n";
+  out += "  \"preset\": " + Quoted(c.preset) + ",\n";
+  out += "  \"seed\": " + std::to_string(c.seed) + ",\n";
+  out += "  \"scale\": " + Num(c.scale) + ",\n";
+  out += "  \"trials\": " + std::to_string(c.trials) + ",\n";
+  out += "  \"timings\": [\n";
+  for (size_t i = 0; i < results.timings.size(); ++i) {
+    const MethodTiming& t = results.timings[i];
+    const double queries = static_cast<double>(t.queries);
+    out += "    {\"dataset\": " + Quoted(t.dataset) +
+           ", \"method\": " + Quoted(t.method) +
+           ", \"builds\": " + std::to_string(t.builds) +
+           ",\n     \"build_seconds\": " + Num(t.build_seconds) +
+           ", \"query_seconds\": " + Num(t.query_seconds) +
+           ", \"queries\": " + std::to_string(t.queries) +
+           ",\n     \"build_seconds_per_build\": " +
+           Num(t.builds > 0 ? t.build_seconds / t.builds : 0.0) +
+           ", \"query_qps\": " +
+           Num(t.query_seconds > 0.0 ? queries / t.query_seconds : 0.0) +
+           "}";
+    out += (i + 1 < results.timings.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
   return out;
 }
 

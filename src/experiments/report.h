@@ -22,6 +22,12 @@ std::string ToCsv(const ExperimentResults& results);
 /// ordering check, and the N-d section.
 std::string ToMarkdown(const ExperimentResults& results);
 
+/// Per-(dataset, method) build/query wall-time JSON. Timings are measured
+/// wall clock, so this file is NOT byte-deterministic — it is written
+/// separately (timings.json) precisely so results.json and RESULTS.md
+/// keep their byte-determinism contract.
+std::string ToTimingsJson(const ExperimentResults& results);
+
 /// Writes `content` to `path`. Returns false with *error set on failure.
 bool WriteTextFile(const std::string& path, const std::string& content,
                    std::string* error);

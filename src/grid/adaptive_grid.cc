@@ -41,7 +41,20 @@ std::unique_ptr<AdaptiveGrid> AdaptiveGrid::Restore(
   ag->level1_.emplace(std::move(level1));
   ag->level1_prefix_.emplace(std::move(level1_prefix));
   ag->leaves_ = std::move(leaves);
+  ag->BuildFlatIndex();
   return ag;
+}
+
+void AdaptiveGrid::BuildFlatIndex() {
+  size_t corners = 0;
+  for (const LeafBlock& block : leaves_) {
+    corners += block.prefix->corners().size();
+  }
+  flat_ = FlatLeafIndex2D();
+  flat_.Reserve(leaves_.size(), corners);
+  for (const LeafBlock& block : leaves_) {
+    flat_.Add(block.counts, *block.prefix);
+  }
 }
 
 void AdaptiveGrid::Build(const Dataset& dataset, PrivacyBudget& budget,
@@ -140,6 +153,7 @@ void AdaptiveGrid::Build(const Dataset& dataset, PrivacyBudget& budget,
                          block.counts.ny());
   }
   level1_prefix_.emplace(level1_->values(), m1, m1);
+  BuildFlatIndex();
 }
 
 double AdaptiveGrid::AnswerOne(const Rect& query) const {
@@ -200,12 +214,135 @@ double AdaptiveGrid::Answer(const Rect& query) const {
   return AnswerOne(query);
 }
 
+namespace {
+
+/// Per-thread pair buffer for the batched border decomposition.
+/// Thread-local (not per-call) because QueryEngine shards one batch
+/// across threads, and capacity persists so steady-state batches
+/// allocate nothing.
+std::vector<CellPair>& GetAgPairScratch() {
+  thread_local std::vector<CellPair> pairs;
+  return pairs;
+}
+
+/// Queries decomposed per chunk before the border kernels run; big enough
+/// that same-cell runs form in the sorted pair array, small enough that
+/// the pair/contribution buffers stay cache-resident.
+constexpr size_t kAgChunk = 4096;
+
+}  // namespace
+
 void AdaptiveGrid::AnswerBatch(std::span<const Rect> queries,
                                std::span<double> out) const {
   DPGRID_CHECK(queries.size() == out.size());
   const Rect* q = queries.data();
   double* o = out.data();
-  for (size_t i = 0, n = queries.size(); i < n; ++i) o[i] = AnswerOne(q[i]);
+  const size_t n = queries.size();
+  std::vector<CellPair>& pairs = GetAgPairScratch();
+  // A query's border is at most two partial rows plus two partial columns
+  // (no interior only when one axis spans <= 2 cells).
+  const size_t max_pairs_per_query = 4 * static_cast<size_t>(m1_) + 4;
+  // Sort-bucket histogram, maintained during emission so the pair sort
+  // skips its counting pass.
+  const uint32_t sort_shift = flat_.pair_sort_shift();
+  uint32_t hist[kPairSortBuckets];
+
+  const GridCounts& l1 = *level1_;
+  const double x_origin = l1.domain().xlo;
+  const double y_origin = l1.domain().ylo;
+  const double inv_w = l1.inv_cell_width();
+  const double inv_h = l1.inv_cell_height();
+  const double m1f = static_cast<double>(m1_);
+
+  // Two passes per chunk: decompose every query against the level-1 grid
+  // (interior answered straight from the level-1 prefix sums, border cells
+  // emitted as (query, cell) jobs), answer all border jobs through the
+  // flattened leaf kernel, then accumulate the contributions. Emission is
+  // query-major and row-major within a query, and accumulation follows
+  // emission order, so each out[i] is built by exactly the operation
+  // sequence of the scalar AnswerOne — bitwise identical.
+  for (size_t base = 0; base < n; base += kAgChunk) {
+    const size_t chunk = std::min(kAgChunk, n - base);
+    size_t np = 0;
+    std::fill(hist, hist + kPairSortBuckets, 0u);
+    for (size_t k = 0; k < chunk; ++k) {
+      if (pairs.size() < np + max_pairs_per_query) {
+        pairs.resize(std::max(np + max_pairs_per_query, 2 * pairs.size()));
+      }
+      CellPair* pw = pairs.data();
+      const Rect& query = q[base + k];
+      double fx0 = (query.xlo - x_origin) * inv_w;
+      double fx1 = (query.xhi - x_origin) * inv_w;
+      double fy0 = (query.ylo - y_origin) * inv_h;
+      double fy1 = (query.yhi - y_origin) * inv_h;
+      fx0 = std::clamp(fx0, 0.0, m1f);
+      fx1 = std::clamp(fx1, 0.0, m1f);
+      fy0 = std::clamp(fy0, 0.0, m1f);
+      fy1 = std::clamp(fy1, 0.0, m1f);
+      if (fx1 <= fx0 || fy1 <= fy0) {
+        o[base + k] = 0.0;
+        continue;
+      }
+      int bx0 = static_cast<int>(std::floor(fx0));
+      int bx1 = static_cast<int>(std::ceil(fx1)) - 1;
+      int by0 = static_cast<int>(std::floor(fy0));
+      int by1 = static_cast<int>(std::ceil(fy1)) - 1;
+      bx0 = std::clamp(bx0, 0, m1_ - 1);
+      bx1 = std::clamp(bx1, 0, m1_ - 1);
+      by0 = std::clamp(by0, 0, m1_ - 1);
+      by1 = std::clamp(by1, 0, m1_ - 1);
+      const int ix_full0 = (fx0 <= bx0) ? bx0 : bx0 + 1;
+      const int ix_full1 = (fx1 >= bx1 + 1) ? bx1 + 1 : bx1;
+      const int iy_full0 = (fy0 <= by0) ? by0 : by0 + 1;
+      const int iy_full1 = (fy1 >= by1 + 1) ? by1 + 1 : by1;
+      const bool has_interior = ix_full1 > ix_full0 && iy_full1 > iy_full0;
+
+      double total = 0.0;
+      if (has_interior) {
+        // `+=`, not `=`: keeps even a -0.0 block sum on the scalar path's
+        // exact accumulation sequence.
+        total += level1_prefix_->BlockSum(
+            static_cast<size_t>(ix_full0), static_cast<size_t>(ix_full1),
+            static_cast<size_t>(iy_full0), static_cast<size_t>(iy_full1));
+      }
+      o[base + k] = total;
+
+      const auto qk = static_cast<uint32_t>(k);
+      // Emits the contiguous cell range [c0, c1) for this query: one
+      // histogram range-add per touched sort bucket (instead of a
+      // counter increment per cell), then tight consecutive-cell stores.
+      const auto emit_run = [&](uint32_t c0, uint32_t c1) {
+        const uint32_t b1 = (c1 - 1) >> sort_shift;
+        for (uint32_t b = c0 >> sort_shift; b <= b1; ++b) {
+          const uint32_t lo = std::max(c0, b << sort_shift);
+          const uint32_t hi = std::min(c1, (b + 1) << sort_shift);
+          hist[b] += hi - lo;
+        }
+        for (uint32_t c = c0; c < c1; ++c) pw[np++] = CellPair{qk, c};
+      };
+      for (int by = by0; by <= by1; ++by) {
+        const auto row = static_cast<uint32_t>(by) *
+                         static_cast<uint32_t>(m1_);
+        const bool row_interior =
+            has_interior && by >= iy_full0 && by < iy_full1;
+        if (!row_interior) {
+          emit_run(row + static_cast<uint32_t>(bx0),
+                   row + static_cast<uint32_t>(bx1) + 1);
+        } else {
+          if (bx0 < ix_full0) {
+            emit_run(row + static_cast<uint32_t>(bx0),
+                     row + static_cast<uint32_t>(ix_full0));
+          }
+          if (ix_full1 <= bx1) {
+            emit_run(row + static_cast<uint32_t>(ix_full1),
+                     row + static_cast<uint32_t>(bx1) + 1);
+          }
+        }
+      }
+    }
+
+    AccumulateCellPairs(flat_, q + base, pairs.data(), np, hist, o + base);
+  }
 }
 
 std::string AdaptiveGrid::Name() const {

@@ -12,6 +12,7 @@
 #include "grid/grid_counts.h"
 #include "grid/guidelines.h"
 #include "grid/synopsis.h"
+#include "index/leaf_index.h"
 #include "index/prefix_sum2d.h"
 
 namespace dpgrid {
@@ -101,10 +102,18 @@ class AdaptiveGrid : public Synopsis {
   const PrefixSum2D& level1_prefix() const { return *level1_prefix_; }
   const std::vector<LeafBlock>& leaves() const { return leaves_; }
 
+  /// The flattened leaf index behind AnswerBatch — derived state, rebuilt
+  /// by Build and Restore alike, never persisted. Exposed so benches and
+  /// tests can assert the fast path is actually in place.
+  const FlatLeafIndex2D& flat_index() const { return flat_; }
+
  private:
   AdaptiveGrid() = default;
 
   void Build(const Dataset& dataset, PrivacyBudget& budget, Rng& rng);
+
+  /// Materializes flat_ from leaves_ (call after leaves_ is final).
+  void BuildFlatIndex();
 
   /// The one query implementation both Answer and AnswerBatch funnel
   /// through, keeping batch results bitwise-identical to scalar results.
@@ -117,6 +126,8 @@ class AdaptiveGrid : public Synopsis {
   std::optional<PrefixSum2D> level1_prefix_;
   // One leaf block per level-1 cell, row-major.
   std::vector<LeafBlock> leaves_;
+  // Contiguous mirror of the leaves' prefix indexes (see leaf_index.h).
+  FlatLeafIndex2D flat_;
 };
 
 }  // namespace dpgrid

@@ -1,0 +1,288 @@
+#include "index/leaf_index.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+void FlatLeafIndex2D::Reserve(size_t cells, size_t corner_doubles) {
+  views_.reserve(cells);
+  arena_.reserve(corner_doubles);
+}
+
+void FlatLeafIndex2D::Add(const GridCounts& counts, const PrefixSum2D& prefix) {
+  const std::vector<double>& corners = prefix.corners();
+  // The batch kernels compute corner indices in 32-bit lanes; an arena
+  // this size would be a multi-gigabyte synopsis, far past every build
+  // guideline, so treat it as a construction error rather than silently
+  // serving a slower path.
+  DPGRID_CHECK_MSG(
+      arena_.size() + corners.size() <=
+          static_cast<size_t>(std::numeric_limits<int32_t>::max()),
+      "flat leaf arena exceeds 32-bit indexing");
+  CellView c;
+  c.nx_f = static_cast<double>(prefix.nx());
+  c.ny_f = static_cast<double>(prefix.ny());
+  c.x_origin = counts.domain().xlo;
+  c.y_origin = counts.domain().ylo;
+  c.inv_w = counts.inv_cell_width();
+  c.inv_h = counts.inv_cell_height();
+  c.offset = static_cast<int32_t>(arena_.size());
+  c.stride = static_cast<int32_t>(prefix.nx() + 1);
+  c.nx_m1 = static_cast<int32_t>(prefix.nx()) - 1;
+  c.ny_m1 = static_cast<int32_t>(prefix.ny()) - 1;
+  views_.push_back(c);
+  arena_.insert(arena_.end(), corners.begin(), corners.end());
+}
+
+namespace leaf_internal {
+
+#ifdef DPGRID_FRAC_KERNEL_X86
+
+#define DPGRID_FRAC_TARGET "arch=x86-64-v4"
+#define DPGRID_FRAC_SUFFIX V4
+#include "index/leaf_kernel_x86.inc"
+#undef DPGRID_FRAC_TARGET
+#undef DPGRID_FRAC_SUFFIX
+
+#define DPGRID_FRAC_TARGET "avx2,fma"
+#define DPGRID_FRAC_SUFFIX Avx2
+#include "index/leaf_kernel_x86.inc"
+#undef DPGRID_FRAC_TARGET
+#undef DPGRID_FRAC_SUFFIX
+
+#endif  // DPGRID_FRAC_KERNEL_X86
+
+namespace {
+
+/// Reused per-thread buffers for the sort/answer/accumulate pipeline.
+struct PairScratch {
+  std::vector<CellPair> sorted;
+  std::vector<CellPair> tmp;
+  std::vector<uint32_t> counts;
+  std::vector<uint32_t> region_start;
+  std::vector<uint32_t> local_counts;
+  std::vector<double> contrib;
+  // Short-run pairs batched per kernel class (0 = generic, 1 = 1x1
+  // leaves), with each entry's position in the sorted array so the
+  // flushed contributions land in their slots.
+  std::vector<CellPair> pending[2];
+  std::vector<uint32_t> pending_pos[2];
+  std::vector<double> pending_contrib;
+};
+
+PairScratch& GetPairScratch() {
+  thread_local PairScratch scratch;
+  return scratch;
+}
+
+/// Buckets are kept at 256 (kPairSortBuckets) so the MSD scatter writes
+/// only a handful of active cache lines — a wide single pass fans the
+/// scatter across the whole output array and loses more to write misses
+/// than the regional second pass costs.
+constexpr uint32_t kSinglePassBits = 8;
+static_assert((1u << kSinglePassBits) == kPairSortBuckets);
+
+/// Stable sort by cell id, using the emitter-maintained bucket histogram
+/// (no counting pass). Returns the sorted array (one of the scratch
+/// buffers); stability keeps every query's pairs in their emission order.
+const CellPair* SortPairsByCell(const CellPair* pairs, size_t n,
+                                size_t num_cells, const uint32_t* hist,
+                                PairScratch* s) {
+  s->sorted.resize(n);
+  uint32_t bits = 1;
+  while ((size_t{1} << bits) < num_cells) ++bits;
+  const uint32_t shift = bits > kSinglePassBits ? bits - kSinglePassBits : 0;
+  const uint32_t buckets = 1u << (bits - shift);
+  // Region offsets straight from the histogram.
+  s->region_start.assign(buckets + 1, 0);
+  s->counts.assign(buckets, 0);
+  uint32_t pos = 0;
+  for (uint32_t b = 0; b < buckets; ++b) {
+    s->region_start[b] = pos;
+    s->counts[b] = pos;
+    pos += hist[b];
+  }
+  s->region_start[buckets] = pos;
+  DPGRID_CHECK_MSG(pos == n, "pair histogram does not match pair count");
+  if (shift == 0) {
+    // One scatter finishes the sort: buckets == cells.
+    uint32_t* c = s->counts.data();
+    for (size_t i = 0; i < n; ++i) {
+      s->sorted[c[pairs[i].cell]++] = pairs[i];
+    }
+    return s->sorted.data();
+  }
+  // MSD first: one scatter by the high bits partitions the pairs into
+  // at most 256 contiguous regions of tmp (cells [b*2^shift, (b+1)*2^shift)
+  // land in region b), then each region is finished with a stable counting
+  // sort over its low bits. Unlike an LSD second pass, the finishing
+  // scatters stay inside one region — L1-sized for any realistic chunk —
+  // instead of spraying across the whole output array.
+  s->tmp.resize(n);
+  {
+    uint32_t* c = s->counts.data();
+    for (size_t i = 0; i < n; ++i) {
+      s->tmp[c[pairs[i].cell >> shift]++] = pairs[i];
+    }
+  }
+  const uint32_t local_buckets = 1u << shift;
+  const uint32_t local_mask = local_buckets - 1;
+  for (uint32_t b = 0; b < buckets; ++b) {
+    const uint32_t lo = s->region_start[b];
+    const uint32_t hi = s->region_start[b + 1];
+    if (lo == hi) continue;
+    const CellPair* in = s->tmp.data() + lo;
+    CellPair* out = s->sorted.data() + lo;
+    const size_t len = hi - lo;
+    s->local_counts.assign(local_buckets, 0);
+    uint32_t* c = s->local_counts.data();
+    for (size_t i = 0; i < len; ++i) ++c[in[i].cell & local_mask];
+    uint32_t pos = 0;
+    for (uint32_t v = 0; v < local_buckets; ++v) {
+      const uint32_t count = c[v];
+      c[v] = pos;
+      pos += count;
+    }
+    for (size_t i = 0; i < len; ++i) out[c[in[i].cell & local_mask]++] = in[i];
+  }
+  return s->sorted.data();
+}
+
+/// Same-cell runs at least this long get the hoisted-view kernel; shorter
+/// runs batch up for the generic pair-lane kernel.
+constexpr size_t kViewRunMin = 6;
+
+}  // namespace
+
+}  // namespace leaf_internal
+
+void AccumulateCellPairs(const FlatLeafIndex2D& index, const Rect* queries,
+                         const CellPair* pairs, size_t n,
+                         const uint32_t* bucket_hist, double* out) {
+  if (n == 0) return;
+  using leaf_internal::GetPairScratch;
+  using leaf_internal::PairScratch;
+  DPGRID_CHECK_MSG(index.num_cells() < (size_t{1} << (2 * 13)),
+                   "flat leaf index exceeds the pair sort's key range");
+  PairScratch& s = GetPairScratch();
+
+  // Group by cell (stable): leaf corner accesses become ascending arena
+  // sweeps and repeat-cell runs stay hot in L1.
+  const CellPair* sp = leaf_internal::SortPairsByCell(
+      pairs, n, index.num_cells(), bucket_hist, &s);
+  s.contrib.resize(n);
+  double* contrib = s.contrib.data();
+
+  // Answer each pair. contrib[j] corresponds to sp[j].
+  auto answer_scalar = [&](size_t lo, size_t hi) {
+    for (size_t j = lo; j < hi; ++j) {
+      contrib[j] = index.MakeView(sp[j].cell).Answer(queries[sp[j].query]);
+    }
+  };
+#ifdef DPGRID_FRAC_KERNEL_X86
+  const int tier = frac_internal::CpuTier();
+  if (tier >= 1) {
+    // Short runs batch up into two compact pending lists — one per
+    // kernel class — and flush through lane-mixed kernels. Contribution
+    // slots are absolute (sorted positions), so flush timing is free of
+    // ordering constraints.
+    auto flush_pending = [&](int which) {
+      std::vector<CellPair>& list = s.pending[which];
+      std::vector<uint32_t>& pos = s.pending_pos[which];
+      const size_t len = list.size();
+      if (len == 0) return;
+      s.pending_contrib.resize(len);
+      double* ptmp = s.pending_contrib.data();
+      const size_t vec = len & ~size_t{3};
+      if (vec > 0) {
+        if (which == 1) {
+          if (tier == 2) {
+            leaf_internal::AnswerPairs1x1V4(index.views(), index.arena(),
+                                            queries, list.data(), vec, ptmp);
+          } else {
+            leaf_internal::AnswerPairs1x1Avx2(index.views(), index.arena(),
+                                              queries, list.data(), vec,
+                                              ptmp);
+          }
+        } else if (tier == 2) {
+          leaf_internal::AnswerCellPairsV4(index.views(), index.arena(),
+                                           queries, list.data(), vec, ptmp);
+        } else {
+          leaf_internal::AnswerCellPairsAvx2(index.views(), index.arena(),
+                                             queries, list.data(), vec,
+                                             ptmp);
+        }
+      }
+      for (size_t k = vec; k < len; ++k) {
+        ptmp[k] =
+            index.MakeView(list[k].cell).Answer(queries[list[k].query]);
+      }
+      for (size_t k = 0; k < len; ++k) contrib[pos[k]] = ptmp[k];
+      list.clear();
+      pos.clear();
+    };
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i + 1;
+      const uint32_t cell = sp[i].cell;
+      while (j < n && sp[j].cell == cell) ++j;
+      // 1x1 leaves have a near-free kernel setup, so even short runs of
+      // them beat the lane-mixed paths.
+      const FlatLeafIndex2D::CellView& cv = index.views()[cell];
+      const bool is_1x1 = cv.nx_m1 == 0 && cv.ny_m1 == 0;
+      const size_t run_min = is_1x1 ? 4 : leaf_internal::kViewRunMin;
+      if (j - i >= run_min) {
+        const FracView2D v = index.MakeView(cell);
+        const size_t vec = (j - i) & ~size_t{3};
+        if (is_1x1) {
+          if (tier == 2) {
+            leaf_internal::AnswerViewPairs1x1V4(v, queries, sp + i, vec,
+                                                contrib + i);
+          } else {
+            leaf_internal::AnswerViewPairs1x1Avx2(v, queries, sp + i, vec,
+                                                  contrib + i);
+          }
+        } else if (tier == 2) {
+          leaf_internal::AnswerViewPairsV4(v, queries, sp + i, vec,
+                                           contrib + i);
+        } else {
+          leaf_internal::AnswerViewPairsAvx2(v, queries, sp + i, vec,
+                                             contrib + i);
+        }
+        // The run's sub-4 tail rides the lane-mixed pending kernels too
+        // (a scalar fallback per tail pair costs more than a lane).
+        for (size_t k = i + vec; k < j; ++k) {
+          const int which = is_1x1 ? 1 : 0;
+          s.pending[which].push_back(sp[k]);
+          s.pending_pos[which].push_back(static_cast<uint32_t>(k));
+        }
+      } else {
+        const int which = is_1x1 ? 1 : 0;
+        for (size_t k = i; k < j; ++k) {
+          s.pending[which].push_back(sp[k]);
+          s.pending_pos[which].push_back(static_cast<uint32_t>(k));
+        }
+      }
+      i = j;
+    }
+    flush_pending(0);
+    flush_pending(1);
+  } else {
+    answer_scalar(0, n);
+  }
+#else
+  answer_scalar(0, n);
+#endif
+
+  // Accumulate in sorted order. Per query this adds contributions in
+  // ascending-cell order — identical to the scalar border walk, because
+  // emission was cell-ascending per query and the sort is stable.
+  for (size_t j = 0; j < n; ++j) {
+    out[sp[j].query] += contrib[j];
+  }
+}
+
+}  // namespace dpgrid

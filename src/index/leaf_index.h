@@ -1,0 +1,128 @@
+#ifndef DPGRID_INDEX_LEAF_INDEX_H_
+#define DPGRID_INDEX_LEAF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/rect.h"
+#include "grid/grid_counts.h"
+#include "index/frac_kernel.h"
+#include "index/prefix_sum2d.h"
+
+namespace dpgrid {
+
+/// A flattened read-only index over the leaf grids of a two-level synopsis
+/// (AdaptiveGrid's per-cell level-2 grids): every leaf's prefix-sum corner
+/// array lives in one contiguous arena, and every leaf's query-view
+/// parameters live in one cache-line-sized record. Built once at
+/// construction/Restore time; pure derived state, never persisted.
+///
+/// Why it exists: the scalar border-cell path re-derives a FracView2D per
+/// (query, cell) by chasing LeafBlock -> GridCounts / optional<PrefixSum2D>
+/// -> heap vector, so every border cell costs two dependent pointer chases
+/// into a different heap allocation before the first corner load. The flat
+/// index turns that into one 64-byte record load plus arena-relative corner
+/// loads, and its record layout is gather-friendly so the batched kernel
+/// can answer four border cells per iteration (see AnswerCellPairs).
+class FlatLeafIndex2D {
+ public:
+  /// Per-leaf view record, one cache line. Doubles first so the batch
+  /// kernel can gather field f of cell c at double-index c * 8 + f, and
+  /// int32 field g at int32-index c * 16 + 12 + g.
+  struct alignas(64) CellView {
+    double nx_f = 0.0;      // leaf size as double (clamp bound)
+    double ny_f = 0.0;
+    double x_origin = 0.0;  // leaf domain lower corner
+    double y_origin = 0.0;
+    double inv_w = 0.0;     // reciprocal leaf cell extents
+    double inv_h = 0.0;
+    int32_t offset = 0;     // corner-array start within the arena
+    int32_t stride = 0;     // nx + 1
+    int32_t nx_m1 = 0;      // nx - 1 (Split clamp bound)
+    int32_t ny_m1 = 0;
+  };
+  static_assert(sizeof(CellView) == 64, "gather indexing assumes 64B records");
+
+  FlatLeafIndex2D() = default;
+
+  /// Pre-sizes the arena/record storage for `cells` leaves totalling
+  /// `corner_doubles` corner entries, so Add never reallocates.
+  void Reserve(size_t cells, size_t corner_doubles);
+
+  /// Appends one leaf (its counts geometry and prefix corners). Leaves
+  /// must be added in row-major level-1 cell order.
+  void Add(const GridCounts& counts, const PrefixSum2D& prefix);
+
+  size_t num_cells() const { return views_.size(); }
+  bool built() const { return !views_.empty(); }
+  const CellView* views() const { return views_.data(); }
+  const double* arena() const { return arena_.data(); }
+  size_t arena_size() const { return arena_.size(); }
+
+  /// Right-shift that maps a cell id to its sort bucket (at most
+  /// kPairSortBuckets buckets). Emitters use it to histogram pairs while
+  /// writing them, saving the sort's counting pass.
+  uint32_t pair_sort_shift() const {
+    uint32_t bits = 1;
+    while ((size_t{1} << bits) < views_.size()) ++bits;
+    return bits > 8 ? bits - 8 : 0;
+  }
+
+  /// Pointer-based view of cell `i` for the scalar kernel — a handful of
+  /// register moves, no heap indirection.
+  FracView2D MakeView(size_t i) const {
+    const CellView& c = views_[i];
+    FracView2D v;
+    v.prefix = arena_.data() + c.offset;
+    v.stride = static_cast<size_t>(c.stride);
+    v.nx = static_cast<size_t>(c.nx_m1) + 1;
+    v.ny = static_cast<size_t>(c.ny_m1) + 1;
+    v.nx_f = c.nx_f;
+    v.ny_f = c.ny_f;
+    v.x_origin = c.x_origin;
+    v.y_origin = c.y_origin;
+    v.inv_w = c.inv_w;
+    v.inv_h = c.inv_h;
+    return v;
+  }
+
+ private:
+  std::vector<double> arena_;
+  std::vector<CellView> views_;
+};
+
+/// One (query, leaf cell) border job emitted by a batch decomposition.
+struct CellPair {
+  uint32_t query = 0;  // index into the batch's query array
+  uint32_t cell = 0;   // flat level-1 cell index
+};
+
+/// Answers every border job and accumulates it: out[p.query] += the
+/// fractional answer of queries[p.query] against leaf cell p.cell, each
+/// contribution bitwise-identical to index.MakeView(cell).Answer(query).
+///
+/// Contract: within one query, pairs must be emitted with strictly
+/// ascending cell ids (the row-major border walk does). Contributions are
+/// then accumulated per query in exactly that order — the scalar path's
+/// FP accumulation sequence — even though the kernels process pairs
+/// grouped by cell: the grouping is a stable sort, so it preserves each
+/// query's internal order.
+///
+/// Internally the pairs are radix-sorted by cell (leaf corner loads
+/// become streaming instead of random), same-cell runs are answered four
+/// queries per iteration against one hoisted view, and leftover short
+/// runs go through a gather kernel whose lanes are (query, cell) pairs.
+/// All scratch is thread-local and reused; steady state allocates
+/// nothing.
+///
+/// `bucket_hist` (kPairSortBuckets entries) must hold the histogram of
+/// `pairs[i].cell >> index.pair_sort_shift()` — emitters maintain it for
+/// free while writing pairs, which saves the sort a counting pass.
+inline constexpr size_t kPairSortBuckets = 256;
+void AccumulateCellPairs(const FlatLeafIndex2D& index, const Rect* queries,
+                         const CellPair* pairs, size_t n,
+                         const uint32_t* bucket_hist, double* out);
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_INDEX_LEAF_INDEX_H_

@@ -48,7 +48,20 @@ std::unique_ptr<AdaptiveGridNd> AdaptiveGridNd::Restore(
   ag->level1_.emplace(std::move(level1));
   ag->level1_prefix_.emplace(std::move(level1_prefix));
   ag->leaves_ = std::move(leaves);
+  ag->BuildFlatIndex();
   return ag;
+}
+
+void AdaptiveGridNd::BuildFlatIndex() {
+  size_t corners = 0;
+  for (const LeafBlock& block : leaves_) {
+    corners += block.prefix->corners().size();
+  }
+  flat_ = FlatLeafIndexNd();
+  flat_.Reserve(leaves_.size(), corners, level1_->dims());
+  for (const LeafBlock& block : leaves_) {
+    flat_.Add(*block.counts, *block.prefix);
+  }
 }
 
 void AdaptiveGridNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
@@ -117,6 +130,7 @@ void AdaptiveGridNd::Build(const DatasetNd& dataset, PrivacyBudget& budget,
     block.prefix.emplace(block.counts->values(), block.counts->sizes());
   }
   level1_prefix_.emplace(level1_->values(), level1_->sizes());
+  BuildFlatIndex();
 }
 
 double AdaptiveGridNd::AnswerOne(const BoxNd& query) const {
@@ -189,6 +203,76 @@ double AdaptiveGridNd::AnswerOne(const BoxNd& query) const {
   return total;
 }
 
+double AdaptiveGridNd::AnswerOneFlat(const BoxNd& query) const {
+  const size_t d = level1_->dims();
+  double lo[PrefixSumNd::kMaxDims];
+  double hi[PrefixSumNd::kMaxDims];
+  level1_->ToCellCoords(query, lo, hi);
+  const double m1 = static_cast<double>(m1_);
+  int64_t b_lo[PrefixSumNd::kMaxDims];
+  int64_t b_hi[PrefixSumNd::kMaxDims];
+  size_t full_lo[PrefixSumNd::kMaxDims];
+  size_t full_hi[PrefixSumNd::kMaxDims];
+  bool has_interior = true;
+  for (size_t a = 0; a < d; ++a) {
+    lo[a] = std::clamp(lo[a], 0.0, m1);
+    hi[a] = std::clamp(hi[a], 0.0, m1);
+    if (hi[a] <= lo[a]) return 0.0;
+    b_lo[a] = std::clamp<int64_t>(static_cast<int64_t>(std::floor(lo[a])), 0,
+                                  m1_ - 1);
+    b_hi[a] = std::clamp<int64_t>(
+        static_cast<int64_t>(std::ceil(hi[a])) - 1, 0, m1_ - 1);
+    int64_t f_lo = (lo[a] <= static_cast<double>(b_lo[a])) ? b_lo[a]
+                                                           : b_lo[a] + 1;
+    int64_t f_hi = (hi[a] >= static_cast<double>(b_hi[a] + 1)) ? b_hi[a] + 1
+                                                               : b_hi[a];
+    full_lo[a] = static_cast<size_t>(f_lo);
+    full_hi[a] = static_cast<size_t>(std::max<int64_t>(f_lo, f_hi));
+    if (full_hi[a] <= full_lo[a]) has_interior = false;
+  }
+
+  double total = 0.0;
+  if (has_interior) total += level1_prefix_->BlockSum(full_lo, full_hi);
+
+  // Border cells, in the same odometer order as AnswerOne, answered from
+  // the flattened leaf index: one SoA geometry row + the shared
+  // PrefixViewNd::FractionalSum instead of three heap objects per cell.
+  int64_t idx[PrefixSumNd::kMaxDims];
+  for (size_t a = 0; a < d; ++a) idx[a] = b_lo[a];
+  double leaf_lo[PrefixSumNd::kMaxDims];
+  double leaf_hi[PrefixSumNd::kMaxDims];
+  while (true) {
+    bool interior = has_interior;
+    if (interior) {
+      for (size_t a = 0; a < d; ++a) {
+        if (idx[a] < static_cast<int64_t>(full_lo[a]) ||
+            idx[a] >= static_cast<int64_t>(full_hi[a])) {
+          interior = false;
+          break;
+        }
+      }
+    }
+    if (!interior) {
+      size_t flat = 0;
+      for (size_t a = 0; a < d; ++a) {
+        flat = flat * static_cast<size_t>(m1_) + static_cast<size_t>(idx[a]);
+      }
+      flat_.ToCellCoords(flat, query, leaf_lo, leaf_hi);
+      total += flat_.View(flat).FractionalSum(leaf_lo, leaf_hi);
+    }
+    bool rolled_over = true;
+    for (size_t a = d; a-- > 0;) {
+      if (++idx[a] <= b_hi[a]) {
+        rolled_over = false;
+        break;
+      }
+      idx[a] = b_lo[a];
+    }
+    if (rolled_over) break;
+  }
+  return total;
+}
+
 double AdaptiveGridNd::Answer(const BoxNd& query) const {
   return AnswerOne(query);
 }
@@ -198,7 +282,9 @@ void AdaptiveGridNd::AnswerBatch(std::span<const BoxNd> queries,
   DPGRID_CHECK(queries.size() == out.size());
   const BoxNd* q = queries.data();
   double* o = out.data();
-  for (size_t i = 0, n = queries.size(); i < n; ++i) o[i] = AnswerOne(q[i]);
+  for (size_t i = 0, n = queries.size(); i < n; ++i) {
+    o[i] = AnswerOneFlat(q[i]);
+  }
 }
 
 std::string AdaptiveGridNd::Name() const {

@@ -11,6 +11,7 @@
 #include "dp/budget.h"
 #include "nd/grid_nd.h"
 #include "nd/guidelines_nd.h"
+#include "nd/leaf_index_nd.h"
 #include "nd/synopsis_nd.h"
 
 namespace dpgrid {
@@ -83,20 +84,33 @@ class AdaptiveGridNd : public SynopsisNd {
   const PrefixSumNd& level1_prefix() const { return *level1_prefix_; }
   const std::vector<LeafBlock>& leaves() const { return leaves_; }
 
+  /// The flattened leaf index behind AnswerBatch — derived state, rebuilt
+  /// by Build and Restore alike, never persisted.
+  const FlatLeafIndexNd& flat_index() const { return flat_; }
+
  private:
   AdaptiveGridNd() = default;
 
   void Build(const DatasetNd& dataset, PrivacyBudget& budget, Rng& rng);
 
+  /// Materializes flat_ from leaves_ (call after leaves_ is final).
+  void BuildFlatIndex();
+
   /// The one query implementation both Answer and AnswerBatch funnel
   /// through; runs entirely on stack scratch (no per-query allocation).
   double AnswerOne(const BoxNd& query) const;
+
+  /// AnswerOne against the flattened leaf index — the same decomposition
+  /// and FractionalSum code, minus the per-cell heap chases. Bitwise
+  /// identical to AnswerOne; AnswerBatch's per-query body.
+  double AnswerOneFlat(const BoxNd& query) const;
 
   AdaptiveGridNdOptions options_;
   int m1_ = 0;
   std::optional<GridNd> level1_;       // post-inference v'
   std::optional<PrefixSumNd> level1_prefix_;
   std::vector<LeafBlock> leaves_;      // one per level-1 cell (flattened)
+  FlatLeafIndexNd flat_;               // contiguous mirror of the leaves
 };
 
 }  // namespace dpgrid

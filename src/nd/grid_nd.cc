@@ -116,19 +116,13 @@ PrefixSumNd PrefixSumNd::FromRaw(std::vector<size_t> sizes,
   return p;
 }
 
-double PrefixSumNd::BlockSum(const std::vector<size_t>& lo,
-                             const std::vector<size_t>& hi) const {
-  DPGRID_DCHECK(lo.size() == dims() && hi.size() == dims());
-  return BlockSum(lo.data(), hi.data());
-}
-
-double PrefixSumNd::BlockSum(const size_t* lo, const size_t* hi) const {
-  const size_t d = dims();
-  size_t clo[kMaxDims];
-  size_t chi[kMaxDims];
+double PrefixViewNd::BlockSum(const size_t* lo, const size_t* hi) const {
+  const size_t d = dims;
+  size_t clo[PrefixSumNd::kMaxDims];
+  size_t chi[PrefixSumNd::kMaxDims];
   for (size_t a = 0; a < d; ++a) {
-    clo[a] = std::min(lo[a], sizes_[a]);
-    chi[a] = std::min(hi[a], sizes_[a]);
+    clo[a] = std::min(lo[a], sizes[a]);
+    chi[a] = std::min(hi[a], sizes[a]);
     if (chi[a] <= clo[a]) return 0.0;
   }
   // Inclusion-exclusion over the 2^d corners.
@@ -138,37 +132,51 @@ double PrefixSumNd::BlockSum(const size_t* lo, const size_t* hi) const {
     size_t pidx = 0;
     for (size_t a = 0; a < d; ++a) {
       if (mask & (size_t{1} << a)) {
-        pidx += clo[a] * strides_[a];
+        pidx += clo[a] * strides[a];
         sign = -sign;
       } else {
-        pidx += chi[a] * strides_[a];
+        pidx += chi[a] * strides[a];
       }
     }
-    total += sign * prefix_[pidx];
+    total += sign * prefix[pidx];
   }
   return total;
+}
+
+double PrefixSumNd::BlockSum(const std::vector<size_t>& lo,
+                             const std::vector<size_t>& hi) const {
+  DPGRID_DCHECK(lo.size() == dims() && hi.size() == dims());
+  return View().BlockSum(lo.data(), hi.data());
+}
+
+double PrefixSumNd::BlockSum(const size_t* lo, const size_t* hi) const {
+  return View().BlockSum(lo, hi);
 }
 
 double PrefixSumNd::FractionalSum(const std::vector<double>& lo,
                                   const std::vector<double>& hi) const {
   DPGRID_DCHECK(lo.size() == dims() && hi.size() == dims());
-  return FractionalSum(lo.data(), hi.data());
+  return View().FractionalSum(lo.data(), hi.data());
 }
 
 double PrefixSumNd::FractionalSum(const double* lo, const double* hi) const {
-  const size_t d = dims();
+  return View().FractionalSum(lo, hi);
+}
+
+double PrefixViewNd::FractionalSum(const double* lo, const double* hi) const {
+  const size_t d = dims;
   // Decompose each axis; bail out if any axis is empty. Everything lives in
   // fixed-size stack buffers (d <= kMaxDims) — no allocation per query.
-  AxisSegment segments[kMaxDims * 3];
-  int seg_count[kMaxDims];
+  AxisSegment segments[PrefixSumNd::kMaxDims * 3];
+  int seg_count[PrefixSumNd::kMaxDims];
   for (size_t a = 0; a < d; ++a) {
-    seg_count[a] = DecomposeAxis(lo[a], hi[a], sizes_[a], &segments[a * 3]);
+    seg_count[a] = DecomposeAxis(lo[a], hi[a], sizes[a], &segments[a * 3]);
     if (seg_count[a] == 0) return 0.0;
   }
   // Odometer over segment combinations.
-  int pick[kMaxDims] = {0};
-  size_t blo[kMaxDims];
-  size_t bhi[kMaxDims];
+  int pick[PrefixSumNd::kMaxDims] = {0};
+  size_t blo[PrefixSumNd::kMaxDims];
+  size_t bhi[PrefixSumNd::kMaxDims];
   double total = 0.0;
   while (true) {
     double weight = 1.0;

@@ -11,6 +11,25 @@
 
 namespace dpgrid {
 
+/// A borrowed, allocation-free view over a d-dimensional prefix-sum
+/// corner array: the one implementation of block and fractional sums
+/// shared by PrefixSumNd (which views its own storage) and flattened leaf
+/// indexes (which view an arena). Sharing the code is what keeps a
+/// flattened answer bitwise-identical to the owning object's.
+struct PrefixViewNd {
+  const double* prefix = nullptr;  // padded corner array
+  const size_t* sizes = nullptr;   // per-axis cell counts
+  const size_t* strides = nullptr; // strides of the (n_a + 1)-shaped array
+  size_t dims = 0;
+
+  /// Sum over the integer cell block [lo_a, hi_a) per axis (clamped).
+  double BlockSum(const size_t* lo, const size_t* hi) const;
+
+  /// Fractional-volume weighted sum over continuous cell coordinates
+  /// [lo_a, hi_a] per axis (cell units; clamped to the grid).
+  double FractionalSum(const double* lo, const double* hi) const;
+};
+
 /// d-dimensional prefix sums with fractional orthotope queries — the
 /// generalization of PrefixSum2D. A query box given in continuous cell
 /// coordinates is answered in O(3^d · 2^d) independent of grid size:
@@ -56,6 +75,12 @@ class PrefixSumNd {
   /// Allocation-free form: `lo` and `hi` point at dims() values.
   double FractionalSum(const double* lo, const double* hi) const;
 
+  /// Borrowed view over this index; must not outlive it.
+  PrefixViewNd View() const {
+    return PrefixViewNd{prefix_.data(), sizes_.data(), strides_.data(),
+                        dims()};
+  }
+
   /// Sum of all cells.
   double TotalSum() const;
 
@@ -88,6 +113,13 @@ class GridNd {
   const BoxNd& domain() const { return domain_; }
   const std::vector<size_t>& sizes() const { return sizes_; }
   size_t num_cells() const { return values_.size(); }
+
+  /// Reciprocal per-axis cell extents — what the allocation-free
+  /// ToCellCoords multiplies by; flattened leaf indexes copy these so
+  /// their coordinate transforms stay bitwise-identical.
+  const std::vector<double>& inv_cell_extents() const {
+    return inv_cell_extent_;
+  }
 
   const std::vector<double>& values() const { return values_; }
   std::vector<double>& mutable_values() { return values_; }

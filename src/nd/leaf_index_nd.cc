@@ -1,0 +1,44 @@
+#include "nd/leaf_index_nd.h"
+
+#include "common/check.h"
+
+namespace dpgrid {
+
+void FlatLeafIndexNd::Reserve(size_t cells, size_t corner_doubles,
+                              size_t dims) {
+  DPGRID_CHECK(dims >= 1 && dims <= kMaxDims);
+  dims_ = dims;
+  offsets_.reserve(cells);
+  sizes_.reserve(cells * kMaxDims);
+  strides_.reserve(cells * kMaxDims);
+  origin_.reserve(cells * kMaxDims);
+  inv_extent_.reserve(cells * kMaxDims);
+  arena_.reserve(corner_doubles);
+}
+
+void FlatLeafIndexNd::Add(const GridNd& counts, const PrefixSumNd& prefix) {
+  const size_t d = prefix.dims();
+  DPGRID_CHECK(d == dims_ && counts.dims() == d);
+  offsets_.push_back(arena_.size());
+  const std::vector<double>& corners = prefix.corners();
+  arena_.insert(arena_.end(), corners.begin(), corners.end());
+  const size_t row = sizes_.size();
+  sizes_.resize(row + kMaxDims, 0);
+  strides_.resize(row + kMaxDims, 0);
+  origin_.resize(row + kMaxDims, 0.0);
+  inv_extent_.resize(row + kMaxDims, 0.0);
+  // Strides of the padded (n_a + 1)-shaped corner array, last axis
+  // contiguous — the same layout PrefixSumNd computes for itself.
+  size_t stride = 1;
+  for (size_t a = d; a-- > 0;) {
+    strides_[row + a] = stride;
+    stride *= prefix.sizes()[a] + 1;
+  }
+  for (size_t a = 0; a < d; ++a) {
+    sizes_[row + a] = prefix.sizes()[a];
+    origin_[row + a] = counts.domain().lo(a);
+    inv_extent_[row + a] = counts.inv_cell_extents()[a];
+  }
+}
+
+}  // namespace dpgrid

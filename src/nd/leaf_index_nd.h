@@ -1,0 +1,74 @@
+#ifndef DPGRID_ND_LEAF_INDEX_ND_H_
+#define DPGRID_ND_LEAF_INDEX_ND_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nd/box_nd.h"
+#include "nd/grid_nd.h"
+
+namespace dpgrid {
+
+/// The d-dimensional counterpart of FlatLeafIndex2D: every leaf grid's
+/// prefix-sum corner array in one contiguous arena, and every leaf's
+/// geometry (per-axis sizes, strides, origin, reciprocal extents) in
+/// fixed-width SoA rows of kMaxDims entries. Built at construction and
+/// Restore time from the leaf blocks; pure derived state, never
+/// persisted.
+///
+/// The batch path's per-cell work becomes: one row of geometry loads, a
+/// coordinate transform identical to GridNd::ToCellCoords, and a
+/// PrefixViewNd::FractionalSum over the arena — the exact code the
+/// scalar path runs via PrefixSumNd, so answers stay bitwise-identical
+/// while skipping two std::optional dereferences and three heap objects
+/// per (query, cell).
+class FlatLeafIndexNd {
+ public:
+  static constexpr size_t kMaxDims = PrefixSumNd::kMaxDims;
+
+  FlatLeafIndexNd() = default;
+
+  /// Pre-sizes storage for `cells` leaves totalling `corner_doubles`
+  /// corner entries in `dims` dimensions, so Add never reallocates.
+  void Reserve(size_t cells, size_t corner_doubles, size_t dims);
+
+  /// Appends one leaf. Leaves must be added in row-major level-1 order.
+  void Add(const GridNd& counts, const PrefixSumNd& prefix);
+
+  size_t num_cells() const { return offsets_.size(); }
+  bool built() const { return !offsets_.empty(); }
+  size_t dims() const { return dims_; }
+  size_t arena_size() const { return arena_.size(); }
+
+  /// Borrowed fractional-sum view of cell `i`; must not outlive this.
+  PrefixViewNd View(size_t i) const {
+    return PrefixViewNd{arena_.data() + offsets_[i],
+                        sizes_.data() + i * kMaxDims,
+                        strides_.data() + i * kMaxDims, dims_};
+  }
+
+  /// Query box -> cell `i`'s continuous leaf coordinates; bitwise equal
+  /// to the leaf GridNd's allocation-free ToCellCoords.
+  void ToCellCoords(size_t i, const BoxNd& query, double* lo,
+                    double* hi) const {
+    const double* org = origin_.data() + i * kMaxDims;
+    const double* inv = inv_extent_.data() + i * kMaxDims;
+    for (size_t a = 0; a < dims_; ++a) {
+      lo[a] = (query.lo(a) - org[a]) * inv[a];
+      hi[a] = (query.hi(a) - org[a]) * inv[a];
+    }
+  }
+
+ private:
+  size_t dims_ = 0;
+  std::vector<double> arena_;
+  std::vector<size_t> offsets_;
+  std::vector<size_t> sizes_;       // cell * kMaxDims + axis
+  std::vector<size_t> strides_;     // cell * kMaxDims + axis
+  std::vector<double> origin_;      // cell * kMaxDims + axis
+  std::vector<double> inv_extent_;  // cell * kMaxDims + axis
+};
+
+}  // namespace dpgrid
+
+#endif  // DPGRID_ND_LEAF_INDEX_ND_H_

@@ -21,8 +21,10 @@ struct QueryEngineOptions {
 
   /// Chunk length handed to a worker at a time. Small enough to balance
   /// skewed per-query cost (AG queries straddling dense regions), large
-  /// enough that the atomic cursor is cold.
-  size_t batch_size = 1024;
+  /// enough that the atomic cursor is cold — and at least as large as the
+  /// adaptive grid's internal decomposition chunk, so sharding does not
+  /// starve its cell-grouped border kernels of same-cell runs.
+  size_t batch_size = 8192;
 
   /// Batches shorter than this stay on the calling thread: thread handoff
   /// costs more than answering a couple thousand O(1) grid queries. Sized

@@ -55,9 +55,9 @@ bool QueryClient::RoundTrip(WireOp op, const std::string& request_body,
                             std::string* response_body, std::string* error) {
   if (fd_ < 0) return SetError(error, "not connected");
   const uint64_t request_id = next_request_id_++;
-  const std::string request_header =
-      EncodeFrameHeader(op, request_id, request_body);
-  if (!net::WriteFull2(fd_, request_header.data(), request_header.size(),
+  char request_header[kWireHeaderSize];
+  EncodeFrameHeaderTo(op, request_id, request_body, request_header);
+  if (!net::WriteFull2(fd_, request_header, sizeof(request_header),
                        request_body.data(), request_body.size())) {
     Close();
     return SetError(error, "connection lost while sending request");
@@ -127,7 +127,7 @@ bool QueryClient::RunQueryBatch(const std::string& request_body,
                                " bytes exceeds the frame cap — split it "
                                "into smaller batches");
   }
-  std::string body;
+  std::string& body = response_scratch_;
   if (!RoundTrip(WireOp::kQueryBatch, request_body, &body, error)) {
     if (status != nullptr) *status = WireStatus::kInternal;
     return false;
@@ -156,8 +156,9 @@ bool QueryClient::QueryBatch(const std::string& name,
                              std::span<const Rect> queries,
                              std::vector<double>* answers, uint64_t* version,
                              WireStatus* status, std::string* error) {
-  return RunQueryBatch(EncodeQueryBatchRequest(name, queries),
-                       queries.size(), answers, version, status, error);
+  EncodeQueryBatchRequestTo(name, queries, &request_scratch_);
+  return RunQueryBatch(request_scratch_, queries.size(), answers, version,
+                       status, error);
 }
 
 bool QueryClient::QueryBatchNd(const std::string& name, uint32_t dims,
@@ -165,8 +166,9 @@ bool QueryClient::QueryBatchNd(const std::string& name, uint32_t dims,
                                std::vector<double>* answers,
                                uint64_t* version, WireStatus* status,
                                std::string* error) {
-  return RunQueryBatch(EncodeQueryBatchRequestNd(name, dims, queries),
-                       queries.size(), answers, version, status, error);
+  EncodeQueryBatchRequestNdTo(name, dims, queries, &request_scratch_);
+  return RunQueryBatch(request_scratch_, queries.size(), answers, version,
+                       status, error);
 }
 
 bool QueryClient::ListSynopses(std::vector<CatalogEntryInfo>* entries,

@@ -85,6 +85,11 @@ class QueryClient {
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   uint64_t max_body_bytes_ = kWireMaxBodyBytes;
+  // Reused across QueryBatch calls so steady-state batches encode and
+  // receive without per-frame allocations (this client is per-thread
+  // anyway; see the thread-safety note above).
+  std::string request_scratch_;
+  std::string response_scratch_;
 };
 
 }  // namespace dpgrid

@@ -230,9 +230,10 @@ void DrainPending(int fd, uint64_t n) {
 
 void QueryServer::HandleConnection(int fd) {
   // Capacity a connection may keep between frames; bigger one-off frames
-  // are served but their buffer is released afterwards.
+  // are served but their buffers are released afterwards.
   constexpr size_t kRetainedBodyCapacity = 1 << 20;
   std::string body;
+  ConnectionScratch scratch;
   while (!stopping_.load(std::memory_order_acquire)) {
     char header[kWireHeaderSize];
     if (!net::ReadFull(fd, header, sizeof(header))) break;
@@ -289,15 +290,31 @@ void QueryServer::HandleConnection(int fd) {
     }
 
     frames_received_.fetch_add(1, std::memory_order_relaxed);
-    const std::string resp_body = DispatchFrame(op, body);
-    const std::string resp_header =
-        EncodeFrameHeader(op, request_id, resp_body);
-    if (!net::WriteFull2(fd, resp_header.data(), resp_header.size(),
+    DispatchFrame(op, body, &scratch);
+    const std::string& resp_body = scratch.response_body;
+    char resp_header[kWireHeaderSize];
+    EncodeFrameHeaderTo(op, request_id, resp_body, resp_header);
+    if (!net::WriteFull2(fd, resp_header, sizeof(resp_header),
                          resp_body.data(), resp_body.size())) {
       break;
     }
     if (body.capacity() > kRetainedBodyCapacity) {
       std::string().swap(body);
+    }
+    if (scratch.response_body.capacity() > kRetainedBodyCapacity) {
+      std::string().swap(scratch.response_body);
+    }
+    if (scratch.answers.capacity() * sizeof(double) >
+        kRetainedBodyCapacity) {
+      std::vector<double>().swap(scratch.answers);
+    }
+    if (scratch.request.queries.capacity() * sizeof(Rect) >
+        kRetainedBodyCapacity) {
+      std::vector<Rect>().swap(scratch.request.queries);
+    }
+    if (!scratch.request.queries_nd.empty()) {
+      // N-d boxes own per-box heap storage; don't retain them at all.
+      std::vector<BoxNd>().swap(scratch.request.queries_nd);
     }
   }
   // Join earlier-finished handlers before parking this one, so an idle
@@ -337,15 +354,19 @@ void QueryServer::ReapFinishedThreads() {}
 
 #endif  // _WIN32
 
-std::string QueryServer::DispatchFrame(WireOp op, const std::string& body) {
+void QueryServer::DispatchFrame(WireOp op, const std::string& body,
+                                ConnectionScratch* scratch) {
   WireStatus status = WireStatus::kOk;
-  std::string response_body;
+  std::string& response_body = scratch->response_body;
+  response_body.clear();
   switch (op) {
     case WireOp::kQueryBatch: {
-      QueryBatchRequest req;
+      QueryBatchRequest& req = scratch->request;
       std::string error;
       // The decoder enforces max_batch_queries at the count field, so an
-      // over-limit batch is rejected before its queries are parsed.
+      // over-limit batch is rejected before its queries are parsed. It
+      // decodes into the connection's reused request object, so a steady
+      // stream of similar batches parses allocation-free.
       WireStatus reject = WireStatus::kMalformedRequest;
       if (!DecodeQueryBatchRequest(body, &req, &error,
                                    options_.max_batch_queries, &reject)) {
@@ -353,7 +374,8 @@ std::string QueryServer::DispatchFrame(WireOp op, const std::string& body) {
         response_body = EncodeErrorBody(status, error);
         break;
       }
-      std::vector<double> answers(req.count());
+      std::vector<double>& answers = scratch->answers;
+      answers.resize(req.count());
       uint64_t version = 0;
       const CatalogStatus catalog_status =
           req.dims == 2
@@ -366,7 +388,7 @@ std::string QueryServer::DispatchFrame(WireOp op, const std::string& body) {
           batches_answered_.fetch_add(1, std::memory_order_relaxed);
           queries_answered_.fetch_add(req.count(),
                                       std::memory_order_relaxed);
-          response_body = EncodeQueryBatchOkBody(version, answers);
+          EncodeQueryBatchOkBodyTo(version, answers, &response_body);
           break;
         case CatalogStatus::kNotFound:
           status = WireStatus::kNotFound;
@@ -408,7 +430,6 @@ std::string QueryServer::DispatchFrame(WireOp op, const std::string& body) {
   if (status != WireStatus::kOk) {
     errors_returned_.fetch_add(1, std::memory_order_relaxed);
   }
-  return response_body;
 }
 
 }  // namespace dpgrid

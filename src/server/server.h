@@ -81,11 +81,24 @@ class QueryServer {
   }
 
  private:
+  /// Per-connection buffers reused across frames: the decoded request,
+  /// the answer vector, and the encoded response body keep their capacity
+  /// between requests, so a steady query stream allocates nothing per
+  /// frame. Oversized one-off buffers are released after the frame (see
+  /// kRetainedBodyCapacity in server.cc).
+  struct ConnectionScratch {
+    QueryBatchRequest request;
+    std::vector<double> answers;
+    std::string response_body;
+  };
+
   void AcceptLoop();
   void HandleConnection(int fd);
-  /// Dispatches one verified frame; returns the response BODY (the caller
-  /// frames it, writing header and body without another payload copy).
-  std::string DispatchFrame(WireOp op, const std::string& body);
+  /// Dispatches one verified frame into scratch->response_body (the
+  /// caller frames it, writing header and body without another payload
+  /// copy).
+  void DispatchFrame(WireOp op, const std::string& body,
+                     ConnectionScratch* scratch);
 
   SynopsisCatalog* catalog_;
   const QueryEngine* engine_;

@@ -60,18 +60,31 @@ const char* WireStatusName(WireStatus status) {
 
 // --- framing ---------------------------------------------------------------
 
+void EncodeFrameHeaderTo(WireOp op, uint64_t request_id,
+                         std::string_view body,
+                         char out[kWireHeaderSize]) {
+  char* p = out;
+  auto put = [&p](const void* v, size_t n) {
+    std::memcpy(p, v, n);
+    p += n;
+  };
+  put(kWireMagic, sizeof(kWireMagic));
+  const uint32_t version = kWireProtocolVersion;
+  put(&version, sizeof(version));
+  const auto op_raw = static_cast<uint32_t>(op);
+  put(&op_raw, sizeof(op_raw));
+  put(&request_id, sizeof(request_id));
+  const uint64_t size = body.size();
+  put(&size, sizeof(size));
+  const uint64_t checksum = SnapshotChecksum(body);
+  put(&checksum, sizeof(checksum));
+}
+
 std::string EncodeFrameHeader(WireOp op, uint64_t request_id,
                               std::string_view body) {
-  ByteWriter w;
-  uint32_t magic = 0;
-  std::memcpy(&magic, kWireMagic, sizeof(kWireMagic));
-  w.U32(magic);
-  w.U32(kWireProtocolVersion);
-  w.U32(static_cast<uint32_t>(op));
-  w.U64(request_id);
-  w.U64(body.size());
-  w.U64(SnapshotChecksum(body));
-  return std::move(w).Take();
+  char header[kWireHeaderSize];
+  EncodeFrameHeaderTo(op, request_id, body, header);
+  return std::string(header, sizeof(header));
 }
 
 std::string EncodeFrame(WireOp op, uint64_t request_id,
@@ -143,9 +156,10 @@ bool DecodeFrame(std::string_view bytes, WireFrame* out, std::string* error) {
 
 // --- QUERY_BATCH -----------------------------------------------------------
 
-std::string EncodeQueryBatchRequest(const std::string& name,
-                                    std::span<const Rect> queries) {
-  ByteWriter w;
+namespace {
+
+void AppendQueryBatchRequest(ByteWriter& w, const std::string& name,
+                             std::span<const Rect> queries) {
   w.Str(name);
   w.U32(2);
   w.U64(queries.size());
@@ -155,12 +169,10 @@ std::string EncodeQueryBatchRequest(const std::string& name,
     w.F64(q.xhi);
     w.F64(q.yhi);
   }
-  return std::move(w).Take();
 }
 
-std::string EncodeQueryBatchRequestNd(const std::string& name, uint32_t dims,
-                                      std::span<const BoxNd> queries) {
-  ByteWriter w;
+void AppendQueryBatchRequestNd(ByteWriter& w, const std::string& name,
+                               uint32_t dims, std::span<const BoxNd> queries) {
   w.Str(name);
   w.U32(dims);
   w.U64(queries.size());
@@ -172,7 +184,38 @@ std::string EncodeQueryBatchRequestNd(const std::string& name, uint32_t dims,
     for (size_t a = 0; a < dims; ++a) w.F64(q.lo(a));
     for (size_t a = 0; a < dims; ++a) w.F64(q.hi(a));
   }
+}
+
+}  // namespace
+
+std::string EncodeQueryBatchRequest(const std::string& name,
+                                    std::span<const Rect> queries) {
+  ByteWriter w;
+  AppendQueryBatchRequest(w, name, queries);
   return std::move(w).Take();
+}
+
+std::string EncodeQueryBatchRequestNd(const std::string& name, uint32_t dims,
+                                      std::span<const BoxNd> queries) {
+  ByteWriter w;
+  AppendQueryBatchRequestNd(w, name, dims, queries);
+  return std::move(w).Take();
+}
+
+void EncodeQueryBatchRequestTo(const std::string& name,
+                               std::span<const Rect> queries,
+                               std::string* out) {
+  ByteWriter w(std::move(*out));
+  AppendQueryBatchRequest(w, name, queries);
+  *out = std::move(w).Take();
+}
+
+void EncodeQueryBatchRequestNdTo(const std::string& name, uint32_t dims,
+                                 std::span<const BoxNd> queries,
+                                 std::string* out) {
+  ByteWriter w(std::move(*out));
+  AppendQueryBatchRequestNd(w, name, dims, queries);
+  *out = std::move(w).Take();
 }
 
 bool DecodeQueryBatchRequest(std::string_view body, QueryBatchRequest* out,
@@ -181,8 +224,13 @@ bool DecodeQueryBatchRequest(std::string_view body, QueryBatchRequest* out,
   if (reject_status != nullptr) {
     *reject_status = WireStatus::kMalformedRequest;
   }
+  // Decode straight into *out so a reused request object's buffers keep
+  // their capacity across frames.
+  QueryBatchRequest& req = *out;
+  req.name.clear();
+  req.queries.clear();
+  req.queries_nd.clear();
   ByteReader r(body);
-  QueryBatchRequest req;
   if (!r.Str(&req.name)) {
     return SetError(error, "truncated name: " + r.error());
   }
@@ -249,19 +297,35 @@ bool DecodeQueryBatchRequest(std::string_view body, QueryBatchRequest* out,
       }
     }
   }
-  *out = std::move(req);
   return true;
 }
 
-std::string EncodeQueryBatchOkBody(uint64_t version,
-                                   std::span<const double> answers) {
-  ByteWriter w;
+namespace {
+
+void AppendQueryBatchOkBody(ByteWriter& w, uint64_t version,
+                            std::span<const double> answers) {
   w.U32(static_cast<uint32_t>(WireStatus::kOk));
   w.Str("");
   w.U64(version);
   w.U64(answers.size());
   for (double a : answers) w.F64(a);
+}
+
+}  // namespace
+
+std::string EncodeQueryBatchOkBody(uint64_t version,
+                                   std::span<const double> answers) {
+  ByteWriter w;
+  AppendQueryBatchOkBody(w, version, answers);
   return std::move(w).Take();
+}
+
+void EncodeQueryBatchOkBodyTo(uint64_t version,
+                              std::span<const double> answers,
+                              std::string* out) {
+  ByteWriter w(std::move(*out));
+  AppendQueryBatchOkBody(w, version, answers);
+  *out = std::move(w).Take();
 }
 
 bool DecodeQueryBatchResponse(std::string_view body, QueryBatchResponse* out,

@@ -84,6 +84,13 @@ const char* WireStatusName(WireStatus status);
 std::string EncodeFrameHeader(WireOp op, uint64_t request_id,
                               std::string_view body);
 
+/// Allocation-free form: writes the header into a caller-provided
+/// kWireHeaderSize-byte buffer (typically on the stack). The per-frame
+/// sender path — one checksum, zero heap traffic.
+void EncodeFrameHeaderTo(WireOp op, uint64_t request_id,
+                         std::string_view body,
+                         char out[kWireHeaderSize]);
+
 /// Wraps `body` in a frame header (magic, version, op, request id, size,
 /// checksum).
 std::string EncodeFrame(WireOp op, uint64_t request_id, std::string_view body);
@@ -135,10 +142,25 @@ std::string EncodeQueryBatchRequest(const std::string& name,
 std::string EncodeQueryBatchRequestNd(const std::string& name, uint32_t dims,
                                       std::span<const BoxNd> queries);
 
+/// Buffer-reusing forms: clear `*out` (keeping capacity) and encode into
+/// it — the client's steady-state request path, which would otherwise
+/// allocate a batch-sized string per frame.
+void EncodeQueryBatchRequestTo(const std::string& name,
+                               std::span<const Rect> queries,
+                               std::string* out);
+void EncodeQueryBatchRequestNdTo(const std::string& name, uint32_t dims,
+                                 std::span<const BoxNd> queries,
+                                 std::string* out);
+
 /// Decodes a QUERY_BATCH body. A count above `max_queries` is rejected as
 /// soon as the count field is read — before any per-query parsing — with
 /// *reject_status (if given) set to kTooLarge; every other failure sets
 /// it to kMalformedRequest.
+///
+/// Decodes directly into `*out`, reusing its string/vector capacity — a
+/// connection that passes the same request object every frame parses
+/// steady-state batches without allocating. On failure `*out` is left in
+/// an unspecified (but valid) state.
 bool DecodeQueryBatchRequest(std::string_view body, QueryBatchRequest* out,
                              std::string* error,
                              size_t max_queries = SIZE_MAX,
@@ -155,6 +177,13 @@ struct QueryBatchResponse {
 /// OK body: u64 version, f64vec answers.
 std::string EncodeQueryBatchOkBody(uint64_t version,
                                    std::span<const double> answers);
+
+/// Buffer-reusing form: clears `*out` (keeping its capacity) and encodes
+/// into it — the server's per-connection response path, which would
+/// otherwise allocate a fresh answer-sized string per request.
+void EncodeQueryBatchOkBodyTo(uint64_t version,
+                              std::span<const double> answers,
+                              std::string* out);
 bool DecodeQueryBatchResponse(std::string_view body, QueryBatchResponse* out,
                               std::string* error);
 

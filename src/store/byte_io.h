@@ -21,6 +21,15 @@ namespace dpgrid {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Adopts `reuse`'s storage (cleared) so encoding into a long-lived
+  /// buffer allocates nothing once the buffer has grown to working size;
+  /// retrieve the result with std::move(w).Take().
+  explicit ByteWriter(std::string&& reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void U32(uint32_t v) { Raw(&v, sizeof(v)); }
   void U64(uint64_t v) { Raw(&v, sizeof(v)); }
   void I32(int32_t v) { Raw(&v, sizeof(v)); }
