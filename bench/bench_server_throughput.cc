@@ -26,7 +26,10 @@
 #include <cstdlib>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench/bench_util.h"
 #include "catalog/synopsis_catalog.h"
@@ -37,6 +40,8 @@
 #include "query/workload.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "server/socket_io.h"
+#include "server/wire.h"
 #include "store/snapshot_store.h"
 
 namespace dpgrid {
@@ -180,6 +185,74 @@ int main() {
   client.Close();
   server.Shutdown();
 
+  // --- shed latency ---------------------------------------------------------
+  // How quickly an over-capacity connection gets its kOverloaded verdict:
+  // the time an upstream load balancer is stuck holding a doomed
+  // connection before it can fail over. A one-slot server is pinned by a
+  // blocker client; each trial connects, reads the unsolicited verdict
+  // frame, and closes.
+  const int shed_trials =
+      static_cast<int>(EnvInt("DPGRID_SRV_SHED_TRIALS", 200));
+  QueryServerOptions shed_options;
+  shed_options.max_connections = 1;
+  QueryServer shed_server(&catalog, &engine, shed_options);
+  if (!shed_server.Start(&error)) {
+    std::fprintf(stderr, "shed server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  QueryClient blocker;
+  WireStats pin_stats;
+  if (!blocker.Connect("127.0.0.1", shed_server.port(), &error) ||
+      !blocker.Stats(&pin_stats, &error)) {  // round trip pins the one slot
+    std::fprintf(stderr, "shed blocker failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<double> shed_us;
+  shed_us.reserve(static_cast<size_t>(shed_trials));
+  bool all_verdicts_decoded = true;
+  for (int i = 0; i < shed_trials; ++i) {
+    const double t0 = NowSeconds();
+    const int fd = net::ConnectTcp("127.0.0.1", shed_server.port(), &error);
+    if (fd < 0) {
+      std::fprintf(stderr, "shed connect failed: %s\n", error.c_str());
+      return 1;
+    }
+    char header[kWireHeaderSize];
+    WireOp op = WireOp::kHealth;
+    uint64_t id = 0;
+    uint64_t body_size = 0;
+    uint64_t checksum = 0;
+    std::string body;
+    bool decoded =
+        net::ReadFullDeadline(fd, header, sizeof(header),
+                              net::Deadline::AfterMs(5000)) ==
+            net::IoResult::kOk &&
+        DecodeFrameHeader(std::string_view(header, sizeof(header)), &op, &id,
+                          &body_size, &checksum, &error);
+    if (decoded) {
+      body.resize(static_cast<size_t>(body_size));
+      HealthResponse verdict;
+      decoded = net::ReadFullDeadline(fd, body.data(), body.size(),
+                                      net::Deadline::AfterMs(5000)) ==
+                    net::IoResult::kOk &&
+                DecodeHealthResponse(body, &verdict, &error) &&
+                verdict.status == WireStatus::kOverloaded;
+    }
+    shed_us.push_back(1e6 * (NowSeconds() - t0));
+    ::close(fd);
+    all_verdicts_decoded = all_verdicts_decoded && decoded;
+  }
+  blocker.Close();
+  shed_server.Shutdown();
+  std::sort(shed_us.begin(), shed_us.end());
+  const double shed_p50 = shed_us[shed_us.size() / 2];
+  const double shed_max = shed_us.back();
+  std::printf("\nshed latency (connect -> kOverloaded verdict, "
+              "%d trials): p50=%.0fus max=%.0fus verdicts=%s\n",
+              shed_trials, shed_p50, shed_max,
+              all_verdicts_decoded ? "ok" : "BROKEN");
+  all_equal = all_equal && all_verdicts_decoded;
+
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
@@ -212,7 +285,17 @@ int main() {
                  r.bitwise_equal ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f,
+               "  ],\n"
+               "  \"resilience\": {\n"
+               "    \"shed_trials\": %d,\n"
+               "    \"shed_max_connections\": 1,\n"
+               "    \"shed_latency_p50_us\": %.1f,\n"
+               "    \"shed_latency_max_us\": %.1f,\n"
+               "    \"verdicts_decoded\": %s\n"
+               "  }\n}\n",
+               shed_trials, shed_p50, shed_max,
+               all_verdicts_decoded ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
 

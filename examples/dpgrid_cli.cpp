@@ -16,6 +16,7 @@
 //   dpgrid_cli remote-list  <host> <port>
 //   dpgrid_cli remote-query <host> <port> <name> <xlo> <ylo> <xhi> <yhi>
 //   dpgrid_cli remote-stats <host> <port>
+//   dpgrid_cli remote-health <host> <port>
 //
 // Set DPGRID_SEED for a reproducible noise seed (default: random).
 
@@ -271,15 +272,42 @@ int CmdRemoteStats(int argc, char** argv) {
               "batches_answered     %llu\n"
               "queries_answered     %llu\n"
               "errors_returned      %llu\n"
-              "reloads_installed    %llu\n",
+              "reloads_installed    %llu\n"
+              "connections_shed     %llu\n"
+              "read_timeouts        %llu\n"
+              "idle_timeouts        %llu\n",
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.frames_received),
               static_cast<unsigned long long>(stats.malformed_frames),
               static_cast<unsigned long long>(stats.batches_answered),
               static_cast<unsigned long long>(stats.queries_answered),
               static_cast<unsigned long long>(stats.errors_returned),
-              static_cast<unsigned long long>(stats.reloads_installed));
+              static_cast<unsigned long long>(stats.reloads_installed),
+              static_cast<unsigned long long>(stats.connections_shed),
+              static_cast<unsigned long long>(stats.read_timeouts),
+              static_cast<unsigned long long>(stats.idle_timeouts));
   return 0;
+}
+
+int CmdRemoteHealth(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: dpgrid_cli remote-health <host> <port>\n");
+    return 2;
+  }
+  QueryClient client;
+  if (!ConnectRemote(argv, &client)) return 1;
+  ServerHealth state = ServerHealth::kServing;
+  uint64_t active = 0;
+  std::string error;
+  if (!client.Health(&state, &active, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s active_connections=%llu\n", ServerHealthName(state),
+              static_cast<unsigned long long>(active));
+  // DRAINING exits non-zero so health checks in scripts fail the node
+  // out of rotation without parsing the output.
+  return state == ServerHealth::kServing ? 0 : 1;
 }
 
 }  // namespace
@@ -288,7 +316,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dpgrid_cli <build|query|synthesize|demo|"
-                 "remote-list|remote-query|remote-stats> ...\n");
+                 "remote-list|remote-query|remote-stats|remote-health> ...\n");
     return 2;
   }
   if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
@@ -301,6 +329,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "remote-stats") == 0) {
     return CmdRemoteStats(argc, argv);
+  }
+  if (std::strcmp(argv[1], "remote-health") == 0) {
+    return CmdRemoteHealth(argc, argv);
   }
   std::fprintf(stderr, "unknown command: %s\n", argv[1]);
   return 2;

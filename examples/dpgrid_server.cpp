@@ -11,7 +11,13 @@
 // A publisher process that drops new .dpgs versions into the directory
 // becomes visible to clients on the next RELOAD op, or automatically
 // every DPGRID_RELOAD_SECS seconds (env; default 0 = disabled).
-// Ctrl-C shuts down gracefully.
+//
+// SIGINT (Ctrl-C) and SIGTERM (what init systems and container runtimes
+// send) both exit through the graceful-drain path: stop accepting, let
+// in-flight frames finish up to DPGRID_DRAIN_MS, then cut stragglers.
+// Resilience knobs (all env, see QueryServerOptions for semantics;
+// 0 disables): DPGRID_READ_DEADLINE_MS, DPGRID_IDLE_TIMEOUT_MS,
+// DPGRID_MAX_CONNS, DPGRID_DRAIN_MS.
 //
 // Try it:
 //   ./dpgrid_server /tmp/snaps 7171 --demo &
@@ -27,6 +33,7 @@
 #include <thread>
 
 #include "catalog/synopsis_catalog.h"
+#include "common/env.h"
 #include "common/random.h"
 #include "data/generators.h"
 #include "grid/uniform_grid.h"
@@ -96,18 +103,28 @@ int main(int argc, char** argv) {
   const QueryEngine engine;
   QueryServerOptions options;
   options.port = port;
+  options.read_deadline_ms = static_cast<int>(
+      EnvInt64("DPGRID_READ_DEADLINE_MS", options.read_deadline_ms));
+  options.idle_timeout_ms = static_cast<int>(
+      EnvInt64("DPGRID_IDLE_TIMEOUT_MS", options.idle_timeout_ms));
+  options.max_connections = static_cast<size_t>(EnvInt64(
+      "DPGRID_MAX_CONNS", static_cast<int64_t>(options.max_connections)));
+  DrainOptions drain;
+  drain.deadline_ms =
+      static_cast<int>(EnvInt64("DPGRID_DRAIN_MS", drain.deadline_ms));
   QueryServer server(&catalog, &engine, options);
+  // Registered before Start so a signal racing the startup window is not
+  // lost to the default (abrupt-kill) disposition.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
   std::string error;
   if (!server.Start(&error)) {
     std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
     return 1;
   }
-  std::printf("serving on %s:%u (Ctrl-C to stop)\n",
+  std::printf("serving on %s:%u (Ctrl-C or SIGTERM to stop)\n",
               options.bind_address.c_str(), server.port());
   std::fflush(stdout);
-
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
   const long reload_secs =
       std::getenv("DPGRID_RELOAD_SECS") != nullptr
           ? std::atol(std::getenv("DPGRID_RELOAD_SECS"))
@@ -126,14 +143,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool drained = server.Shutdown(drain);
   const WireStats stats = server.StatsSnapshot();
-  server.Shutdown();
-  std::printf("\nshutdown: %llu connections, %llu frames, %llu batches, "
-              "%llu queries, %llu errors\n",
+  std::printf("\nshutdown (%s): %llu connections, %llu frames, %llu batches, "
+              "%llu queries, %llu errors, %llu shed, %llu read timeouts, "
+              "%llu idle timeouts\n",
+              drained ? "drained" : "drain deadline hit",
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.frames_received),
               static_cast<unsigned long long>(stats.batches_answered),
               static_cast<unsigned long long>(stats.queries_answered),
-              static_cast<unsigned long long>(stats.errors_returned));
+              static_cast<unsigned long long>(stats.errors_returned),
+              static_cast<unsigned long long>(stats.connections_shed),
+              static_cast<unsigned long long>(stats.read_timeouts),
+              static_cast<unsigned long long>(stats.idle_timeouts));
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/status.h"
@@ -22,14 +25,27 @@ bool WireError(WireStatus got, const std::string& message, WireStatus* status,
                              (message.empty() ? "" : ": " + message));
 }
 
+// SplitMix64 finalizer — the same cheap statistical mixer the experiment
+// harness seeds its RNG streams with. Good enough to decorrelate backoff
+// jitter; deterministic for a fixed seed.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 bool QueryClient::HandleWireError(WireStatus got, const std::string& message,
                                   WireStatus* status, std::string* error) {
-  // The server closes the connection after any MALFORMED_FRAME response
-  // (the stream can no longer be framed) — mirror that here so
-  // connected() tells the truth and the caller reconnects.
-  if (got == WireStatus::kMalformedFrame) Close();
+  // The server closes the connection after any MALFORMED_FRAME or
+  // OVERLOADED response (a stream it cannot frame, or one it refused to
+  // serve) — mirror that here so connected() tells the truth and the
+  // retry loop knows a fresh dial is needed.
+  if (got == WireStatus::kMalformedFrame || got == WireStatus::kOverloaded) {
+    Close();
+  }
   return WireError(got, message, status, error);
 }
 
@@ -40,8 +56,15 @@ QueryClient::~QueryClient() { Close(); }
 bool QueryClient::Connect(const std::string& host, uint16_t port,
                           std::string* error) {
   Close();
-  fd_ = net::ConnectTcp(host, port, error);
+  host_ = host;
+  port_ = port;
+  fd_ = net::ConnectTcp(host, port, error, options_.connect_timeout_ms);
   return fd_ >= 0;
+}
+
+bool QueryClient::Reconnect(std::string* error) {
+  if (host_.empty()) return SetError(error, "no prior Connect to redial");
+  return Connect(host_, port_, error);
 }
 
 void QueryClient::Close() {
@@ -54,19 +77,31 @@ void QueryClient::Close() {
 bool QueryClient::RoundTrip(WireOp op, const std::string& request_body,
                             std::string* response_body, std::string* error) {
   if (fd_ < 0) return SetError(error, "not connected");
+  retry_after_hint_ms_ = 0;
+  last_attempt_shed_ = false;
+  const net::Deadline deadline =
+      net::Deadline::AfterMs(options_.request_deadline_ms);
   const uint64_t request_id = next_request_id_++;
   char request_header[kWireHeaderSize];
   EncodeFrameHeaderTo(op, request_id, request_body, request_header);
-  if (!net::WriteFull2(fd_, request_header, sizeof(request_header),
-                       request_body.data(), request_body.size())) {
+  net::IoResult io = net::WriteFull2Deadline(
+      fd_, request_header, sizeof(request_header), request_body.data(),
+      request_body.size(), deadline);
+  if (io != net::IoResult::kOk) {
     Close();
-    return SetError(error, "connection lost while sending request");
+    return SetError(error, io == net::IoResult::kTimeout
+                               ? "request deadline exceeded while sending"
+                               : "connection lost while sending request");
   }
 
   char header[kWireHeaderSize];
-  if (!net::ReadFull(fd_, header, sizeof(header))) {
+  io = net::ReadFullDeadline(fd_, header, sizeof(header), deadline);
+  if (io != net::IoResult::kOk) {
     Close();
-    return SetError(error, "connection lost while reading response");
+    return SetError(error,
+                    io == net::IoResult::kTimeout
+                        ? "request deadline exceeded awaiting response"
+                        : "connection lost while reading response");
   }
   WireOp resp_op = WireOp::kQueryBatch;
   uint64_t resp_id = 0;
@@ -79,16 +114,37 @@ bool QueryClient::RoundTrip(WireOp op, const std::string& request_body,
     return false;
   }
   response_body->resize(static_cast<size_t>(body_size));
-  if (body_size > 0 &&
-      !net::ReadFull(fd_, response_body->data(), response_body->size())) {
-    Close();
-    return SetError(error, "connection lost while reading response body");
+  if (body_size > 0) {
+    io = net::ReadFullDeadline(fd_, response_body->data(),
+                               response_body->size(), deadline);
+    if (io != net::IoResult::kOk) {
+      Close();
+      return SetError(error,
+                      io == net::IoResult::kTimeout
+                          ? "request deadline exceeded reading response body"
+                          : "connection lost while reading response body");
+    }
   }
   if (!VerifyFrameBody(*response_body, checksum, error)) {
     Close();
     return false;
   }
   if (resp_id != request_id || resp_op != op) {
+    // An unsolicited HEALTH frame with request id 0 is the server's
+    // admission verdict: it shed this connection at capacity before
+    // reading our request. Surface that as OVERLOADED (and keep its
+    // retry-after hint) instead of a generic mismatch.
+    if (resp_op == WireOp::kHealth && resp_id == 0) {
+      HealthResponse shed;
+      std::string decode_error;
+      if (DecodeHealthResponse(*response_body, &shed, &decode_error) &&
+          shed.status == WireStatus::kOverloaded) {
+        Close();
+        last_attempt_shed_ = true;
+        retry_after_hint_ms_ = ParseRetryAfterMs(shed.message);
+        return WireError(shed.status, shed.message, nullptr, error);
+      }
+    }
     // A server deep in framing trouble echoes id 0 or a different op; the
     // stream can no longer be matched to requests.
     Close();
@@ -97,9 +153,55 @@ bool QueryClient::RoundTrip(WireOp op, const std::string& request_body,
   return true;
 }
 
+bool QueryClient::WithRetries(
+    const std::function<bool(std::string*)>& attempt, std::string* error) {
+  if (!connected() && host_.empty()) return SetError(error, "not connected");
+  std::string attempt_error;
+  for (int attempt_no = 0;; ++attempt_no) {
+    attempt_error.clear();
+    if (connected() || Reconnect(&attempt_error)) {
+      if (attempt(&attempt_error)) return true;
+      // A failure that left the connection open is semantic (NOT_FOUND,
+      // WRONG_DIMS, ...) — the server answered; retrying cannot change
+      // the answer.
+      if (connected()) return SetError(error, attempt_error);
+    }
+    if (attempt_no >= options_.max_retries) {
+      return SetError(error,
+                      attempt_error +
+                          (options_.max_retries > 0
+                               ? " (after " +
+                                     std::to_string(options_.max_retries + 1) +
+                                     " attempts)"
+                               : ""));
+    }
+    // Exponential backoff with multiplicative jitter in [0.5, 1.5); an
+    // overload hint raises the sleep to at least what the server asked.
+    int64_t base = options_.backoff_initial_ms > 0
+                       ? static_cast<int64_t>(options_.backoff_initial_ms)
+                             << std::min(attempt_no, 20)
+                       : 0;
+    if (options_.backoff_max_ms > 0) {
+      base = std::min<int64_t>(base, options_.backoff_max_ms);
+    }
+    jitter_state_ = Mix64(jitter_state_);
+    const double jitter =
+        0.5 + static_cast<double>(jitter_state_ >> 11) * 0x1.0p-53;
+    int64_t sleep_ms = static_cast<int64_t>(static_cast<double>(base) * jitter);
+    sleep_ms = std::max<int64_t>(sleep_ms, retry_after_hint_ms_);
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+}
+
 #else  // _WIN32
 
 bool QueryClient::Connect(const std::string&, uint16_t, std::string* error) {
+  return SetError(error, "QueryClient requires POSIX sockets");
+}
+
+bool QueryClient::Reconnect(std::string* error) {
   return SetError(error, "QueryClient requires POSIX sockets");
 }
 
@@ -107,6 +209,11 @@ void QueryClient::Close() {}
 
 bool QueryClient::RoundTrip(WireOp, const std::string&, std::string*,
                             std::string* error) {
+  return SetError(error, "not connected");
+}
+
+bool QueryClient::WithRetries(const std::function<bool(std::string*)>&,
+                              std::string* error) {
   return SetError(error, "not connected");
 }
 
@@ -127,29 +234,39 @@ bool QueryClient::RunQueryBatch(const std::string& request_body,
                                " bytes exceeds the frame cap — split it "
                                "into smaller batches");
   }
-  std::string& body = response_scratch_;
-  if (!RoundTrip(WireOp::kQueryBatch, request_body, &body, error)) {
-    if (status != nullptr) *status = WireStatus::kInternal;
-    return false;
-  }
-  QueryBatchResponse resp;
-  if (!DecodeQueryBatchResponse(body, &resp, error)) {
-    Close();
-    if (status != nullptr) *status = WireStatus::kInternal;
-    return false;
-  }
-  if (resp.status != WireStatus::kOk) {
-    return HandleWireError(resp.status, resp.message, status, error);
-  }
-  if (resp.answers.size() != expected_count) {
-    Close();
-    if (status != nullptr) *status = WireStatus::kInternal;
-    return SetError(error, "answer count does not match query count");
-  }
-  if (answers != nullptr) *answers = std::move(resp.answers);
-  if (version != nullptr) *version = resp.version;
-  if (status != nullptr) *status = WireStatus::kOk;
-  return true;
+  return WithRetries(
+      [&](std::string* attempt_error) {
+        std::string& body = response_scratch_;
+        if (!RoundTrip(WireOp::kQueryBatch, request_body, &body,
+                       attempt_error)) {
+          if (status != nullptr) {
+            *status = last_attempt_shed_ ? WireStatus::kOverloaded
+                                         : WireStatus::kInternal;
+          }
+          return false;
+        }
+        QueryBatchResponse resp;
+        if (!DecodeQueryBatchResponse(body, &resp, attempt_error)) {
+          Close();
+          if (status != nullptr) *status = WireStatus::kInternal;
+          return false;
+        }
+        if (resp.status != WireStatus::kOk) {
+          return HandleWireError(resp.status, resp.message, status,
+                                 attempt_error);
+        }
+        if (resp.answers.size() != expected_count) {
+          Close();
+          if (status != nullptr) *status = WireStatus::kInternal;
+          return SetError(attempt_error,
+                          "answer count does not match query count");
+        }
+        if (answers != nullptr) *answers = std::move(resp.answers);
+        if (version != nullptr) *version = resp.version;
+        if (status != nullptr) *status = WireStatus::kOk;
+        return true;
+      },
+      error);
 }
 
 bool QueryClient::QueryBatch(const std::string& name,
@@ -173,36 +290,79 @@ bool QueryClient::QueryBatchNd(const std::string& name, uint32_t dims,
 
 bool QueryClient::ListSynopses(std::vector<CatalogEntryInfo>* entries,
                                std::string* error) {
-  std::string body;
-  if (!RoundTrip(WireOp::kListSynopses, "", &body, error)) return false;
-  ListResponse resp;
-  if (!DecodeListResponse(body, &resp, error)) {
-    Close();
-    return false;
-  }
-  if (resp.status != WireStatus::kOk) {
-    return HandleWireError(resp.status, resp.message, nullptr, error);
-  }
-  if (entries != nullptr) *entries = std::move(resp.entries);
-  return true;
+  return WithRetries(
+      [&](std::string* attempt_error) {
+        std::string body;
+        if (!RoundTrip(WireOp::kListSynopses, "", &body, attempt_error)) {
+          return false;
+        }
+        ListResponse resp;
+        if (!DecodeListResponse(body, &resp, attempt_error)) {
+          Close();
+          return false;
+        }
+        if (resp.status != WireStatus::kOk) {
+          return HandleWireError(resp.status, resp.message, nullptr,
+                                 attempt_error);
+        }
+        if (entries != nullptr) *entries = std::move(resp.entries);
+        return true;
+      },
+      error);
 }
 
 bool QueryClient::Stats(WireStats* stats, std::string* error) {
-  std::string body;
-  if (!RoundTrip(WireOp::kStats, "", &body, error)) return false;
-  StatsResponse resp;
-  if (!DecodeStatsResponse(body, &resp, error)) {
-    Close();
-    return false;
-  }
-  if (resp.status != WireStatus::kOk) {
-    return HandleWireError(resp.status, resp.message, nullptr, error);
-  }
-  if (stats != nullptr) *stats = resp.stats;
-  return true;
+  return WithRetries(
+      [&](std::string* attempt_error) {
+        std::string body;
+        if (!RoundTrip(WireOp::kStats, "", &body, attempt_error)) {
+          return false;
+        }
+        StatsResponse resp;
+        if (!DecodeStatsResponse(body, &resp, attempt_error)) {
+          Close();
+          return false;
+        }
+        if (resp.status != WireStatus::kOk) {
+          return HandleWireError(resp.status, resp.message, nullptr,
+                                 attempt_error);
+        }
+        if (stats != nullptr) *stats = resp.stats;
+        return true;
+      },
+      error);
+}
+
+bool QueryClient::Health(ServerHealth* state, uint64_t* active_connections,
+                         std::string* error) {
+  return WithRetries(
+      [&](std::string* attempt_error) {
+        std::string body;
+        if (!RoundTrip(WireOp::kHealth, "", &body, attempt_error)) {
+          return false;
+        }
+        HealthResponse resp;
+        if (!DecodeHealthResponse(body, &resp, attempt_error)) {
+          Close();
+          return false;
+        }
+        if (resp.status != WireStatus::kOk) {
+          return HandleWireError(resp.status, resp.message, nullptr,
+                                 attempt_error);
+        }
+        if (state != nullptr) *state = resp.state;
+        if (active_connections != nullptr) {
+          *active_connections = resp.active_connections;
+        }
+        return true;
+      },
+      error);
 }
 
 bool QueryClient::Reload(uint64_t* installed, std::string* error) {
+  // Deliberately no WithRetries: a reload whose response was lost may
+  // still have installed versions server-side; resending would double
+  // count. The caller decides whether to re-issue.
   std::string body;
   if (!RoundTrip(WireOp::kReload, "", &body, error)) return false;
   ReloadResponse resp;

@@ -11,7 +11,6 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 #endif
 
@@ -32,7 +31,15 @@ WireStats QueryServer::StatsSnapshot() const {
   s.queries_answered = queries_answered_.load();
   s.errors_returned = errors_returned_.load();
   s.reloads_installed = reloads_installed_.load();
+  s.connections_shed = connections_shed_.load();
+  s.read_timeouts = read_timeouts_.load();
+  s.idle_timeouts = idle_timeouts_.load();
   return s;
+}
+
+size_t QueryServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return conn_threads_.size();
 }
 
 #ifndef _WIN32
@@ -51,7 +58,19 @@ bool QueryServer::Start(std::string* error) {
     return false;
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one)) != 0) {
+    // Restart-after-crash rebinding is a correctness property for a
+    // drain-and-restart deploy loop, so a kernel that refuses it is
+    // worth failing loudly over rather than hitting EADDRINUSE later.
+    if (error != nullptr) {
+      *error = std::string("setsockopt(SO_REUSEADDR): ") +
+               std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -83,15 +102,25 @@ bool QueryServer::Start(std::string* error) {
     port_ = ntohs(bound.sin_port);
   }
   stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
   started_ = true;
   return true;
 }
 
-void QueryServer::Shutdown() {
+void QueryServer::Shutdown() { DoShutdown(0); }
+
+bool QueryServer::Shutdown(const DrainOptions& drain) {
+  return DoShutdown(drain.deadline_ms > 0 ? drain.deadline_ms : 0);
+}
+
+bool QueryServer::DoShutdown(int drain_ms) {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (!started_) return;
+  if (!started_) return true;
+  // draining_ goes up before stopping_ so any HEALTH frame served during
+  // the drain window already reports DRAINING.
+  if (drain_ms > 0) draining_.store(true, std::memory_order_release);
   stopping_.store(true, std::memory_order_release);
   // Unblock accept(): shutdown() wakes a blocked accept on Linux; on
   // BSD-family systems shutdown of a listening socket fails (ENOTCONN)
@@ -102,7 +131,20 @@ void QueryServer::Shutdown() {
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_ = -1;
 
-  // Unblock every in-flight connection read, then join the handlers. The
+  // Drain window: handlers notice stopping_ within one idle-poll slice
+  // (or after finishing their in-flight frame) and park themselves,
+  // signalling conn_cv_ as they go. A connection still in conn_threads_
+  // at the deadline did not finish in time.
+  bool drained = true;
+  if (drain_ms > 0) {
+    std::unique_lock<std::mutex> conn_lock(conn_mu_);
+    drained =
+        conn_cv_.wait_for(conn_lock, std::chrono::milliseconds(drain_ms),
+                          [this] { return conn_threads_.empty(); });
+  }
+
+  // Abrupt phase (and the stragglers' path after a timed-out drain):
+  // unblock every in-flight connection read, then join the handlers. The
   // handles are moved out under the lock because handlers park themselves
   // in finished_threads_; the joins must happen outside it for the same
   // reason.
@@ -121,7 +163,9 @@ void QueryServer::Shutdown() {
     if (t.joinable()) t.join();
   }
   running_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
   started_ = false;
+  return drained;
 }
 
 void QueryServer::ReapFinishedThreads() {
@@ -134,6 +178,82 @@ void QueryServer::ReapFinishedThreads() {
   for (std::thread& t : done) {
     if (t.joinable()) t.join();
   }
+}
+
+namespace {
+
+// Reads a frame body in bounded chunks: memory is committed only as bytes
+// actually arrive, so a header CLAIMING a huge body (the size field is
+// attacker-controlled) cannot make the server pre-allocate it. The whole
+// body shares the frame's read deadline.
+net::IoResult ReadBodyChunked(int fd, uint64_t body_size,
+                              const net::Deadline& deadline,
+                              std::string* body) {
+  constexpr size_t kChunk = 256 * 1024;
+  body->clear();
+  while (body->size() < body_size) {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChunk, body_size - body->size()));
+    const size_t old = body->size();
+    body->resize(old + n);
+    const net::IoResult r =
+        net::ReadFullDeadline(fd, body->data() + old, n, deadline);
+    if (r != net::IoResult::kOk) return r;
+  }
+  return net::IoResult::kOk;
+}
+
+// Reads and discards up to `n` pending bytes, stopping at EOF or after
+// `deadline_ms`. Used before closing a connection that was just sent a
+// terminal error frame: closing a socket with unread received data sends
+// RST, which can discard the queued response before the peer reads it.
+// The deadline bounds the stall when the peer never closes its end.
+void DrainPending(int fd, uint64_t n, int deadline_ms) {
+  const net::Deadline deadline = net::Deadline::AfterMs(deadline_ms);
+  char sink[4096];
+  while (n > 0 && !deadline.expired()) {
+    if (net::WaitFd(fd, POLLIN, deadline.remaining_ms()) !=
+        net::IoResult::kOk) {
+      break;
+    }
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(sizeof(sink), n));
+    const ssize_t r = net::RecvRaw(fd, sink, want, MSG_DONTWAIT);
+    if (r == 0) break;  // EOF: nothing more is coming
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    n -= static_cast<uint64_t>(r);
+  }
+}
+
+}  // namespace
+
+void QueryServer::ShedConnection(int fd) {
+  connections_shed_.fetch_add(1, std::memory_order_relaxed);
+  errors_returned_.fetch_add(1, std::memory_order_relaxed);
+  // No request was read, so there is no op or id to echo; the shed frame
+  // goes out under op kHealth with request id 0, which clients recognize
+  // as an unsolicited connection-scoped verdict. The write gets a short
+  // deadline of its own — a peer too slow to take even this frame is not
+  // worth waiting on.
+  const std::string resp = EncodeFrame(
+      WireOp::kHealth, 0,
+      EncodeErrorBody(
+          WireStatus::kOverloaded,
+          "server at connection capacity (max_connections=" +
+              std::to_string(options_.max_connections) + "): retry_after_ms=" +
+              std::to_string(options_.overload_retry_after_ms)));
+  net::WriteFullDeadline(fd, resp.data(), resp.size(),
+                         net::Deadline::AfterMs(1000));
+  ::shutdown(fd, SHUT_WR);
+  // Wait (briefly — this runs on the accept thread) for the peer to take
+  // the verdict and close: an immediate close() here would turn any
+  // already-arrived request bytes into an RST that destroys the queued
+  // kOverloaded frame before the client reads it.
+  DrainPending(fd, options_.max_body_bytes, /*deadline_ms=*/250);
+  ::close(fd);
 }
 
 void QueryServer::AcceptLoop() {
@@ -160,7 +280,21 @@ void QueryServer::AcceptLoop() {
       ::close(fd);
       break;
     }
-    net::SetNoDelay(fd);
+    if (!net::SetNoDelay(fd)) {
+      // A socket that cannot take options is already dead or bogus;
+      // serving it silently degraded helps nobody.
+      ::close(fd);
+      continue;
+    }
+    // Admission control: beyond max_connections the connection is
+    // answered with kOverloaded and closed instead of stacking another
+    // handler thread. Checked before the thread exists so the cap bounds
+    // actual thread count, not just steady state.
+    if (options_.max_connections > 0 &&
+        active_connections() >= options_.max_connections) {
+      ShedConnection(fd);
+      continue;
+    }
     // The registry entry and the thread are created under one lock hold,
     // so the handler's exit path (which locks conn_mu_ to park its own
     // handle) always finds its entry. Thread creation fails under the
@@ -189,54 +323,86 @@ void QueryServer::AcceptLoop() {
   }
 }
 
-namespace {
-
-// Reads a frame body in bounded chunks: memory is committed only as bytes
-// actually arrive, so a header CLAIMING a huge body (the size field is
-// attacker-controlled) cannot make the server pre-allocate it.
-bool ReadBodyChunked(int fd, uint64_t body_size, std::string* body) {
-  constexpr size_t kChunk = 256 * 1024;
-  body->clear();
-  while (body->size() < body_size) {
-    const size_t n = static_cast<size_t>(
-        std::min<uint64_t>(kChunk, body_size - body->size()));
-    const size_t old = body->size();
-    body->resize(old + n);
-    if (!net::ReadFull(fd, body->data() + old, n)) return false;
-  }
-  return true;
-}
-
-// Reads and discards up to `n` pending bytes. Used before closing on a
-// malformed header: closing a socket with unread received data sends RST,
-// which can discard the queued error response before the peer reads it.
-// A short receive timeout bounds the stall if the claimed bytes never
-// arrive (the claim came from the malformed header itself).
-void DrainPending(int fd, uint64_t n) {
-  timeval timeout{};
-  timeout.tv_sec = 2;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  char sink[4096];
-  while (n > 0) {
-    const size_t want =
-        static_cast<size_t>(std::min<uint64_t>(sizeof(sink), n));
-    const ssize_t r = ::read(fd, sink, want);
-    if (r <= 0) break;  // EOF, error, or timeout: stop waiting
-    n -= static_cast<uint64_t>(r);
-  }
-}
-
-}  // namespace
-
 void QueryServer::HandleConnection(int fd) {
+  ServeFrames(fd);
+  // Join earlier-finished handlers before parking this one, so an idle
+  // server retains at most one exited thread after a connection burst
+  // (the accept loop would otherwise only reap on the NEXT connection).
+  // Parked threads are past all locking — only a close and return remain
+  // — so joining them here cannot deadlock.
+  ReapFinishedThreads();
+  {
+    // Park this thread's own handle for a later handler, the accept loop,
+    // or Shutdown to join — a thread cannot join itself. The erase
+    // happens before the close so a recycled fd number can never be
+    // confused with this one.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const auto it = conn_threads_.find(fd);
+    if (it != conn_threads_.end()) {
+      finished_threads_.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+  }
+  // The drain path waits for conn_threads_ to empty; wake it.
+  conn_cv_.notify_all();
+  ::close(fd);
+}
+
+void QueryServer::ServeFrames(int fd) {
   // Capacity a connection may keep between frames; bigger one-off frames
   // are served but their buffers are released afterwards.
   constexpr size_t kRetainedBodyCapacity = 1 << 20;
   std::string body;
   ConnectionScratch scratch;
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (true) {
+    // Idle phase: wait for the first byte of the next frame in short poll
+    // slices, so stopping_ is noticed within ~50ms (a drain cannot hang
+    // on idle connections) and idle_timeout_ms is enforced without any
+    // per-fd timer machinery. The stopping_ check lives inside the poll
+    // loop (not the outer while) so a handler spawned after a drain
+    // began still takes the in-flight-frame look below.
+    const net::Deadline idle =
+        net::Deadline::AfterMs(options_.idle_timeout_ms);
+    for (;;) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        // Abrupt shutdown: out now. Graceful drain: a frame whose first
+        // bytes already sit in the receive buffer is in flight even if
+        // this handler has not looked at them yet — give it one last
+        // zero-timeout poll and serve exactly that frame before closing.
+        // (draining_ is ordered before stopping_ in DoShutdown, so seeing
+        // stopping_ guarantees a current draining_.)
+        if (!draining_.load(std::memory_order_acquire)) return;
+        if (net::WaitFd(fd, POLLIN, 0) != net::IoResult::kOk) return;
+        break;
+      }
+      if (idle.expired()) {
+        idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      int slice = 50;
+      const int remaining = idle.remaining_ms();
+      if (remaining >= 0) slice = std::min(slice, remaining);
+      const net::IoResult r = net::WaitFd(fd, POLLIN, slice);
+      if (r == net::IoResult::kOk) break;
+      if (r != net::IoResult::kTimeout) return;
+    }
+
+    // Frame phase: once the first byte is here, the whole frame (header +
+    // body) must land within read_deadline_ms — the slow-loris bound. A
+    // timeout gets no response (the peer is stalled, not confused) and
+    // closes the connection.
+    const net::Deadline frame_deadline =
+        net::Deadline::AfterMs(options_.read_deadline_ms);
+    const net::Deadline write_deadline =
+        net::Deadline::AfterMs(options_.write_deadline_ms);
     char header[kWireHeaderSize];
-    if (!net::ReadFull(fd, header, sizeof(header))) break;
+    net::IoResult io =
+        net::ReadFullDeadline(fd, header, sizeof(header), frame_deadline);
+    if (io == net::IoResult::kTimeout) {
+      read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (io != net::IoResult::kOk) return;
 
     WireOp op = WireOp::kQueryBatch;
     uint64_t request_id = 0;
@@ -256,7 +422,7 @@ void QueryServer::HandleConnection(int fd) {
       std::memcpy(&raw_op, header + 8, sizeof(raw_op));
       const WireOp echo_op =
           raw_op >= static_cast<uint32_t>(WireOp::kQueryBatch) &&
-                  raw_op <= static_cast<uint32_t>(WireOp::kReload)
+                  raw_op <= static_cast<uint32_t>(WireOp::kHealth)
               ? static_cast<WireOp>(raw_op)
               : WireOp::kQueryBatch;
       malformed_frames_.fetch_add(1, std::memory_order_relaxed);
@@ -264,29 +430,35 @@ void QueryServer::HandleConnection(int fd) {
       const std::string resp = EncodeFrame(
           echo_op, request_id,
           EncodeErrorBody(WireStatus::kMalformedFrame, frame_error));
-      net::WriteFull(fd, resp.data(), resp.size());
+      net::WriteFullDeadline(fd, resp.data(), resp.size(), write_deadline);
       ::shutdown(fd, SHUT_WR);  // flush response + FIN before the drain
       uint64_t claimed_body = 0;
       std::memcpy(&claimed_body, header + 20, sizeof(claimed_body));
       DrainPending(fd,
-                   std::min<uint64_t>(claimed_body, options_.max_body_bytes));
-      break;
+                   std::min<uint64_t>(claimed_body, options_.max_body_bytes),
+                   /*deadline_ms=*/2000);
+      return;
     }
 
-    if (!ReadBodyChunked(fd, body_size, &body)) break;
+    io = ReadBodyChunked(fd, body_size, frame_deadline, &body);
+    if (io == net::IoResult::kTimeout) {
+      read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (io != net::IoResult::kOk) return;
     if (!VerifyFrameBody(body, checksum, &frame_error)) {
       malformed_frames_.fetch_add(1, std::memory_order_relaxed);
       errors_returned_.fetch_add(1, std::memory_order_relaxed);
       const std::string resp = EncodeFrame(
           op, request_id,
           EncodeErrorBody(WireStatus::kMalformedFrame, frame_error));
-      net::WriteFull(fd, resp.data(), resp.size());
+      net::WriteFullDeadline(fd, resp.data(), resp.size(), write_deadline);
       // Same write-then-drain-then-close treatment as the header path: a
       // pipelined next frame sitting unread in the receive buffer would
       // otherwise turn our close into an RST that destroys the response.
       ::shutdown(fd, SHUT_WR);
-      DrainPending(fd, options_.max_body_bytes);
-      break;
+      DrainPending(fd, options_.max_body_bytes, /*deadline_ms=*/2000);
+      return;
     }
 
     frames_received_.fetch_add(1, std::memory_order_relaxed);
@@ -294,10 +466,16 @@ void QueryServer::HandleConnection(int fd) {
     const std::string& resp_body = scratch.response_body;
     char resp_header[kWireHeaderSize];
     EncodeFrameHeaderTo(op, request_id, resp_body, resp_header);
-    if (!net::WriteFull2(fd, resp_header, sizeof(resp_header),
-                         resp_body.data(), resp_body.size())) {
-      break;
+    io = net::WriteFull2Deadline(fd, resp_header, sizeof(resp_header),
+                                 resp_body.data(), resp_body.size(),
+                                 write_deadline);
+    if (io == net::IoResult::kTimeout) {
+      // A peer that stopped reading its own response pins the handler
+      // just like a slow-loris sender; count it under the same umbrella.
+      read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
+    if (io != net::IoResult::kOk) return;
     if (body.capacity() > kRetainedBodyCapacity) {
       std::string().swap(body);
     }
@@ -317,25 +495,6 @@ void QueryServer::HandleConnection(int fd) {
       std::vector<BoxNd>().swap(scratch.request.queries_nd);
     }
   }
-  // Join earlier-finished handlers before parking this one, so an idle
-  // server retains at most one exited thread after a connection burst
-  // (the accept loop would otherwise only reap on the NEXT connection).
-  // Parked threads are past all locking — only a close and return remain
-  // — so joining them here cannot deadlock.
-  ReapFinishedThreads();
-  {
-    // Park this thread's own handle for a later handler, the accept loop,
-    // or Shutdown to join — a thread cannot join itself. The erase
-    // happens before the close so a recycled fd number can never be
-    // confused with this one.
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    const auto it = conn_threads_.find(fd);
-    if (it != conn_threads_.end()) {
-      finished_threads_.push_back(std::move(it->second));
-      conn_threads_.erase(it);
-    }
-  }
-  ::close(fd);
 }
 
 #else  // _WIN32
@@ -348,8 +507,12 @@ bool QueryServer::Start(std::string* error) {
 }
 
 void QueryServer::Shutdown() {}
+bool QueryServer::Shutdown(const DrainOptions&) { return true; }
+bool QueryServer::DoShutdown(int) { return true; }
 void QueryServer::AcceptLoop() {}
 void QueryServer::HandleConnection(int) {}
+void QueryServer::ServeFrames(int) {}
+void QueryServer::ShedConnection(int) {}
 void QueryServer::ReapFinishedThreads() {}
 
 #endif  // _WIN32
@@ -406,7 +569,8 @@ void QueryServer::DispatchFrame(WireOp op, const std::string& body,
     }
     case WireOp::kListSynopses:
     case WireOp::kStats:
-    case WireOp::kReload: {
+    case WireOp::kReload:
+    case WireOp::kHealth: {
       // These ops carry no request payload; enforcing that keeps protocol
       // v1 strict instead of silently committing to ignore-trailing-bytes
       // semantics.
@@ -419,6 +583,8 @@ void QueryServer::DispatchFrame(WireOp op, const std::string& body,
         response_body = EncodeListOkBody(catalog_->List());
       } else if (op == WireOp::kStats) {
         response_body = EncodeStatsOkBody(StatsSnapshot());
+      } else if (op == WireOp::kHealth) {
+        response_body = EncodeHealthOkBody(health(), active_connections());
       } else {
         const size_t installed = catalog_->ReloadAll(nullptr);
         RecordReloads(installed);

@@ -2,6 +2,7 @@
 #define DPGRID_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -27,6 +28,31 @@ struct QueryServerOptions {
   size_t max_batch_queries = 1 << 20;
   /// Per-frame cap on body bytes, enforced before the body is read.
   uint64_t max_body_bytes = kWireMaxBodyBytes;
+
+  // --- resilience knobs (0 disables each) ---------------------------------
+
+  /// Once a frame's first byte has arrived, the whole frame (header +
+  /// body) must arrive within this many milliseconds — the slow-loris
+  /// bound. A stalled peer is cut off and counted in read_timeouts.
+  int read_deadline_ms = 10'000;
+  /// A connection with no new frame for this long is reaped (counted in
+  /// idle_timeouts). Generous by default: idle pools are normal, pinned
+  /// handler threads are not.
+  int idle_timeout_ms = 300'000;
+  /// A peer that stops reading cannot pin a handler past this while a
+  /// response is being written.
+  int write_deadline_ms = 10'000;
+  /// Admission cap on concurrently served connections. Excess connections
+  /// are accepted, answered with kOverloaded (+ retry_after_ms hint) and
+  /// closed instead of silently stacking handler threads.
+  size_t max_connections = 1024;
+  /// The hint carried in the kOverloaded response message.
+  uint32_t overload_retry_after_ms = 100;
+};
+
+/// How long a graceful Shutdown lets in-flight frames finish.
+struct DrainOptions {
+  int deadline_ms = 5'000;
 };
 
 /// A TCP query server speaking the DPGW wire protocol (wire.h) over POSIX
@@ -42,9 +68,16 @@ struct QueryServerOptions {
 ///
 /// Framing damage closes the connection after an error response (the
 /// stream can no longer be trusted); semantic errors (unknown name, wrong
-/// dims, oversized batch) fail only that request. Shutdown() stops the
-/// accept loop, unblocks every in-flight read, and joins all threads; it
-/// is safe to call from any thread and runs automatically on destruction.
+/// dims, oversized batch) fail only that request. Peers that stall
+/// mid-frame, idle past their timeout, or arrive beyond max_connections
+/// are shed (see the options above) so no well-formed-but-slow client can
+/// pin a handler thread.
+///
+/// Shutdown() stops the accept loop, unblocks every in-flight read, and
+/// joins all threads; it is safe to call from any thread and runs
+/// automatically on destruction. Shutdown(DrainOptions) first lets
+/// in-flight frames finish (DRAINING via the HEALTH op) up to the
+/// deadline, then falls back to the abrupt path for stragglers.
 class QueryServer {
  public:
   /// `catalog` and `engine` are borrowed and must outlive the server.
@@ -59,11 +92,28 @@ class QueryServer {
   /// *error set on socket failures (port in use, bad address, ...).
   bool Start(std::string* error);
 
-  /// Graceful stop: no new connections, in-flight reads unblocked, all
+  /// Abrupt stop: no new connections, in-flight reads unblocked, all
   /// threads joined. Idempotent.
   void Shutdown();
 
+  /// Graceful stop: stops accepting, lets each connection finish the
+  /// frame it is currently reading or answering (new frames are refused
+  /// — the server reports DRAINING via the HEALTH op meanwhile), and
+  /// falls back to the abrupt path for connections still busy at the
+  /// deadline. Returns true when every connection drained in time.
+  bool Shutdown(const DrainOptions& drain);
+
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Lifecycle state as reported by the HEALTH op.
+  ServerHealth health() const {
+    return draining_.load(std::memory_order_acquire)
+               ? ServerHealth::kDraining
+               : ServerHealth::kServing;
+  }
+
+  /// Connections currently being served (handler threads alive).
+  size_t active_connections() const;
 
   /// The bound port (the actual one when options.port was 0); 0 before
   /// Start.
@@ -94,6 +144,14 @@ class QueryServer {
 
   void AcceptLoop();
   void HandleConnection(int fd);
+  /// Serves frames on `fd` until the connection should close; the exit
+  /// path (reap/park/close) lives in HandleConnection.
+  void ServeFrames(int fd);
+  /// Answers an over-capacity connection with kOverloaded and closes it.
+  void ShedConnection(int fd);
+  /// Shared Shutdown tail; drain_ms <= 0 is the abrupt path. Returns
+  /// true when no connection had to be cut off.
+  bool DoShutdown(int drain_ms);
   /// Dispatches one verified frame into scratch->response_body (the
   /// caller frames it, writing header and body without another payload
   /// copy).
@@ -112,12 +170,18 @@ class QueryServer {
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  // Set for the drain window of Shutdown(DrainOptions) so HEALTH frames
+  // already in flight report DRAINING.
+  std::atomic<bool> draining_{false};
   std::thread accept_thread_;
 
   /// Joins and drops the handles of handler threads that have finished.
   void ReapFinishedThreads();
 
-  std::mutex conn_mu_;
+  mutable std::mutex conn_mu_;
+  // Signalled each time a handler parks itself; the drain path waits on
+  // it for conn_threads_ to empty.
+  std::condition_variable conn_cv_;
   // Live connections, keyed by fd (erased by the handler before close).
   std::map<int, std::thread> conn_threads_;
   // Handles parked by exiting handlers (a thread cannot join itself);
@@ -133,6 +197,9 @@ class QueryServer {
   std::atomic<uint64_t> queries_answered_{0};
   std::atomic<uint64_t> errors_returned_{0};
   std::atomic<uint64_t> reloads_installed_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> read_timeouts_{0};
+  std::atomic<uint64_t> idle_timeouts_{0};
 };
 
 }  // namespace dpgrid

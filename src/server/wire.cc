@@ -21,7 +21,7 @@ bool ReadStatusPrefix(ByteReader* r, WireStatus* status, std::string* message,
   if (!r->U32(&raw) || !r->Str(message)) {
     return SetError(error, "truncated response status: " + r->error());
   }
-  if (raw > static_cast<uint32_t>(WireStatus::kInternal)) {
+  if (raw > static_cast<uint32_t>(WireStatus::kOverloaded)) {
     return SetError(error, "unknown response status code");
   }
   *status = static_cast<WireStatus>(raw);
@@ -54,6 +54,18 @@ const char* WireStatusName(WireStatus status) {
       return "MALFORMED_FRAME";
     case WireStatus::kInternal:
       return "INTERNAL";
+    case WireStatus::kOverloaded:
+      return "OVERLOADED";
+  }
+  return "UNKNOWN";
+}
+
+const char* ServerHealthName(ServerHealth state) {
+  switch (state) {
+    case ServerHealth::kServing:
+      return "SERVING";
+    case ServerHealth::kDraining:
+      return "DRAINING";
   }
   return "UNKNOWN";
 }
@@ -114,7 +126,7 @@ bool DecodeFrameHeader(std::string_view header, WireOp* op,
   }
   uint32_t raw_op = 0;
   if (!r.U32(&raw_op) || raw_op < static_cast<uint32_t>(WireOp::kQueryBatch) ||
-      raw_op > static_cast<uint32_t>(WireOp::kReload)) {
+      raw_op > static_cast<uint32_t>(WireOp::kHealth)) {
     return SetError(error, "unknown op code");
   }
   r.U64(request_id);
@@ -416,6 +428,9 @@ std::string EncodeStatsOkBody(const WireStats& stats) {
   w.U64(stats.queries_answered);
   w.U64(stats.errors_returned);
   w.U64(stats.reloads_installed);
+  w.U64(stats.connections_shed);
+  w.U64(stats.read_timeouts);
+  w.U64(stats.idle_timeouts);
   return std::move(w).Take();
 }
 
@@ -437,6 +452,9 @@ bool DecodeStatsResponse(std::string_view body, StatsResponse* out,
   r.U64(&s.queries_answered);
   r.U64(&s.errors_returned);
   r.U64(&s.reloads_installed);
+  r.U64(&s.connections_shed);
+  r.U64(&s.read_timeouts);
+  r.U64(&s.idle_timeouts);
   if (!r.ok()) {
     return SetError(error, "truncated stats response: " + r.error());
   }
@@ -477,6 +495,43 @@ bool DecodeReloadResponse(std::string_view body, ReloadResponse* out,
   return true;
 }
 
+// --- HEALTH ----------------------------------------------------------------
+
+std::string EncodeHealthOkBody(ServerHealth state,
+                               uint64_t active_connections) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(WireStatus::kOk));
+  w.Str("");
+  w.U32(static_cast<uint32_t>(state));
+  w.U64(active_connections);
+  return std::move(w).Take();
+}
+
+bool DecodeHealthResponse(std::string_view body, HealthResponse* out,
+                          std::string* error) {
+  ByteReader r(body);
+  HealthResponse resp;
+  if (!ReadStatusPrefix(&r, &resp.status, &resp.message, error)) return false;
+  if (resp.status != WireStatus::kOk) {
+    if (!FinishErrorResponse(r, error)) return false;
+    *out = std::move(resp);
+    return true;
+  }
+  uint32_t raw_state = 0;
+  if (!r.U32(&raw_state) || !r.U64(&resp.active_connections)) {
+    return SetError(error, "truncated health response: " + r.error());
+  }
+  if (raw_state > static_cast<uint32_t>(ServerHealth::kDraining)) {
+    return SetError(error, "unknown server health state");
+  }
+  resp.state = static_cast<ServerHealth>(raw_state);
+  if (r.remaining() != 0) {
+    return SetError(error, "trailing bytes in health response");
+  }
+  *out = std::move(resp);
+  return true;
+}
+
 // --- shared error body -----------------------------------------------------
 
 std::string EncodeErrorBody(WireStatus status, std::string_view message) {
@@ -484,6 +539,22 @@ std::string EncodeErrorBody(WireStatus status, std::string_view message) {
   w.U32(static_cast<uint32_t>(status));
   w.Str(std::string(message));
   return std::move(w).Take();
+}
+
+uint32_t ParseRetryAfterMs(std::string_view message) {
+  constexpr std::string_view kKey = "retry_after_ms=";
+  const size_t pos = message.find(kKey);
+  if (pos == std::string_view::npos) return 0;
+  uint64_t value = 0;
+  bool any = false;
+  for (size_t i = pos + kKey.size(); i < message.size(); ++i) {
+    const char c = message[i];
+    if (c < '0' || c > '9') break;
+    any = true;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 60'000) return 60'000;  // clamp hints to one minute
+  }
+  return any ? static_cast<uint32_t>(value) : 0;
 }
 
 }  // namespace dpgrid

@@ -48,11 +48,17 @@ inline constexpr uint32_t kWireMaxDims = 32;
 
 /// Operation codes. Responses carry the same op as the request they
 /// answer.
+///
+/// kHealth is additive within protocol v1: a v1 server predating it
+/// answers a HEALTH frame with kMalformedFrame ("unknown op code") and
+/// closes the connection — a probe against an old server fails loudly
+/// instead of hanging, which is the degradation a health check wants.
 enum class WireOp : uint32_t {
   kQueryBatch = 1,
   kListSynopses = 2,
   kStats = 3,
   kReload = 4,
+  kHealth = 5,
 };
 
 /// Response status codes.
@@ -71,6 +77,11 @@ enum class WireStatus : uint32_t {
   kMalformedFrame = 5,
   /// Server-side failure unrelated to the request contents.
   kInternal = 6,
+  /// The server shed this connection at admission (max_connections
+  /// reached) before reading any request. The response echoes request id
+  /// 0 under op kHealth and carries a "retry_after_ms=<n>" hint in its
+  /// message; the server closes right after sending it.
+  kOverloaded = 7,
 };
 
 /// Short identifier for logs/CLI output, e.g. "NOT_FOUND".
@@ -204,6 +215,12 @@ bool DecodeListResponse(std::string_view body, ListResponse* out,
 // --- STATS -----------------------------------------------------------------
 
 /// Per-server counters, as served by the STATS op.
+///
+/// The resilience counters (connections_shed and below) grew the STATS
+/// body in-place within protocol v1: a pre-resilience client decoding a
+/// new server's STATS response rejects it as trailing bytes. The repo
+/// ships client and server together, so the strictness is kept — the
+/// operator-visible failure beats silently dropping fields.
 struct WireStats {
   uint64_t connections_accepted = 0;
   uint64_t frames_received = 0;
@@ -212,9 +229,18 @@ struct WireStats {
   uint64_t queries_answered = 0;
   uint64_t errors_returned = 0;
   uint64_t reloads_installed = 0;
+  /// Connections rejected at admission because max_connections was
+  /// reached (each got a kOverloaded response).
+  uint64_t connections_shed = 0;
+  /// Frames abandoned because the peer stalled past the read or write
+  /// deadline mid-frame (slow-loris and stopped readers).
+  uint64_t read_timeouts = 0;
+  /// Connections reaped after sitting idle (no new frame) past
+  /// idle_timeout_ms.
+  uint64_t idle_timeouts = 0;
 };
 
-/// Request body: empty. OK body: the seven u64 counters in struct order.
+/// Request body: empty. OK body: the ten u64 counters in struct order.
 std::string EncodeStatsOkBody(const WireStats& stats);
 
 struct StatsResponse {
@@ -238,10 +264,41 @@ struct ReloadResponse {
 bool DecodeReloadResponse(std::string_view body, ReloadResponse* out,
                           std::string* error);
 
+// --- HEALTH ----------------------------------------------------------------
+
+/// Lifecycle state the HEALTH op reports. A DRAINING server is finishing
+/// in-flight frames and accepts no new connections — a router should stop
+/// sending it traffic.
+enum class ServerHealth : uint32_t {
+  kServing = 0,
+  kDraining = 1,
+};
+
+/// Short identifier for logs/CLI output, e.g. "DRAINING".
+const char* ServerHealthName(ServerHealth state);
+
+/// Request body: empty. OK body: u32 state, u64 active_connections.
+std::string EncodeHealthOkBody(ServerHealth state,
+                               uint64_t active_connections);
+
+struct HealthResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  ServerHealth state = ServerHealth::kServing;
+  uint64_t active_connections = 0;
+};
+bool DecodeHealthResponse(std::string_view body, HealthResponse* out,
+                          std::string* error);
+
 // --- shared error body -----------------------------------------------------
 
 /// `u32 status, str message` — the body of any non-OK response.
 std::string EncodeErrorBody(WireStatus status, std::string_view message);
+
+/// Extracts the "retry_after_ms=<n>" hint a kOverloaded message carries;
+/// returns 0 when absent or garbled (hints are advisory — the retrying
+/// client falls back to its own backoff schedule).
+uint32_t ParseRetryAfterMs(std::string_view message);
 
 }  // namespace dpgrid
 

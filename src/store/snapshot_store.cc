@@ -12,6 +12,8 @@
 #ifndef _WIN32
 #include <fcntl.h>
 #include <unistd.h>
+
+#include "server/fault_injection.h"
 #endif
 
 namespace dpgrid {
@@ -66,19 +68,34 @@ bool ParseFileName(const std::string& filename, std::string* name,
 // POSIX) so a rename over the file is durable across a crash.
 bool WriteFileDurably(const std::string& path, const std::string& bytes) {
 #ifndef _WIN32
+  // Fault seam: an armed store_write hook may fail the write outright, or
+  // truncate the bytes it is handed — a torn write that still "succeeds"
+  // here, exactly what a crashed writer leaves behind. The snapshot
+  // checksum catches the damage at load time; the fault tests prove the
+  // catalog then keeps serving the previous version.
+  std::string faulted;
+  const std::string* payload = &bytes;
+  if (fault::Armed()) {
+    faulted = bytes;
+    if (!fault::StoreWriteAllowed(path, &faulted)) return false;
+    payload = &faulted;
+  }
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
   size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + written,
-                              bytes.size() - written);
+  while (written < payload->size()) {
+    const ssize_t n = ::write(fd, payload->data() + written,
+                              payload->size() - written);
     if (n < 0) {
       ::close(fd);
       return false;
     }
     written += static_cast<size_t>(n);
   }
-  const bool synced = ::fsync(fd) == 0;
+  bool synced = ::fsync(fd) == 0;
+  if (synced && fault::Armed() && !fault::StoreFsyncAllowed(path)) {
+    synced = false;
+  }
   return ::close(fd) == 0 && synced;
 #else
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -213,6 +230,13 @@ uint64_t SnapshotStore::PublishBytes(const std::string& name,
     std::remove(tmp_path.c_str());
     return 0;
   }
+#ifndef _WIN32
+  if (fault::Armed() && !fault::StoreRenameAllowed(tmp_path, final_path)) {
+    SetError(error, "cannot publish " + final_path + ": injected rename fault");
+    std::remove(tmp_path.c_str());
+    return 0;
+  }
+#endif
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
     SetError(error, "cannot publish " + final_path + ": " + ec.message());

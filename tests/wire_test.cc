@@ -330,17 +330,100 @@ TEST(WireResponseTest, StatsAndReloadRoundTrip) {
   stats.queries_answered = 90000;
   stats.errors_returned = 8;
   stats.reloads_installed = 4;
+  stats.connections_shed = 11;
+  stats.read_timeouts = 5;
+  stats.idle_timeouts = 6;
   StatsResponse sresp;
   std::string error;
   ASSERT_TRUE(DecodeStatsResponse(EncodeStatsOkBody(stats), &sresp, &error))
       << error;
   EXPECT_EQ(sresp.stats.queries_answered, 90000u);
   EXPECT_EQ(sresp.stats.reloads_installed, 4u);
+  EXPECT_EQ(sresp.stats.connections_shed, 11u);
+  EXPECT_EQ(sresp.stats.read_timeouts, 5u);
+  EXPECT_EQ(sresp.stats.idle_timeouts, 6u);
 
   ReloadResponse rresp;
   ASSERT_TRUE(DecodeReloadResponse(EncodeReloadOkBody(6), &rresp, &error))
       << error;
   EXPECT_EQ(rresp.installed, 6u);
+}
+
+TEST(WireHealthTest, HealthOpFramesRoundTrip) {
+  // kHealth is additive within v1; the frame layer must accept op 5.
+  const std::string frame = EncodeFrame(WireOp::kHealth, 99, "");
+  WireFrame decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeFrame(frame, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.op, WireOp::kHealth);
+  EXPECT_EQ(decoded.request_id, 99u);
+}
+
+TEST(WireHealthTest, HealthOkBodyRoundTrip) {
+  for (const ServerHealth state :
+       {ServerHealth::kServing, ServerHealth::kDraining}) {
+    HealthResponse resp;
+    std::string error;
+    ASSERT_TRUE(DecodeHealthResponse(EncodeHealthOkBody(state, 17), &resp,
+                                     &error))
+        << error;
+    EXPECT_EQ(resp.status, WireStatus::kOk);
+    EXPECT_EQ(resp.state, state);
+    EXPECT_EQ(resp.active_connections, 17u);
+  }
+  EXPECT_STREQ(ServerHealthName(ServerHealth::kServing), "SERVING");
+  EXPECT_STREQ(ServerHealthName(ServerHealth::kDraining), "DRAINING");
+}
+
+TEST(WireHealthTest, OverloadedErrorBodyDecodesThroughHealthDecoder) {
+  // The shed verdict a client reads off an over-capacity connection.
+  const std::string body = EncodeErrorBody(
+      WireStatus::kOverloaded, "server at connection capacity: "
+                               "retry_after_ms=250");
+  HealthResponse resp;
+  std::string error;
+  ASSERT_TRUE(DecodeHealthResponse(body, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, WireStatus::kOverloaded);
+  EXPECT_EQ(ParseRetryAfterMs(resp.message), 250u);
+  EXPECT_STREQ(WireStatusName(WireStatus::kOverloaded), "OVERLOADED");
+}
+
+TEST(WireHealthTest, MalformedHealthResponsesAreRejected) {
+  const std::string ok = EncodeHealthOkBody(ServerHealth::kDraining, 3);
+  // Unknown state enum value (2): bytes of the state field live right
+  // after the u32 status + empty string message.
+  std::string bad_state = ok;
+  bad_state[8] = '\x02';
+  const struct {
+    const char* name;
+    std::string body;
+  } kCases[] = {
+      {"empty body", std::string()},
+      {"unknown health state", bad_state},
+      {"truncated", ok.substr(0, ok.size() - 4)},
+      {"trailing bytes", ok + "zz"},
+  };
+  for (const auto& c : kCases) {
+    HealthResponse resp;
+    std::string error;
+    EXPECT_FALSE(DecodeHealthResponse(c.body, &resp, &error)) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
+}
+
+TEST(WireHealthTest, ParseRetryAfterMsHandlesAbsentGarbledAndHugeHints) {
+  EXPECT_EQ(ParseRetryAfterMs(""), 0u);
+  EXPECT_EQ(ParseRetryAfterMs("no hint here"), 0u);
+  EXPECT_EQ(ParseRetryAfterMs("retry_after_ms="), 0u);
+  EXPECT_EQ(ParseRetryAfterMs("retry_after_ms=abc"), 0u);
+  EXPECT_EQ(ParseRetryAfterMs("retry_after_ms=0"), 0u);
+  EXPECT_EQ(ParseRetryAfterMs("retry_after_ms=125"), 125u);
+  EXPECT_EQ(ParseRetryAfterMs("capacity (max_connections=4): "
+                              "retry_after_ms=77 please"),
+            77u);
+  // Advisory hints are clamped to one minute, even absurd ones.
+  EXPECT_EQ(ParseRetryAfterMs("retry_after_ms=9999999999999999999999"),
+            60'000u);
 }
 
 TEST(WireResponseTest, MalformedResponsesAreRejected) {
