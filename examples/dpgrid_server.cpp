@@ -17,7 +17,9 @@
 // in-flight frames finish up to DPGRID_DRAIN_MS, then cut stragglers.
 // Resilience knobs (all env, see QueryServerOptions for semantics;
 // 0 disables): DPGRID_READ_DEADLINE_MS, DPGRID_IDLE_TIMEOUT_MS,
-// DPGRID_MAX_CONNS, DPGRID_DRAIN_MS.
+// DPGRID_MAX_CONNS, DPGRID_DRAIN_MS. DPGRID_EVENT_LOOP=0 falls back to
+// the legacy thread-per-connection engine (default: epoll event loop
+// with pipelined frames).
 //
 // Try it:
 //   ./dpgrid_server /tmp/snaps 7171 --demo &
@@ -122,8 +124,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
     return 1;
   }
-  std::printf("serving on %s:%u (Ctrl-C or SIGTERM to stop)\n",
-              options.bind_address.c_str(), server.port());
+  std::printf("serving on %s:%u via %s engine (Ctrl-C or SIGTERM to stop)\n",
+              options.bind_address.c_str(), server.port(),
+              server.event_loop_active() ? "epoll event-loop"
+                                         : "thread-per-connection");
   std::fflush(stdout);
   const long reload_secs =
       std::getenv("DPGRID_RELOAD_SECS") != nullptr

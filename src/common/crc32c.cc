@@ -1,0 +1,259 @@
+#include "common/crc32c.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DPGRID_CRC32C_X86 1
+#include <immintrin.h>
+#endif
+
+namespace dpgrid {
+namespace {
+
+static_assert(static_cast<unsigned char>('\x01') == 1);
+// Word-at-a-time loads below assume little-endian byte order, like the
+// snapshot checksum. Big-endian would need byte-swapped tables.
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "crc32c word loads assume a little-endian target");
+
+// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// --- software path: slice-by-8 ---------------------------------------------
+
+struct SliceTables {
+  uint32_t t[8][256];
+};
+
+const SliceTables& Slices() {
+  static const SliceTables tables = [] {
+    SliceTables s{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) != 0 ? kPoly : 0);
+      }
+      s.t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = s.t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = s.t[0][crc & 0xFF] ^ (crc >> 8);
+        s.t[k][i] = crc;
+      }
+    }
+    return s;
+  }();
+  return tables;
+}
+
+// `crc` is the in-register (pre/post-conditioned by the caller) value.
+uint32_t SoftwareFold(uint32_t crc, const unsigned char* p, size_t n) {
+  const SliceTables& s = Slices();
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = s.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    crc = s.t[7][word & 0xFF] ^ s.t[6][(word >> 8) & 0xFF] ^
+          s.t[5][(word >> 16) & 0xFF] ^ s.t[4][(word >> 24) & 0xFF] ^
+          s.t[3][(word >> 32) & 0xFF] ^ s.t[2][(word >> 40) & 0xFF] ^
+          s.t[1][(word >> 48) & 0xFF] ^ s.t[0][(word >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = s.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if DPGRID_CRC32C_X86
+
+// --- hardware path: SSE4.2 crc32 with a 3-lane interleaved fold ------------
+//
+// The crc32 instruction has 3-cycle latency but 1-cycle throughput, so a
+// single chain runs at ~3 cycles per 8 bytes. Folding three independent
+// lanes keeps the unit saturated (~1 cycle per 8 bytes); merging a lane
+// into the running digest then needs the linear-algebra identity
+// crc(A ++ B) = shift(crc(A), |B|) ^ crc0(B), where shift applies the CRC
+// operator for |B| zero bytes. That operator is precomputed per lane
+// length as four 256-entry tables (GF(2) matrix squaring, zlib-style), so
+// each merge costs four table lookups.
+
+// Multiplies the GF(2) 32x32 matrix `m` (rows = images of basis bits) by
+// the bit-vector `vec`.
+uint32_t MatTimes(const uint32_t m[32], uint32_t vec) {
+  uint32_t sum = 0;
+  for (int i = 0; vec != 0; vec >>= 1, ++i) {
+    if ((vec & 1) != 0) sum ^= m[i];
+  }
+  return sum;
+}
+
+void MatSquare(uint32_t dst[32], const uint32_t src[32]) {
+  for (int i = 0; i < 32; ++i) dst[i] = MatTimes(src, src[i]);
+}
+
+struct ShiftTables {
+  uint32_t t[4][256];
+};
+
+// Builds the operator advancing a CRC past `len` zero bytes; `len` must be
+// a power of two (the repeated-squaring walk below doubles the run length
+// once per set bit consumed, which only composes cleanly for one set bit).
+ShiftTables MakeShiftTables(size_t len) {
+  uint32_t even[32];
+  uint32_t odd[32];
+  odd[0] = kPoly;  // operator for one zero bit
+  uint32_t row = 1;
+  for (int i = 1; i < 32; ++i) {
+    odd[i] = row;
+    row <<= 1;
+  }
+  MatSquare(even, odd);  // two zero bits
+  MatSquare(odd, even);  // four zero bits
+  do {
+    MatSquare(even, odd);  // doubles the zero run, starting at one byte
+    len >>= 1;
+    if (len == 0) break;
+    MatSquare(odd, even);
+    len >>= 1;
+    if (len == 0) {
+      std::memcpy(even, odd, sizeof(even));
+      break;
+    }
+  } while (true);
+  ShiftTables s{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    s.t[0][i] = MatTimes(even, i);
+    s.t[1][i] = MatTimes(even, i << 8);
+    s.t[2][i] = MatTimes(even, i << 16);
+    s.t[3][i] = MatTimes(even, i << 24);
+  }
+  return s;
+}
+
+uint32_t ApplyShift(const ShiftTables& s, uint32_t crc) {
+  return s.t[0][crc & 0xFF] ^ s.t[1][(crc >> 8) & 0xFF] ^
+         s.t[2][(crc >> 16) & 0xFF] ^ s.t[3][crc >> 24];
+}
+
+// Lane lengths: long blocks amortize the merge over the bulk of a frame
+// body (32 KiB for a 4096-query batch), short blocks mop up the mid-sized
+// tail before the serial remainder. Both powers of two (MakeShiftTables).
+constexpr size_t kLongLane = 4096;
+constexpr size_t kShortLane = 256;
+
+const ShiftTables& LongShift() {
+  static const ShiftTables s = MakeShiftTables(kLongLane);
+  return s;
+}
+
+const ShiftTables& ShortShift() {
+  static const ShiftTables s = MakeShiftTables(kShortLane);
+  return s;
+}
+
+__attribute__((target("sse4.2"))) uint64_t Lane8(uint64_t crc,
+                                                 const unsigned char* p) {
+  uint64_t word;
+  std::memcpy(&word, p, 8);
+  return _mm_crc32_u64(crc, word);
+}
+
+__attribute__((target("sse4.2"))) uint32_t HardwareFold(
+    uint32_t crc, const unsigned char* p, size_t n) {
+  uint64_t c = crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    c = _mm_crc32_u8(static_cast<uint32_t>(c), *p++);
+    --n;
+  }
+  while (n >= 3 * kLongLane) {
+    uint64_t c0 = c;
+    uint64_t c1 = 0;
+    uint64_t c2 = 0;
+    for (size_t i = 0; i < kLongLane; i += 8) {
+      c0 = Lane8(c0, p + i);
+      c1 = Lane8(c1, p + kLongLane + i);
+      c2 = Lane8(c2, p + 2 * kLongLane + i);
+    }
+    c = ApplyShift(LongShift(), static_cast<uint32_t>(c0)) ^ c1;
+    c = ApplyShift(LongShift(), static_cast<uint32_t>(c)) ^ c2;
+    p += 3 * kLongLane;
+    n -= 3 * kLongLane;
+  }
+  while (n >= 3 * kShortLane) {
+    uint64_t c0 = c;
+    uint64_t c1 = 0;
+    uint64_t c2 = 0;
+    for (size_t i = 0; i < kShortLane; i += 8) {
+      c0 = Lane8(c0, p + i);
+      c1 = Lane8(c1, p + kShortLane + i);
+      c2 = Lane8(c2, p + 2 * kShortLane + i);
+    }
+    c = ApplyShift(ShortShift(), static_cast<uint32_t>(c0)) ^ c1;
+    c = ApplyShift(ShortShift(), static_cast<uint32_t>(c)) ^ c2;
+    p += 3 * kShortLane;
+    n -= 3 * kShortLane;
+  }
+  while (n >= 8) {
+    c = Lane8(c, p);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = _mm_crc32_u8(static_cast<uint32_t>(c), *p++);
+  }
+  return static_cast<uint32_t>(c);
+}
+
+bool CpuHasSse42() {
+  static const bool has = __builtin_cpu_supports("sse4.2") != 0;
+  return has;
+}
+
+#endif  // DPGRID_CRC32C_X86
+
+const unsigned char* Bytes(std::string_view data) {
+  return reinterpret_cast<const unsigned char*>(data.data());
+}
+
+}  // namespace
+
+uint32_t Crc32cSoftware(std::string_view data) {
+  return ~SoftwareFold(~0u, Bytes(data), data.size());
+}
+
+bool Crc32cHardwareAvailable() {
+#if DPGRID_CRC32C_X86
+  return CpuHasSse42();
+#else
+  return false;
+#endif
+}
+
+uint32_t Crc32cHardware(std::string_view data) {
+#if DPGRID_CRC32C_X86
+  if (CpuHasSse42()) {
+    return ~HardwareFold(~0u, Bytes(data), data.size());
+  }
+#endif
+  return Crc32cSoftware(data);
+}
+
+uint32_t Crc32c(std::string_view data) {
+#if DPGRID_CRC32C_X86
+  if (CpuHasSse42()) {
+    return ~HardwareFold(~0u, Bytes(data), data.size());
+  }
+#endif
+  return Crc32cSoftware(data);
+}
+
+}  // namespace dpgrid

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <thread>
 #include <utility>
 
@@ -51,6 +52,13 @@ bool QueryClient::HandleWireError(WireStatus got, const std::string& message,
 
 QueryClient::~QueryClient() { Close(); }
 
+uint32_t QueryClient::WireVersion() const {
+  return options_.protocol_version == kWireProtocolV1 ||
+                 options_.protocol_version == kWireProtocolV2
+             ? options_.protocol_version
+             : kWireProtocolVersion;
+}
+
 #ifndef _WIN32
 
 bool QueryClient::Connect(const std::string& host, uint16_t port,
@@ -83,7 +91,8 @@ bool QueryClient::RoundTrip(WireOp op, const std::string& request_body,
       net::Deadline::AfterMs(options_.request_deadline_ms);
   const uint64_t request_id = next_request_id_++;
   char request_header[kWireHeaderSize];
-  EncodeFrameHeaderTo(op, request_id, request_body, request_header);
+  EncodeFrameHeaderTo(op, request_id, request_body, request_header,
+                      WireVersion());
   net::IoResult io = net::WriteFull2Deadline(
       fd_, request_header, sizeof(request_header), request_body.data(),
       request_body.size(), deadline);
@@ -107,9 +116,13 @@ bool QueryClient::RoundTrip(WireOp op, const std::string& request_body,
   uint64_t resp_id = 0;
   uint64_t body_size = 0;
   uint64_t checksum = 0;
+  // The response's own version verifies its checksum: a matched response
+  // echoes the version we sent, but the unsolicited shed verdict (sent
+  // before the server saw any frame of ours) is always v1.
+  uint32_t resp_version = 0;
   if (!DecodeFrameHeader(std::string_view(header, sizeof(header)), &resp_op,
                          &resp_id, &body_size, &checksum, error,
-                         max_body_bytes_)) {
+                         max_body_bytes_, &resp_version)) {
     Close();
     return false;
   }
@@ -125,7 +138,7 @@ bool QueryClient::RoundTrip(WireOp op, const std::string& request_body,
                           : "connection lost while reading response body");
     }
   }
-  if (!VerifyFrameBody(*response_body, checksum, error)) {
+  if (!VerifyFrameBody(*response_body, checksum, resp_version, error)) {
     Close();
     return false;
   }
@@ -195,6 +208,217 @@ bool QueryClient::WithRetries(
   }
 }
 
+bool QueryClient::QueryBatchPipelined(const std::string& name,
+                                      std::span<const Rect> queries,
+                                      size_t batch_size, size_t window,
+                                      std::vector<double>* answers,
+                                      uint64_t* version, WireStatus* status,
+                                      std::string* error) {
+  if (status != nullptr) *status = WireStatus::kInternal;
+  if (queries.empty()) {
+    if (answers != nullptr) answers->clear();
+    if (status != nullptr) *status = WireStatus::kOk;
+    return true;
+  }
+  if (fd_ < 0) return SetError(error, "not connected");
+  if (batch_size == 0) batch_size = queries.size();
+  if (window == 0) window = 1;
+  const uint32_t wire_version = WireVersion();
+
+  // One entry per request frame already sent and not yet answered;
+  // responses must come back in exactly this order.
+  struct InFlight {
+    uint64_t request_id;
+    size_t offset;  // first query index of this frame's slice
+    size_t count;
+  };
+  std::deque<InFlight> in_flight;
+  if (answers != nullptr) answers->assign(queries.size(), 0.0);
+  const size_t total_frames = (queries.size() + batch_size - 1) / batch_size;
+  size_t encoded_frames = 0;
+  size_t answered_frames = 0;
+  size_t next_query = 0;
+
+  std::string out;  // encoded-but-unsent request bytes
+  size_t out_off = 0;
+  char resp_header[kWireHeaderSize];
+  size_t header_got = 0;
+  std::string& body = response_scratch_;
+  size_t body_got = 0;
+  uint64_t body_want = 0;
+  bool in_body = false;
+  WireOp decoded_op = WireOp::kQueryBatch;
+  uint64_t decoded_id = 0;
+  uint64_t decoded_checksum = 0;
+  uint32_t decoded_version = 0;
+  uint64_t snapshot_version = 0;
+  bool have_snapshot_version = false;
+
+  // The deadline re-arms on progress in either direction: it bounds a
+  // stall, not the whole (arbitrarily large) exchange.
+  net::Deadline deadline = net::Deadline::AfterMs(options_.request_deadline_ms);
+
+  auto fail = [&](const std::string& message) {
+    Close();
+    return SetError(error, message);
+  };
+
+  while (answered_frames < total_frames) {
+    bool progressed = false;
+
+    // Keep up to `window` frames in flight; encode lazily so a huge query
+    // set never materializes all at once.
+    while (encoded_frames < total_frames && in_flight.size() < window) {
+      const size_t count = std::min(batch_size, queries.size() - next_query);
+      EncodeQueryBatchRequestTo(name, queries.subspan(next_query, count),
+                                &request_scratch_);
+      if (request_scratch_.size() > max_body_bytes_) {
+        if (status != nullptr) *status = WireStatus::kTooLarge;
+        return fail("encoded batch of " +
+                    std::to_string(request_scratch_.size()) +
+                    " bytes exceeds the frame cap — use a smaller "
+                    "batch_size");
+      }
+      const uint64_t request_id = next_request_id_++;
+      char request_header[kWireHeaderSize];
+      EncodeFrameHeaderTo(WireOp::kQueryBatch, request_id, request_scratch_,
+                          request_header, wire_version);
+      out.append(request_header, kWireHeaderSize);
+      out.append(request_scratch_);
+      in_flight.push_back({request_id, next_query, count});
+      next_query += count;
+      ++encoded_frames;
+    }
+
+    // Send what the socket will take without blocking.
+    while (out_off < out.size()) {
+      const ssize_t w = net::SendRaw(fd_, out.data() + out_off,
+                                     out.size() - out_off,
+                                     MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (w > 0) {
+        out_off += static_cast<size_t>(w);
+        progressed = true;
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w == 0 || errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return fail("connection lost while sending pipelined request");
+    }
+    if (out_off == out.size() && !out.empty()) {
+      out.clear();
+      out_off = 0;
+    }
+
+    // Read whatever responses have landed.
+    bool read_blocked = false;
+    while (answered_frames < total_frames && !read_blocked) {
+      if (!in_body) {
+        const ssize_t r =
+            net::RecvRaw(fd_, resp_header + header_got,
+                         kWireHeaderSize - header_got, MSG_DONTWAIT);
+        if (r == 0) return fail("connection closed by server mid-pipeline");
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          return fail("connection lost while reading pipelined response");
+        }
+        header_got += static_cast<size_t>(r);
+        progressed = true;
+        if (header_got < kWireHeaderSize) continue;
+        header_got = 0;
+        std::string frame_error;
+        if (!DecodeFrameHeader(std::string_view(resp_header, kWireHeaderSize),
+                               &decoded_op, &decoded_id, &body_want,
+                               &decoded_checksum, &frame_error,
+                               max_body_bytes_, &decoded_version)) {
+          return fail(frame_error);
+        }
+        body.resize(static_cast<size_t>(body_want));
+        body_got = 0;
+        in_body = true;
+      }
+      while (body_got < body_want) {
+        const ssize_t r = net::RecvRaw(fd_, body.data() + body_got,
+                                       body_want - body_got, MSG_DONTWAIT);
+        if (r == 0) return fail("connection closed by server mid-pipeline");
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            read_blocked = true;
+            break;
+          }
+          return fail("connection lost while reading pipelined response");
+        }
+        body_got += static_cast<size_t>(r);
+        progressed = true;
+      }
+      if (body_got < body_want) break;
+      // A whole response frame is in hand.
+      in_body = false;
+      std::string frame_error;
+      if (!VerifyFrameBody(body, decoded_checksum, decoded_version,
+                           &frame_error)) {
+        return fail(frame_error);
+      }
+      if (in_flight.empty() || decoded_id != in_flight.front().request_id ||
+          decoded_op != WireOp::kQueryBatch) {
+        return fail("pipelined response does not match request order");
+      }
+      if (decoded_version != wire_version) {
+        return fail("server answered with a different protocol version");
+      }
+      const InFlight frame = in_flight.front();
+      in_flight.pop_front();
+      QueryBatchResponse resp;
+      if (!DecodeQueryBatchResponse(body, &resp, &frame_error)) {
+        return fail(frame_error);
+      }
+      if (resp.status != WireStatus::kOk) {
+        // Any per-frame failure abandons the in-flight tail, so the
+        // connection cannot be reused either way.
+        WireError(resp.status, resp.message, status, error);
+        Close();
+        return false;
+      }
+      if (resp.answers.size() != frame.count) {
+        return fail("answer count does not match query count");
+      }
+      if (have_snapshot_version && resp.version != snapshot_version) {
+        return fail(
+            "pipelined batches answered from different snapshot versions "
+            "(catalog reloaded mid-call) — re-issue the call");
+      }
+      snapshot_version = resp.version;
+      have_snapshot_version = true;
+      if (answers != nullptr) {
+        std::copy(resp.answers.begin(), resp.answers.end(),
+                  answers->begin() + static_cast<ptrdiff_t>(frame.offset));
+      }
+      ++answered_frames;
+      progressed = true;
+    }
+
+    if (answered_frames >= total_frames) break;
+    if (progressed) {
+      deadline = net::Deadline::AfterMs(options_.request_deadline_ms);
+      continue;
+    }
+    short wait_events = POLLIN;
+    if (out_off < out.size()) wait_events |= POLLOUT;
+    const net::IoResult r = net::WaitFdUntil(fd_, wait_events, deadline);
+    if (r == net::IoResult::kTimeout) {
+      if (status != nullptr) *status = WireStatus::kInternal;
+      return fail("request deadline exceeded mid-pipeline");
+    }
+    if (r != net::IoResult::kOk) {
+      return fail("connection lost mid-pipeline");
+    }
+  }
+  if (version != nullptr) *version = snapshot_version;
+  if (status != nullptr) *status = WireStatus::kOk;
+  return true;
+}
+
 #else  // _WIN32
 
 bool QueryClient::Connect(const std::string&, uint16_t, std::string* error) {
@@ -215,6 +439,13 @@ bool QueryClient::RoundTrip(WireOp, const std::string&, std::string*,
 bool QueryClient::WithRetries(const std::function<bool(std::string*)>&,
                               std::string* error) {
   return SetError(error, "not connected");
+}
+
+bool QueryClient::QueryBatchPipelined(const std::string&,
+                                      std::span<const Rect>, size_t, size_t,
+                                      std::vector<double>*, uint64_t*,
+                                      WireStatus*, std::string* error) {
+  return SetError(error, "QueryClient requires POSIX sockets");
 }
 
 #endif  // _WIN32

@@ -34,6 +34,12 @@ struct QueryClientOptions {
   /// deterministic; give each production client its own seed so a
   /// thundering herd decorrelates.
   uint64_t jitter_seed = 1;
+  /// DPGW version this client speaks (kWireProtocolV1 or kWireProtocolV2).
+  /// The first request frame negotiates it for the connection and the
+  /// server answers in kind; v2 frames carry a CRC32C body checksum
+  /// instead of v1's FNV-1a. Unknown values fall back to the latest
+  /// version.
+  uint32_t protocol_version = kWireProtocolVersion;
 };
 
 /// Blocking client for the DPGW wire protocol: one TCP connection, one
@@ -88,6 +94,22 @@ class QueryClient {
                     std::vector<double>* answers, uint64_t* version,
                     WireStatus* status, std::string* error);
 
+  /// Pipelined 2-D batching: slices `queries` into frames of `batch_size`
+  /// and keeps up to `window` request frames in flight on the connection,
+  /// interleaving non-blocking sends with response reads (so neither
+  /// side's socket buffer can fill and deadlock the exchange). Responses
+  /// arrive in request order; *answers lines up with `queries` and every
+  /// frame must answer from the same snapshot version (a concurrent
+  /// catalog reload mid-call fails the call — re-issue it). Any per-frame
+  /// error is fatal to the whole call and closes the connection; there is
+  /// no automatic retry. The per-exchange deadline re-arms on every byte
+  /// of progress in either direction.
+  bool QueryBatchPipelined(const std::string& name,
+                           std::span<const Rect> queries, size_t batch_size,
+                           size_t window, std::vector<double>* answers,
+                           uint64_t* version, WireStatus* status,
+                           std::string* error);
+
   /// Lists every synopsis the server catalog holds.
   bool ListSynopses(std::vector<CatalogEntryInfo>* entries,
                     std::string* error);
@@ -132,6 +154,9 @@ class QueryClient {
   /// false.
   bool HandleWireError(WireStatus got, const std::string& message,
                        WireStatus* status, std::string* error);
+
+  /// options_.protocol_version with unknown values mapped to the latest.
+  uint32_t WireVersion() const;
 
   QueryClientOptions options_;
   int fd_ = -1;

@@ -1,0 +1,215 @@
+#ifndef DPGRID_SERVER_EVENT_LOOP_H_
+#define DPGRID_SERVER_EVENT_LOOP_H_
+
+// The epoll serving engine behind QueryServer (ServeMode::kEventLoop).
+//
+// One loop thread owns the listen socket, an epoll set, and every
+// connection's read/write state; connections are non-blocking throughout.
+// Each connection runs a frame state machine (header -> body -> verify)
+// over reused buffers, and may have up to max_pipeline_frames in flight:
+// completed frames queue onto the connection and a handler worker pool
+// dispatches them — strictly one handler at a time per connection, so the
+// existing ConnectionScratch stays single-writer and responses come out
+// in request order by construction. The loop appends finished responses
+// to a per-connection write buffer (in order) and flushes it as the
+// socket accepts bytes.
+//
+// The observable contract matches the legacy thread-per-connection
+// engine frame for frame: per-frame read deadlines from the first header
+// byte, idle reaping, write-progress deadlines, admission shedding with
+// the kOverloaded verdict, graceful drain (frames whose bytes already
+// arrived still get answered), and the same ten WireStats counters.
+
+#ifndef _WIN32
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "server/socket_io.h"
+#include "server/wire.h"
+
+namespace dpgrid {
+namespace internal {
+
+class EventLoopServer {
+ public:
+  /// `server` is borrowed; `listen_fd` is adopted (the loop closes it).
+  EventLoopServer(QueryServer* server, int listen_fd);
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  /// Creates the epoll set, worker pool, and loop thread.
+  bool Start(std::string* error);
+
+  /// Stops the engine and joins every thread. drain_ms > 0 first lets
+  /// in-flight frames finish; returns true when every connection drained
+  /// in time (trivially true for the abrupt path).
+  bool Stop(int drain_ms);
+
+ private:
+  // One frame read off the wire, queued for the handler pool. A frame
+  // that failed verification still travels the queue (malformed = true)
+  // so its error response keeps request order.
+  struct PendingFrame {
+    WireOp op = WireOp::kQueryBatch;
+    uint64_t request_id = 0;
+    std::string body;
+    bool malformed = false;
+    std::string error;
+  };
+
+  // A handler-produced response awaiting its in-order write.
+  struct ReadyResponse {
+    WireOp op = WireOp::kQueryBatch;
+    uint64_t request_id = 0;
+    std::string body;
+    /// Flush, half-close, and linger-close after this response (terminal
+    /// error frames and shed verdicts).
+    bool close_after = false;
+  };
+
+  struct Conn {
+    int fd = -1;
+    /// Wire version negotiated by the first frame; 0 until then.
+    uint32_t version = 0;
+    /// Counted against max_connections and loop_connections_ (shed
+    /// connections are not).
+    bool counted = false;
+
+    // --- read state (loop thread only) ----------------------------------
+    enum class Phase { kIdle, kHeader, kBody };
+    Phase phase = Phase::kIdle;
+    char header[kWireHeaderSize];
+    size_t header_got = 0;
+    std::string body;
+    size_t body_got = 0;
+    uint64_t body_want = 0;
+    WireOp op = WireOp::kQueryBatch;
+    uint64_t request_id = 0;
+    uint64_t checksum = 0;
+    /// Frames read but not yet appended to the write buffer (loop thread
+    /// only); bounds the pipeline.
+    size_t in_flight = 0;
+    /// No further frames will be parsed (EOF, terminal error, drain).
+    bool no_more_frames = false;
+    /// Read-and-discard mode: keep consuming bytes so close does not RST
+    /// the queued terminal response (the DrainPending equivalent).
+    bool discard_reads = false;
+    bool peer_eof = false;
+    /// Drain mode: refuse frames whose bytes have not already arrived.
+    bool draining = false;
+    net::Deadline frame_deadline = net::Deadline::None();
+    net::Deadline idle_deadline = net::Deadline::None();
+
+    // --- write state (loop thread only) ---------------------------------
+    std::string write_buf;
+    size_t write_off = 0;
+    net::Deadline write_deadline = net::Deadline::None();
+    /// Overrides options.write_deadline_ms when > 0 (shed verdicts use a
+    /// tighter bound).
+    int write_deadline_override_ms = 0;
+    /// After write_buf flushes: shutdown(SHUT_WR) and linger for
+    /// linger_ms (discarding reads) so the peer gets the final frame.
+    bool close_after_flush = false;
+    bool lingering = false;
+    int linger_ms = 0;
+    net::Deadline linger_deadline = net::Deadline::None();
+    uint32_t epoll_events = 0;
+    bool closed = false;
+
+    // --- shared with the handler pool (guarded by mu) -------------------
+    std::mutex mu;
+    std::deque<PendingFrame> requests;
+    std::deque<ReadyResponse> responses;
+    bool handler_active = false;
+    /// Emptied string buffers cycled between the read path and handler
+    /// responses, keeping the steady state allocation-free.
+    std::vector<std::string> free_bufs;
+    /// True once the loop closed the connection; the handler drops any
+    /// remaining work for it.
+    bool dead = false;
+    ConnectionScratch scratch;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  void Loop();
+  void WorkerLoop();
+  void RunHandler(const ConnPtr& c);
+  void NotifyDone(const ConnPtr& c);
+  void Wake();
+
+  void AcceptReady();
+  void ShedConn(int fd);
+  void ReadPass(const ConnPtr& c);
+  void StageMalformed(const ConnPtr& c, WireOp op, uint64_t request_id,
+                      std::string error);
+  void EnqueueFrame(const ConnPtr& c);
+  void DispatchHandler(const ConnPtr& c);
+  /// Moves ready responses into the write buffer (in order), flushes what
+  /// the socket will take, then closes the connection if it is finished.
+  void AfterProgress(const ConnPtr& c);
+  void FlushResponses(const ConnPtr& c);
+  void TryFlush(const ConnPtr& c);
+  int EffectiveWriteDeadlineMs(const ConnPtr& c) const;
+  void UpdateInterest(const ConnPtr& c);
+  void SweepDeadlines();
+  void BeginDrainAll();
+  void CloseAllConns();
+  void CloseConn(const ConnPtr& c);
+
+  QueryServer* server_;
+  int listen_fd_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool accepting_ = true;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::thread loop_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int> stop_drain_ms_{0};
+  bool drained_ = true;
+
+  // Loop-thread-only: live connections by fd.
+  std::map<int, ConnPtr> conns_;
+  size_t counted_conns_ = 0;
+
+  // Handler pool.
+  std::vector<std::thread> workers_;
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<ConnPtr> work_;
+  bool work_stop_ = false;
+
+  // Connections with freshly produced responses, drained by the loop.
+  std::mutex done_mu_;
+  std::vector<ConnPtr> done_;
+};
+
+}  // namespace internal
+}  // namespace dpgrid
+
+#else  // _WIN32
+
+namespace dpgrid {
+namespace internal {
+// Stub so QueryServer's unique_ptr member destructs on non-POSIX builds
+// (the server itself refuses to Start there).
+class EventLoopServer {};
+}  // namespace internal
+}  // namespace dpgrid
+
+#endif  // !_WIN32
+
+#endif  // DPGRID_SERVER_EVENT_LOOP_H_

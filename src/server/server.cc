@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "server/event_loop.h"
 #include "server/socket_io.h"
 
 #ifndef _WIN32
@@ -38,11 +40,25 @@ WireStats QueryServer::StatsSnapshot() const {
 }
 
 size_t QueryServer::active_connections() const {
+  if (loop_mode_) return loop_connections_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(conn_mu_);
   return conn_threads_.size();
 }
 
 #ifndef _WIN32
+
+bool QueryServer::UseEventLoop() const {
+  switch (options_.mode) {
+    case ServeMode::kEventLoop:
+      return true;
+    case ServeMode::kThreadPerConnection:
+      return false;
+    case ServeMode::kAuto:
+      break;
+  }
+  const char* env = std::getenv("DPGRID_EVENT_LOOP");
+  return env == nullptr || std::string_view(env) != "0";
+}
 
 bool QueryServer::Start(std::string* error) {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
@@ -104,7 +120,20 @@ bool QueryServer::Start(std::string* error) {
   stopping_.store(false, std::memory_order_release);
   draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  loop_mode_ = UseEventLoop();
+  if (loop_mode_) {
+    loop_connections_.store(0, std::memory_order_relaxed);
+    loop_ = std::make_unique<internal::EventLoopServer>(this, listen_fd_);
+    if (!loop_->Start(error)) {
+      loop_.reset();
+      ::close(listen_fd_);  // Start failure means the loop never adopted it
+      listen_fd_ = -1;
+      running_.store(false, std::memory_order_release);
+      return false;
+    }
+  } else {
+    accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  }
   started_ = true;
   return true;
 }
@@ -122,6 +151,19 @@ bool QueryServer::DoShutdown(int drain_ms) {
   // the drain window already reports DRAINING.
   if (drain_ms > 0) draining_.store(true, std::memory_order_release);
   stopping_.store(true, std::memory_order_release);
+  if (loop_) {
+    // Event-loop engine: the loop owns the listen fd and every connection;
+    // Stop() closes the listener, drains (or cuts) connections, and joins
+    // the loop and handler threads.
+    const bool drained = loop_->Stop(drain_ms);
+    loop_.reset();
+    listen_fd_ = -1;
+    loop_connections_.store(0, std::memory_order_relaxed);
+    running_.store(false, std::memory_order_release);
+    draining_.store(false, std::memory_order_release);
+    started_ = false;
+    return drained;
+  }
   // Unblock accept(): shutdown() wakes a blocked accept on Linux; on
   // BSD-family systems shutdown of a listening socket fails (ENOTCONN)
   // and the close() is what wakes it. The loop re-checks stopping_ at the
@@ -238,13 +280,16 @@ void QueryServer::ShedConnection(int fd) {
   // as an unsolicited connection-scoped verdict. The write gets a short
   // deadline of its own — a peer too slow to take even this frame is not
   // worth waiting on.
+  // The verdict is sent before the peer's first frame could negotiate a
+  // version, so it goes out as v1, which every client understands.
   const std::string resp = EncodeFrame(
       WireOp::kHealth, 0,
       EncodeErrorBody(
           WireStatus::kOverloaded,
           "server at connection capacity (max_connections=" +
               std::to_string(options_.max_connections) + "): retry_after_ms=" +
-              std::to_string(options_.overload_retry_after_ms)));
+              std::to_string(options_.overload_retry_after_ms)),
+      kWireProtocolV1);
   net::WriteFullDeadline(fd, resp.data(), resp.size(),
                          net::Deadline::AfterMs(1000));
   ::shutdown(fd, SHUT_WR);
@@ -354,6 +399,9 @@ void QueryServer::ServeFrames(int fd) {
   constexpr size_t kRetainedBodyCapacity = 1 << 20;
   std::string body;
   ConnectionScratch scratch;
+  // Wire version negotiated by the connection's first frame; responses
+  // echo it, and a later frame switching versions is malformed.
+  uint32_t conn_version = 0;
   while (true) {
     // Idle phase: wait for the first byte of the next frame in short poll
     // slices, so stopping_ is noticed within ~50ms (a drain cannot hang
@@ -409,9 +457,15 @@ void QueryServer::ServeFrames(int fd) {
     uint64_t body_size = 0;
     uint64_t checksum = 0;
     std::string frame_error;
-    const bool header_ok = DecodeFrameHeader(
+    uint32_t frame_version = 0;
+    bool header_ok = DecodeFrameHeader(
         std::string_view(header, sizeof(header)), &op, &request_id,
-        &body_size, &checksum, &frame_error, options_.max_body_bytes);
+        &body_size, &checksum, &frame_error, options_.max_body_bytes,
+        &frame_version);
+    if (header_ok && conn_version != 0 && frame_version != conn_version) {
+      header_ok = false;
+      frame_error = "protocol version changed mid-connection";
+    }
     if (!header_ok) {
       // Echo whatever sits in the request-id and op slots (when the op is
       // at least a known code) so a client can still correlate the
@@ -429,7 +483,8 @@ void QueryServer::ServeFrames(int fd) {
       errors_returned_.fetch_add(1, std::memory_order_relaxed);
       const std::string resp = EncodeFrame(
           echo_op, request_id,
-          EncodeErrorBody(WireStatus::kMalformedFrame, frame_error));
+          EncodeErrorBody(WireStatus::kMalformedFrame, frame_error),
+          conn_version != 0 ? conn_version : kWireProtocolV1);
       net::WriteFullDeadline(fd, resp.data(), resp.size(), write_deadline);
       ::shutdown(fd, SHUT_WR);  // flush response + FIN before the drain
       uint64_t claimed_body = 0;
@@ -440,18 +495,21 @@ void QueryServer::ServeFrames(int fd) {
       return;
     }
 
+    if (conn_version == 0) conn_version = frame_version;
+
     io = ReadBodyChunked(fd, body_size, frame_deadline, &body);
     if (io == net::IoResult::kTimeout) {
       read_timeouts_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (io != net::IoResult::kOk) return;
-    if (!VerifyFrameBody(body, checksum, &frame_error)) {
+    if (!VerifyFrameBody(body, checksum, conn_version, &frame_error)) {
       malformed_frames_.fetch_add(1, std::memory_order_relaxed);
       errors_returned_.fetch_add(1, std::memory_order_relaxed);
       const std::string resp = EncodeFrame(
           op, request_id,
-          EncodeErrorBody(WireStatus::kMalformedFrame, frame_error));
+          EncodeErrorBody(WireStatus::kMalformedFrame, frame_error),
+          conn_version);
       net::WriteFullDeadline(fd, resp.data(), resp.size(), write_deadline);
       // Same write-then-drain-then-close treatment as the header path: a
       // pipelined next frame sitting unread in the receive buffer would
@@ -465,7 +523,7 @@ void QueryServer::ServeFrames(int fd) {
     DispatchFrame(op, body, &scratch);
     const std::string& resp_body = scratch.response_body;
     char resp_header[kWireHeaderSize];
-    EncodeFrameHeaderTo(op, request_id, resp_body, resp_header);
+    EncodeFrameHeaderTo(op, request_id, resp_body, resp_header, conn_version);
     io = net::WriteFull2Deadline(fd, resp_header, sizeof(resp_header),
                                  resp_body.data(), resp_body.size(),
                                  write_deadline);
@@ -514,6 +572,7 @@ void QueryServer::HandleConnection(int) {}
 void QueryServer::ServeFrames(int) {}
 void QueryServer::ShedConnection(int) {}
 void QueryServer::ReapFinishedThreads() {}
+bool QueryServer::UseEventLoop() const { return false; }
 
 #endif  // _WIN32
 

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -15,6 +16,24 @@
 #include "server/wire.h"
 
 namespace dpgrid {
+
+namespace internal {
+class EventLoopServer;
+}  // namespace internal
+
+/// How QueryServer multiplexes its connections.
+enum class ServeMode {
+  /// Consult the DPGRID_EVENT_LOOP env var at Start (unset or "1" picks
+  /// the event loop, "0" the legacy path) — how CI runs the net/fault
+  /// suites through both engines without rebuilding.
+  kAuto,
+  /// One epoll loop serving every connection non-blocking, with pipelined
+  /// in-flight frames and handlers on a worker pool (the default engine).
+  kEventLoop,
+  /// One blocking handler thread per connection (the legacy engine, kept
+  /// selectable until removal).
+  kThreadPerConnection,
+};
 
 /// Tuning knobs for QueryServer.
 struct QueryServerOptions {
@@ -48,6 +67,18 @@ struct QueryServerOptions {
   size_t max_connections = 1024;
   /// The hint carried in the kOverloaded response message.
   uint32_t overload_retry_after_ms = 100;
+
+  // --- event-loop knobs (ignored by the legacy engine) --------------------
+
+  /// Which serving engine runs the connections (see ServeMode).
+  ServeMode mode = ServeMode::kAuto;
+  /// Frames one connection may have in flight — read but not yet written
+  /// back — before the loop stops reading from it. The pipelining depth
+  /// and the per-connection memory bound.
+  size_t max_pipeline_frames = 32;
+  /// Worker threads running frame handlers (responses still go out in
+  /// request order per connection); values < 1 are clamped to 1.
+  int handler_threads = 1;
 };
 
 /// How long a graceful Shutdown lets in-flight frames finish.
@@ -55,16 +86,32 @@ struct DrainOptions {
   int deadline_ms = 5'000;
 };
 
+/// Per-connection buffers reused across frames: the decoded request, the
+/// answer vector, and the encoded response body keep their capacity
+/// between requests, so a steady query stream allocates nothing per
+/// frame. Oversized one-off buffers are released after the frame (see
+/// kRetainedBodyCapacity in server.cc).
+struct ConnectionScratch {
+  QueryBatchRequest request;
+  std::vector<double> answers;
+  std::string response_body;
+};
+
 /// A TCP query server speaking the DPGW wire protocol (wire.h) over POSIX
 /// sockets: the network face of a SynopsisCatalog.
 ///
-/// One thread runs the accept loop; each connection gets a handler thread
-/// that reads length-prefixed frames, routes QUERY_BATCH bodies through
-/// QueryEngine::AnswerAll against exactly one acquired snapshot version
-/// (the catalog guarantees a batch is never split across versions), and
-/// writes the response frame back. Answers are bitwise-identical to
-/// calling the engine in-process on the same snapshot — the wire carries
-/// raw IEEE doubles, no text round-trip.
+/// Two serving engines share the same observable behavior (ServeMode).
+/// The event loop (default) multiplexes every connection through one
+/// epoll thread: non-blocking reads feed a per-connection frame state
+/// machine, completed frames are dispatched to a handler worker pool, and
+/// responses are written back strictly in request order, so one
+/// connection can pipeline many in-flight frames. The legacy engine runs
+/// one blocking handler thread per connection. Either way QUERY_BATCH
+/// bodies route through QueryEngine::AnswerAll against exactly one
+/// acquired snapshot version (the catalog guarantees a batch is never
+/// split across versions), and answers are bitwise-identical to calling
+/// the engine in-process on the same snapshot — the wire carries raw
+/// IEEE doubles, no text round-trip.
 ///
 /// Framing damage closes the connection after an error response (the
 /// stream can no longer be trusted); semantic errors (unknown name, wrong
@@ -115,6 +162,10 @@ class QueryServer {
   /// Connections currently being served (handler threads alive).
   size_t active_connections() const;
 
+  /// Which engine Start picked: true while the epoll event loop is
+  /// serving, false for thread-per-connection (or before Start).
+  bool event_loop_active() const { return loop_mode_; }
+
   /// The bound port (the actual one when options.port was 0); 0 before
   /// Start.
   uint16_t port() const { return port_; }
@@ -131,16 +182,11 @@ class QueryServer {
   }
 
  private:
-  /// Per-connection buffers reused across frames: the decoded request,
-  /// the answer vector, and the encoded response body keep their capacity
-  /// between requests, so a steady query stream allocates nothing per
-  /// frame. Oversized one-off buffers are released after the frame (see
-  /// kRetainedBodyCapacity in server.cc).
-  struct ConnectionScratch {
-    QueryBatchRequest request;
-    std::vector<double> answers;
-    std::string response_body;
-  };
+  friend class internal::EventLoopServer;
+
+  /// The engine Start will run, after resolving kAuto against the
+  /// DPGRID_EVENT_LOOP env var.
+  bool UseEventLoop() const;
 
   void AcceptLoop();
   void HandleConnection(int fd);
@@ -174,6 +220,14 @@ class QueryServer {
   // already in flight report DRAINING.
   std::atomic<bool> draining_{false};
   std::thread accept_thread_;
+
+  // Event-loop engine state: the loop owns listen_fd_ once started.
+  // `loop_mode_` is fixed by Start (no locking needed to read it) and
+  // `loop_connections_` mirrors the loop's live-connection count so
+  // active_connections() stays lock-free for handler threads.
+  std::unique_ptr<internal::EventLoopServer> loop_;
+  bool loop_mode_ = false;
+  std::atomic<size_t> loop_connections_{0};
 
   /// Joins and drops the handles of handler threads that have finished.
   void ReapFinishedThreads();

@@ -72,12 +72,15 @@ class Deadline {
     return !infinite_ && std::chrono::steady_clock::now() >= at_;
   }
   /// Milliseconds until expiry, clamped to >= 0; -1 when infinite (the
-  /// value poll() expects for "wait forever").
+  /// value poll() expects for "wait forever"). Rounds up while unexpired:
+  /// truncating toward zero would turn the final sub-millisecond window
+  /// into poll(fd, 0) — a busy-spin until the clock crosses the deadline.
   int remaining_ms() const {
     if (infinite_) return -1;
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        at_ - std::chrono::steady_clock::now());
-    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= at_) return 0;
+    const auto left = std::chrono::ceil<std::chrono::milliseconds>(at_ - now);
+    return static_cast<int>(left.count());
   }
 
  private:
@@ -114,16 +117,33 @@ inline int PollRaw(int fd, short events, int timeout_ms) {
   return ::poll(&p, 1, timeout_ms);
 }
 
+/// Waits until `fd` is ready for `events` (POLLIN/POLLOUT) or `deadline`
+/// expires. kOk also covers POLLHUP/POLLERR readiness — the following
+/// recv/send reports the actual condition. An EINTR restart re-polls with
+/// only the time that is left, never the original budget: restarting with
+/// a fixed timeout would let a signal storm extend the wait unboundedly.
+inline IoResult WaitFdUntil(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    const int rc = PollRaw(fd, events, deadline.remaining_ms());
+    if (rc > 0) return IoResult::kOk;
+    if (rc == 0) return IoResult::kTimeout;
+    if (errno != EINTR) return IoResult::kError;
+    if (deadline.expired()) return IoResult::kTimeout;
+  }
+}
+
 /// Waits until `fd` is ready for `events` (POLLIN/POLLOUT) or `timeout_ms`
-/// elapses (-1 waits forever). kOk also covers POLLHUP/POLLERR readiness —
-/// the following recv/send reports the actual condition.
+/// elapses (-1 waits forever, 0 checks once). Finite timeouts convert to a
+/// fixed deadline up front so EINTR cannot stretch them.
 inline IoResult WaitFd(int fd, short events, int timeout_ms) {
+  if (timeout_ms > 0) {
+    return WaitFdUntil(fd, events, Deadline::AfterMs(timeout_ms));
+  }
   while (true) {
     const int rc = PollRaw(fd, events, timeout_ms);
     if (rc > 0) return IoResult::kOk;
     if (rc == 0) return IoResult::kTimeout;
-    if (errno == EINTR) continue;
-    return IoResult::kError;
+    if (errno != EINTR) return IoResult::kError;
   }
 }
 
@@ -144,7 +164,7 @@ inline IoResult ReadFullDeadline(int fd, void* buf, size_t n,
     if (errno == EINTR) continue;
     if (errno != EAGAIN && errno != EWOULDBLOCK) return IoResult::kError;
     if (deadline.expired()) return IoResult::kTimeout;
-    const IoResult w = WaitFd(fd, POLLIN, deadline.remaining_ms());
+    const IoResult w = WaitFdUntil(fd, POLLIN, deadline);
     if (w == IoResult::kError) return w;
     if (w == IoResult::kTimeout) return IoResult::kTimeout;
   }
@@ -160,14 +180,19 @@ inline IoResult WriteFullDeadline(int fd, const void* buf, size_t n,
   while (done < n) {
     const ssize_t w =
         SendRaw(fd, p + done, n - done, MSG_NOSIGNAL | MSG_DONTWAIT);
-    if (w >= 0) {
+    if (w > 0) {
       done += static_cast<size_t>(w);
       continue;
     }
-    if (errno == EINTR) continue;
-    if (errno != EAGAIN && errno != EWOULDBLOCK) return IoResult::kError;
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return IoResult::kError;
+    }
+    // send() == 0 makes no progress; treating it as progress would spin
+    // forever under a fault-injected zero-length send, so it falls through
+    // to the wait-for-POLLOUT path alongside EAGAIN.
     if (deadline.expired()) return IoResult::kTimeout;
-    const IoResult r = WaitFd(fd, POLLOUT, deadline.remaining_ms());
+    const IoResult r = WaitFdUntil(fd, POLLOUT, deadline);
     if (r == IoResult::kError) return r;
     if (r == IoResult::kTimeout) return IoResult::kTimeout;
   }
@@ -192,11 +217,13 @@ inline IoResult WriteFull2Deadline(int fd, const void* a, size_t an,
   size_t total = an + bn;
   while (total > 0) {
     const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      if (errno != EAGAIN && errno != EWOULDBLOCK) return IoResult::kError;
+    if (w <= 0) {  // 0 is no progress, same as EAGAIN (see WriteFullDeadline)
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        return IoResult::kError;
+      }
       if (deadline.expired()) return IoResult::kTimeout;
-      const IoResult r = WaitFd(fd, POLLOUT, deadline.remaining_ms());
+      const IoResult r = WaitFdUntil(fd, POLLOUT, deadline);
       if (r == IoResult::kError) return r;
       if (r == IoResult::kTimeout) return IoResult::kTimeout;
       continue;
@@ -237,6 +264,13 @@ inline bool WriteFull2(int fd, const void* a, size_t an, const void* b,
                        size_t bn) {
   return WriteFull2Deadline(fd, a, an, b, bn, Deadline::None()) ==
          IoResult::kOk;
+}
+
+/// Puts `fd` into non-blocking mode (the event-loop server runs every
+/// connection non-blocking and multiplexes readiness through epoll).
+inline bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 /// Disables Nagle's algorithm: the protocol is request/response with

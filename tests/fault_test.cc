@@ -127,8 +127,10 @@ class FaultTest : public ::testing::Test {
     }
     uint64_t body_size = 0;
     uint64_t checksum = 0;
+    uint32_t version = 0;
     if (!DecodeFrameHeader(std::string_view(header, sizeof(header)), op, id,
-                           &body_size, &checksum, error)) {
+                           &body_size, &checksum, error, kWireMaxBodyBytes,
+                           &version)) {
       return false;
     }
     body->resize(static_cast<size_t>(body_size));
@@ -139,7 +141,7 @@ class FaultTest : public ::testing::Test {
       *error = "no response body";
       return false;
     }
-    return VerifyFrameBody(*body, checksum, error);
+    return VerifyFrameBody(*body, checksum, version, error);
   }
 
   std::string dir_;
@@ -549,6 +551,100 @@ TEST_F(FaultTest, ReadFullSurvivesEintrStormAndShortTransfers) {
   EXPECT_EQ(got, message);
   ::close(sv[0]);
   ::close(sv[1]);
+}
+
+TEST_F(FaultTest, EintrStormDoesNotStretchReadDeadline) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  // Regression: WaitFd used to restart an EINTR-interrupted poll() with
+  // the ORIGINAL timeout, so a stream of signals stretched a 200ms
+  // deadline indefinitely. Each injected interruption here eats 80ms of
+  // wall clock; three of them overshoot the deadline, after which the
+  // wait must report timeout immediately instead of granting the real
+  // poll another full 200ms.
+  std::atomic<int> eintr_left{3};
+  fault::Hooks hooks;
+  hooks.poll = [&eintr_left](int, short, int, int* out) {
+    if (eintr_left.fetch_sub(1) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      errno = EINTR;
+      *out = -1;
+      return true;
+    }
+    return false;  // afterwards: the real syscall
+  };
+  fault::ScopedFaultInjection injection(std::move(hooks));
+
+  const auto start = std::chrono::steady_clock::now();
+  char byte = 0;
+  EXPECT_EQ(net::ReadFullDeadline(sv[1], &byte, 1,
+                                  net::Deadline::AfterMs(200)),
+            net::IoResult::kTimeout);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  // Fixed behavior finishes right after the storm (~240ms); the bug waits
+  // out another whole timeout on top (~440ms).
+  EXPECT_LT(elapsed, 350) << "EINTR restarts stretched the deadline";
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST_F(FaultTest, ZeroLengthSendParksOnWritabilityNotProgress) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  // Regression: WriteFullDeadline treated send() == 0 as progress and
+  // immediately retried, spinning without ever polling. A zero-length
+  // send must route through the wait-for-POLLOUT path like EAGAIN does.
+  std::atomic<int> zero_sends{3};
+  std::atomic<int> polls{0};
+  fault::Hooks hooks;
+  hooks.send = [&zero_sends](int, const void*, size_t, ssize_t* out) {
+    if (zero_sends.fetch_sub(1) > 0) {
+      *out = 0;
+      return true;  // kernel "takes" nothing, three times
+    }
+    return false;  // afterwards: the real syscall
+  };
+  hooks.poll = [&polls](int, short, int, int*) {
+    polls.fetch_add(1);
+    return false;
+  };
+  fault::ScopedFaultInjection injection(std::move(hooks));
+
+  const std::string message = "park, don't spin";
+  EXPECT_EQ(net::WriteFullDeadline(sv[0], message.data(), message.size(),
+                                   net::Deadline::AfterMs(5000)),
+            net::IoResult::kOk);
+  EXPECT_GE(polls.load(), 3) << "zero-length sends bypassed the poll";
+
+  std::string got(message.size(), '\0');
+  ASSERT_EQ(net::ReadFullDeadline(sv[1], got.data(), got.size(),
+                                  net::Deadline::AfterMs(5000)),
+            net::IoResult::kOk);
+  EXPECT_EQ(got, message);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(DeadlineTest, RemainingMsRoundsUpWhileUnexpired) {
+  // Regression: remaining_ms() truncated toward zero, so the final
+  // sub-millisecond of a deadline produced poll(..., 0) — a busy spin.
+  // An unexpired deadline must never report less than 1ms. The spin below
+  // deterministically samples that last fractional window.
+  const net::Deadline d = net::Deadline::AfterMs(30);
+  while (true) {
+    // Sample remaining_ms() first: if the deadline is still unexpired
+    // *afterwards*, the sample was definitely taken before expiry (the
+    // reverse order would race the clock across the two calls).
+    const int remaining = d.remaining_ms();
+    if (d.expired()) break;
+    EXPECT_GE(remaining, 1);
+  }
+  EXPECT_EQ(d.remaining_ms(), 0);
+  EXPECT_EQ(net::Deadline::None().remaining_ms(), -1);
 }
 
 TEST_F(FaultTest, StalledPeerTimesOutInstantlyViaPollHook) {

@@ -479,6 +479,156 @@ TEST_F(ServerTest, RacingPublisherNeverSplitsABatch) {
   EXPECT_GT(version_changes, 5u);
 }
 
+// --- DPGW v2 negotiation ---------------------------------------------------
+
+TEST_F(ServerTest, V1AndV2ClientsInteropBitwiseOnTheSameServer) {
+  std::string error;
+  auto grid = MakeGrid(51);
+  ASSERT_EQ(store_->Publish("taxi", *grid, SnapshotMeta{1.0, "v2"}, &error),
+            1u)
+      << error;
+  ASSERT_EQ(catalog_->LoadAll(nullptr), 1u);
+  StartServer();
+
+  const std::vector<Rect> queries = FixedQueries(data_->domain(), 512, 53);
+  const auto snap = catalog_->Slot2D("taxi")->Acquire();
+  ASSERT_NE(snap, nullptr);
+  const std::vector<double> local = engine_.AnswerAll(*snap->synopsis, queries);
+
+  for (const uint32_t version : {kWireProtocolV1, kWireProtocolV2}) {
+    QueryClientOptions copts;
+    copts.protocol_version = version;
+    QueryClient client(copts);
+    Connect(&client);
+    std::vector<double> answers;
+    uint64_t snapshot_version = 0;
+    WireStatus status = WireStatus::kInternal;
+    ASSERT_TRUE(client.QueryBatch("taxi", queries, &answers,
+                                  &snapshot_version, &status, &error))
+        << "v" << version << ": " << error;
+    EXPECT_EQ(status, WireStatus::kOk);
+    EXPECT_EQ(snapshot_version, 1u);
+    ASSERT_EQ(answers.size(), local.size());
+    for (size_t i = 0; i < local.size(); ++i) {
+      EXPECT_EQ(answers[i], local[i]) << "v" << version << " query " << i;
+    }
+  }
+}
+
+#ifndef _WIN32
+TEST_F(ServerTest, ServerEchoesTheNegotiatedVersion) {
+  StartServer();
+  std::string error;
+  for (const uint32_t version : {kWireProtocolV1, kWireProtocolV2}) {
+    const int fd = net::ConnectTcp("127.0.0.1", server_->port(), &error);
+    ASSERT_GE(fd, 0) << error;
+    const std::string frame = EncodeFrame(WireOp::kStats, 5, "", version);
+    ASSERT_TRUE(net::WriteFull(fd, frame.data(), frame.size()));
+    char header[kWireHeaderSize];
+    ASSERT_TRUE(net::ReadFull(fd, header, sizeof(header)));
+    uint32_t resp_version = 0;
+    std::memcpy(&resp_version, header + 4, sizeof(resp_version));
+    EXPECT_EQ(resp_version, version);
+    ::close(fd);
+  }
+}
+
+TEST_F(ServerTest, MidConnectionVersionChangeIsMalformed) {
+  StartServer();
+  std::string error;
+  const int fd = net::ConnectTcp("127.0.0.1", server_->port(), &error);
+  ASSERT_GE(fd, 0) << error;
+
+  auto read_response = [&](WireOp* op, uint64_t* id, std::string* body,
+                           uint32_t* version) {
+    char header[kWireHeaderSize];
+    ASSERT_TRUE(net::ReadFull(fd, header, sizeof(header)));
+    uint64_t body_size = 0;
+    uint64_t checksum = 0;
+    ASSERT_TRUE(DecodeFrameHeader(std::string_view(header, sizeof(header)),
+                                  op, id, &body_size, &checksum, &error,
+                                  kWireMaxBodyBytes, version))
+        << error;
+    body->resize(static_cast<size_t>(body_size));
+    ASSERT_TRUE(net::ReadFull(fd, body->data(), body->size()));
+    ASSERT_TRUE(VerifyFrameBody(*body, checksum, *version, &error)) << error;
+  };
+
+  // First frame negotiates v2 and is served normally.
+  const std::string v2_frame =
+      EncodeFrame(WireOp::kStats, 1, "", kWireProtocolV2);
+  ASSERT_TRUE(net::WriteFull(fd, v2_frame.data(), v2_frame.size()));
+  WireOp op = WireOp::kQueryBatch;
+  uint64_t id = 0;
+  std::string body;
+  uint32_t resp_version = 0;
+  read_response(&op, &id, &body, &resp_version);
+  EXPECT_EQ(op, WireOp::kStats);
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(resp_version, kWireProtocolV2);
+
+  // A v1 frame on the same connection is a framing violation: the server
+  // answers MALFORMED_FRAME (still speaking the negotiated v2) and closes.
+  const std::string v1_frame =
+      EncodeFrame(WireOp::kStats, 2, "", kWireProtocolV1);
+  ASSERT_TRUE(net::WriteFull(fd, v1_frame.data(), v1_frame.size()));
+  read_response(&op, &id, &body, &resp_version);
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(resp_version, kWireProtocolV2);
+  StatsResponse resp;
+  ASSERT_TRUE(DecodeStatsResponse(body, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, WireStatus::kMalformedFrame);
+  EXPECT_NE(resp.message.find("version"), std::string::npos) << resp.message;
+  char byte = 0;
+  EXPECT_FALSE(net::ReadFull(fd, &byte, 1));
+  ::close(fd);
+
+  const WireStats stats = server_->StatsSnapshot();
+  EXPECT_EQ(stats.malformed_frames, 1u);
+}
+#endif  // !_WIN32
+
+// --- pipelining ------------------------------------------------------------
+
+TEST_F(ServerTest, PipelinedFramesComeBackInOrderAndBitwiseIdentical) {
+  std::string error;
+  auto grid = MakeGrid(61);
+  ASSERT_EQ(store_->Publish("taxi", *grid, SnapshotMeta{1.0, "pipe"}, &error),
+            1u)
+      << error;
+  ASSERT_EQ(catalog_->LoadAll(nullptr), 1u);
+  StartServer();
+
+  // 2000 queries in 128-query frames with 8 frames in flight: many
+  // pipelined frames cross one connection, and the reassembled answer
+  // vector must be bitwise what the in-process engine computes.
+  const std::vector<Rect> queries = FixedQueries(data_->domain(), 2000, 63);
+  QueryClient client;
+  Connect(&client);
+  std::vector<double> answers;
+  uint64_t version = 0;
+  WireStatus status = WireStatus::kInternal;
+  ASSERT_TRUE(client.QueryBatchPipelined("taxi", queries, /*batch_size=*/128,
+                                         /*window=*/8, &answers, &version,
+                                         &status, &error))
+      << error;
+  EXPECT_EQ(status, WireStatus::kOk);
+  EXPECT_EQ(version, 1u);
+
+  const auto snap = catalog_->Slot2D("taxi")->Acquire();
+  ASSERT_NE(snap, nullptr);
+  const std::vector<double> local = engine_.AnswerAll(*snap->synopsis, queries);
+  ASSERT_EQ(answers.size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(answers[i], local[i]) << "query " << i;
+  }
+
+  const WireStats stats = server_->StatsSnapshot();
+  EXPECT_EQ(stats.batches_answered, (2000 + 127) / 128);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.malformed_frames, 0u);
+}
+
 TEST_F(ServerTest, ShutdownUnblocksIdleConnections) {
   StartServer();
   QueryClient client;

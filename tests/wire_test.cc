@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32c.h"
 #include "server/wire.h"
 #include "store/snapshot.h"
 
@@ -120,6 +121,137 @@ TEST(WireFrameTest, HeaderHonorsCallerBodyCap) {
       std::string_view(frame).substr(0, kWireHeaderSize), &op, &id, &size,
       &checksum, &error, /*max_body_bytes=*/512));
   EXPECT_FALSE(error.empty());
+}
+
+// --- protocol versions -----------------------------------------------------
+
+TEST(WireVersionTest, BothVersionsRoundTripAndReportTheirVersion) {
+  const std::string body = EncodeQueryBatchRequest("taxi", SampleQueries());
+  for (const uint32_t version : {kWireProtocolV1, kWireProtocolV2}) {
+    const std::string frame =
+        EncodeFrame(WireOp::kQueryBatch, 11, body, version);
+    uint32_t header_version = 0;
+    std::memcpy(&header_version, frame.data() + 4, sizeof(header_version));
+    EXPECT_EQ(header_version, version);
+    WireFrame decoded;
+    std::string error;
+    ASSERT_TRUE(DecodeFrame(frame, &decoded, &error)) << error;
+    EXPECT_EQ(decoded.version, version);
+    EXPECT_EQ(decoded.op, WireOp::kQueryBatch);
+    EXPECT_EQ(decoded.request_id, 11u);
+    EXPECT_EQ(decoded.body, body);
+  }
+}
+
+TEST(WireVersionTest, VersionSelectsTheChecksumAlgorithm) {
+  // v1 frames stay bitwise what they were before v2 existed (FNV-1a 64
+  // body checksum); v2 carries CRC32C zero-extended to the same slot.
+  const std::string body = EncodeQueryBatchRequest("gowalla", SampleQueries());
+  const std::string v1 =
+      EncodeFrame(WireOp::kQueryBatch, 3, body, kWireProtocolV1);
+  const std::string v2 =
+      EncodeFrame(WireOp::kQueryBatch, 3, body, kWireProtocolV2);
+  uint64_t c1 = 0;
+  uint64_t c2 = 0;
+  std::memcpy(&c1, v1.data() + 28, sizeof(c1));
+  std::memcpy(&c2, v2.data() + 28, sizeof(c2));
+  EXPECT_EQ(c1, SnapshotChecksum(body));
+  EXPECT_EQ(c2, static_cast<uint64_t>(Crc32c(body)));
+  EXPECT_EQ(WireBodyChecksum(kWireProtocolV1, body), c1);
+  EXPECT_EQ(WireBodyChecksum(kWireProtocolV2, body), c2);
+  // Outside the version and checksum fields the two frames agree byte for
+  // byte — v2 changed the checksum algorithm, not the layout.
+  EXPECT_EQ(v1.size(), v2.size());
+  EXPECT_EQ(v1.substr(0, 4), v2.substr(0, 4));    // magic
+  EXPECT_EQ(v1.substr(8, 20), v2.substr(8, 20));  // op, id, body size
+  EXPECT_EQ(v1.substr(kWireHeaderSize), v2.substr(kWireHeaderSize));
+}
+
+TEST(WireVersionTest, ChecksumAlgorithmMismatchIsRejectedBothWays) {
+  const std::string body =
+      EncodeQueryBatchRequest("brightkite", SampleQueries());
+  struct Case {
+    const char* name;
+    uint32_t encode_version;
+    uint32_t claim_version;
+  };
+  const Case kCases[] = {
+      {"v2 checksum under a v1 claim", kWireProtocolV2, kWireProtocolV1},
+      {"v1 checksum under a v2 claim", kWireProtocolV1, kWireProtocolV2},
+  };
+  for (const Case& c : kCases) {
+    std::string frame =
+        EncodeFrame(WireOp::kQueryBatch, 5, body, c.encode_version);
+    std::memcpy(frame.data() + 4, &c.claim_version, sizeof(uint32_t));
+    WireFrame decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeFrame(frame, &decoded, &error)) << c.name;
+    EXPECT_NE(error.find("checksum"), std::string::npos)
+        << c.name << ": " << error;
+  }
+}
+
+TEST(WireVersionTest, CorruptBodyIsRejectedUnderBothVersions) {
+  const std::string body = EncodeQueryBatchRequest("taxi", SampleQueries());
+  for (const uint32_t version : {kWireProtocolV1, kWireProtocolV2}) {
+    std::string frame = EncodeFrame(WireOp::kQueryBatch, 6, body, version);
+    frame[kWireHeaderSize + 2] ^= 0x10;
+    WireFrame decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeFrame(frame, &decoded, &error)) << "v" << version;
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  }
+}
+
+TEST(WireVersionTest, VersionBeyondLatestIsRejected) {
+  std::string frame = EncodeFrame(WireOp::kStats, 1, "");
+  const uint32_t next = kWireProtocolV2 + 1;
+  std::memcpy(frame.data() + 4, &next, sizeof(next));
+  WireOp op;
+  uint64_t id = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+  std::string error;
+  EXPECT_FALSE(DecodeFrameHeader(
+      std::string_view(frame).substr(0, kWireHeaderSize), &op, &id, &size,
+      &checksum, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+// --- CRC32C ----------------------------------------------------------------
+
+TEST(Crc32cTest, KnownAnswers) {
+  // The canonical Castagnoli check value (RFC 3720 appendix B.4).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32cSoftware("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32cHardware("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, HardwareMatchesSoftwareAcrossSizesAndAlignments) {
+  // Sizes straddle every fold regime: byte tail only, single u64 lane,
+  // short 3-lane blocks, and multiples (plus stragglers) of the long
+  // 3-lane block (3 * 4096 bytes). Offsets exercise the alignment
+  // preamble.
+  std::string data(64 * 1024 + 61, '\0');
+  uint32_t state = 0x12345678u;
+  for (char& c : data) {
+    state = state * 1664525u + 1013904223u;  // LCG; deterministic bytes
+    c = static_cast<char>(state >> 24);
+  }
+  const size_t kSizes[] = {0,    1,    7,     8,     9,     255,
+                           256,  257,  768,   769,   4096,  8191,
+                           12288, 12289, 24576, 24577, 65536};
+  const size_t kOffsets[] = {0, 1, 3, 7};
+  for (const size_t size : kSizes) {
+    for (const size_t offset : kOffsets) {
+      ASSERT_LE(offset + size, data.size());
+      const std::string_view view(data.data() + offset, size);
+      EXPECT_EQ(Crc32cHardware(view), Crc32cSoftware(view))
+          << "size=" << size << " offset=" << offset;
+    }
+  }
 }
 
 TEST(WireQueryBatchTest, RequestRoundTrip2D) {
