@@ -12,6 +12,9 @@
 //   wire_qps          queries/s through connect->frame->engine->frame
 //   frames_per_sec    request/response round trips per second
 //   wire_overhead     1 - wire_qps / inprocess_qps
+//   p50/p95/p99/max   per-frame latency from the server's own METRICS
+//                     histograms (delta across the pass; max is since the
+//                     server started, as histograms are monotone counters)
 //
 // A pipelined pass (QueryBatchPipelined, 8 frames in flight) shows what
 // the event loop buys once the client stops waiting a full round trip
@@ -45,6 +48,7 @@
 #include "common/random.h"
 #include "data/generators.h"
 #include "grid/uniform_grid.h"
+#include "obs/metrics.h"
 #include "query/query_engine.h"
 #include "query/workload.h"
 #include "server/client.h"
@@ -67,7 +71,21 @@ struct PassResult {
   double frames_per_sec = 0.0;
   double overhead = 0.0;
   bool bitwise_equal = false;
+  // Server-side per-frame latency over this pass, from the METRICS op.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t max_us = 0;
 };
+
+// Latency histogram of the QUERY_BATCH op inside a METRICS snapshot
+// (empty histogram when the op has not been exercised yet).
+obs::HistogramSnapshot QueryBatchLatency(const obs::MetricsSnapshot& snap) {
+  for (const obs::OpMetricsSnapshot& op : snap.ops) {
+    if (op.op == static_cast<uint32_t>(WireOp::kQueryBatch)) return op.latency;
+  }
+  return obs::HistogramSnapshot{};
+}
 
 const char* ModeName(ServeMode mode) {
   return mode == ServeMode::kEventLoop ? "event-loop" : "thread-per-conn";
@@ -217,9 +235,15 @@ int main() {
       return 1;
     }
 
-    std::printf("\n--- %s ---\n%-12s %14s %14s %12s %10s\n", ModeName(mode),
-                "batch_size", "wire QPS", "frames/s", "overhead", "bitwise");
+    std::printf("\n--- %s ---\n%-12s %14s %14s %12s %10s %8s %8s %8s %8s\n",
+                ModeName(mode), "batch_size", "wire QPS", "frames/s",
+                "overhead", "bitwise", "p50us", "p95us", "p99us", "maxus");
     for (const size_t batch : kBatchSizes) {
+      obs::MetricsSnapshot before;
+      if (!client.Metrics(nullptr, &before, &error)) {
+        std::fprintf(stderr, "metrics failed: %s\n", error.c_str());
+        return 1;
+      }
       std::vector<double> wire(num_queries);
       std::vector<double> answers;
       double best = 1e300;
@@ -238,6 +262,13 @@ int main() {
         }
         best = std::min(best, NowSeconds() - t0);
       }
+      obs::MetricsSnapshot after;
+      if (!client.Metrics(nullptr, &after, &error)) {
+        std::fprintf(stderr, "metrics failed: %s\n", error.c_str());
+        return 1;
+      }
+      const obs::HistogramSnapshot pass_latency =
+          QueryBatchLatency(after).Delta(QueryBatchLatency(before));
       PassResult res;
       res.mode = ModeName(mode);
       res.batch_size = batch;
@@ -246,11 +277,17 @@ int main() {
           static_cast<double>((num_queries + batch - 1) / batch) / best;
       res.overhead = 1.0 - res.wire_qps / inprocess_qps;
       res.bitwise_equal = wire == local;
+      res.p50_us = pass_latency.P50();
+      res.p95_us = pass_latency.P95();
+      res.p99_us = pass_latency.P99();
+      res.max_us = pass_latency.max_us;
       all_equal = all_equal && res.bitwise_equal;
       results.push_back(res);
-      std::printf("%-12zu %14.0f %14.1f %11.1f%% %10s\n", batch, res.wire_qps,
-                  res.frames_per_sec, 100.0 * res.overhead,
-                  res.bitwise_equal ? "yes" : "NO");
+      std::printf("%-12zu %14.0f %14.1f %11.1f%% %10s %8.0f %8.0f %8.0f %8llu\n",
+                  batch, res.wire_qps, res.frames_per_sec,
+                  100.0 * res.overhead, res.bitwise_equal ? "yes" : "NO",
+                  res.p50_us, res.p95_us, res.p99_us,
+                  static_cast<unsigned long long>(res.max_us));
     }
 
     if (mode == ServeMode::kEventLoop) {
@@ -397,9 +434,13 @@ int main() {
                  "    {\"server_mode\": \"%s\", \"batch_size\": %zu, "
                  "\"wire_qps\": %.0f, "
                  "\"frames_per_sec\": %.1f, \"overhead_vs_inprocess\": %.4f, "
+                 "\"latency_p50_us\": %.1f, \"latency_p95_us\": %.1f, "
+                 "\"latency_p99_us\": %.1f, \"latency_max_us\": %llu, "
                  "\"bitwise_equal_inprocess\": %s}%s\n",
                  r.mode, r.batch_size, r.wire_qps, r.frames_per_sec,
-                 r.overhead, r.bitwise_equal ? "true" : "false",
+                 r.overhead, r.p50_us, r.p95_us, r.p99_us,
+                 static_cast<unsigned long long>(r.max_us),
+                 r.bitwise_equal ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f,

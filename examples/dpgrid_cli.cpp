@@ -17,6 +17,7 @@
 //   dpgrid_cli remote-query <host> <port> <name> <xlo> <ylo> <xhi> <yhi>
 //   dpgrid_cli remote-stats <host> <port>
 //   dpgrid_cli remote-health <host> <port>
+//   dpgrid_cli remote-metrics <host> <port> [--prom]
 //
 // Set DPGRID_SEED for a reproducible noise seed (default: random).
 
@@ -33,6 +34,7 @@
 #include "geo/dataset.h"
 #include "grid/adaptive_grid.h"
 #include "grid/uniform_grid.h"
+#include "obs/exposition.h"
 #include "server/client.h"
 
 #include "example_util.h"
@@ -266,26 +268,41 @@ int CmdRemoteStats(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
-  std::printf("connections_accepted %llu\n"
-              "frames_received      %llu\n"
-              "malformed_frames     %llu\n"
-              "batches_answered     %llu\n"
-              "queries_answered     %llu\n"
-              "errors_returned      %llu\n"
-              "reloads_installed    %llu\n"
-              "connections_shed     %llu\n"
-              "read_timeouts        %llu\n"
-              "idle_timeouts        %llu\n",
-              static_cast<unsigned long long>(stats.connections_accepted),
-              static_cast<unsigned long long>(stats.frames_received),
-              static_cast<unsigned long long>(stats.malformed_frames),
-              static_cast<unsigned long long>(stats.batches_answered),
-              static_cast<unsigned long long>(stats.queries_answered),
-              static_cast<unsigned long long>(stats.errors_returned),
-              static_cast<unsigned long long>(stats.reloads_installed),
-              static_cast<unsigned long long>(stats.connections_shed),
-              static_cast<unsigned long long>(stats.read_timeouts),
-              static_cast<unsigned long long>(stats.idle_timeouts));
+  // Labels come from the same field table the wire codec and the METRICS
+  // exposition use, so the three can never drift apart.
+  for (const WireStatsField& f : kWireStatsFields) {
+    std::printf("%-20s %llu\n", f.name,
+                static_cast<unsigned long long>(stats.*f.field));
+  }
+  return 0;
+}
+
+int CmdRemoteMetrics(int argc, char** argv) {
+  if (argc < 4 || argc > 5 ||
+      (argc == 5 && std::strcmp(argv[4], "--prom") != 0)) {
+    std::fprintf(
+        stderr, "usage: dpgrid_cli remote-metrics <host> <port> [--prom]\n");
+    return 2;
+  }
+  const bool prom = argc == 5;
+  QueryClient client;
+  if (!ConnectRemote(argv, &client)) return 1;
+  WireStats stats;
+  obs::MetricsSnapshot metrics;
+  std::string error;
+  if (!client.Metrics(&stats, &metrics, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<obs::NamedCounter> counters;
+  counters.reserve(kNumWireStatsFields);
+  for (const WireStatsField& f : kWireStatsFields) {
+    counters.push_back(obs::NamedCounter{f.name, stats.*f.field});
+  }
+  const std::string text = prom ? obs::ToPrometheusText(counters, metrics)
+                                : obs::ToJson(counters, metrics);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  if (!prom) std::fputc('\n', stdout);
   return 0;
 }
 
@@ -316,7 +333,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dpgrid_cli <build|query|synthesize|demo|"
-                 "remote-list|remote-query|remote-stats|remote-health> ...\n");
+                 "remote-list|remote-query|remote-stats|remote-health|"
+                 "remote-metrics> ...\n");
     return 2;
   }
   if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
@@ -332,6 +350,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "remote-health") == 0) {
     return CmdRemoteHealth(argc, argv);
+  }
+  if (std::strcmp(argv[1], "remote-metrics") == 0) {
+    return CmdRemoteMetrics(argc, argv);
   }
   std::fprintf(stderr, "unknown command: %s\n", argv[1]);
   return 2;

@@ -19,7 +19,9 @@
 // 0 disables): DPGRID_READ_DEADLINE_MS, DPGRID_IDLE_TIMEOUT_MS,
 // DPGRID_MAX_CONNS, DPGRID_DRAIN_MS. DPGRID_EVENT_LOOP=0 falls back to
 // the legacy thread-per-connection engine (default: epoll event loop
-// with pipelined frames).
+// with pipelined frames). Observability knobs: DPGRID_SLOW_FRAME_US
+// (slow-frame trace threshold, 0 disables) and DPGRID_LOG_LEVEL
+// (debug|info|warn|error|off; default info).
 //
 // Try it:
 //   ./dpgrid_server /tmp/snaps 7171 --demo &
@@ -39,6 +41,7 @@
 #include "common/random.h"
 #include "data/generators.h"
 #include "grid/uniform_grid.h"
+#include "obs/log.h"
 #include "query/query_engine.h"
 #include "server/server.h"
 #include "store/snapshot_store.h"
@@ -81,25 +84,33 @@ int main(int argc, char** argv) {
     std::string error;
     if (store.Publish("demo", demo_grid, SnapshotMeta{1.0, "demo"}, &error) ==
         0) {
-      std::fprintf(stderr, "demo publish failed: %s\n", error.c_str());
+      obs::Log(obs::LogLevel::kError, "demo_publish_failed",
+               {{"error", error}});
       return 1;
     }
-    std::printf("published demo synopsis %s into %s/\n",
-                demo_grid.Name().c_str(), dir.c_str());
+    obs::Log(obs::LogLevel::kInfo, "demo_published",
+             {{"synopsis", demo_grid.Name()}, {"dir", dir}});
   }
 
   SynopsisCatalog catalog(&store);
   std::string errors;
   const size_t loaded = catalog.LoadAll(&errors);
   if (!errors.empty()) {
-    std::fprintf(stderr, "warning: some snapshots failed to load: %s\n",
-                 errors.c_str());
+    obs::Log(obs::LogLevel::kWarn, "snapshots_failed_to_load",
+             {{"errors", errors}});
   }
-  std::printf("catalog: %zu synopses loaded from %s/\n", loaded, dir.c_str());
-  for (const CatalogEntryInfo& e : catalog.List()) {
-    std::printf("  %-20s v%llu  %ud  %-10s epsilon=%g  %s\n", e.name.c_str(),
-                static_cast<unsigned long long>(e.version), e.dims,
-                e.synopsis_name.c_str(), e.epsilon, e.label.c_str());
+  obs::Log(obs::LogLevel::kInfo, "catalog_loaded",
+           {{"synopses", std::to_string(loaded)}, {"dir", dir}});
+  if (obs::LogEnabled(obs::LogLevel::kDebug)) {
+    for (const CatalogEntryInfo& e : catalog.List()) {
+      obs::Log(obs::LogLevel::kDebug, "catalog_entry",
+               {{"name", e.name},
+                {"version", std::to_string(e.version)},
+                {"dims", std::to_string(e.dims)},
+                {"synopsis", e.synopsis_name},
+                {"epsilon", std::to_string(e.epsilon)},
+                {"label", e.label}});
+    }
   }
 
   const QueryEngine engine;
@@ -121,14 +132,15 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::string error;
   if (!server.Start(&error)) {
-    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    obs::Log(obs::LogLevel::kError, "startup_failed", {{"error", error}});
     return 1;
   }
-  std::printf("serving on %s:%u via %s engine (Ctrl-C or SIGTERM to stop)\n",
-              options.bind_address.c_str(), server.port(),
-              server.event_loop_active() ? "epoll event-loop"
-                                         : "thread-per-connection");
-  std::fflush(stdout);
+  obs::Log(obs::LogLevel::kInfo, "startup",
+           {{"address", options.bind_address},
+            {"port", std::to_string(server.port())},
+            {"engine", server.event_loop_active() ? "epoll"
+                                                  : "thread-per-connection"},
+            {"protocol_version", std::to_string(kWireProtocolVersion)}});
   const long reload_secs =
       std::getenv("DPGRID_RELOAD_SECS") != nullptr
           ? std::atol(std::getenv("DPGRID_RELOAD_SECS"))
@@ -141,25 +153,23 @@ int main(int argc, char** argv) {
       const size_t installed = catalog.ReloadAll(nullptr);
       server.RecordReloads(installed);
       if (installed > 0) {
-        std::printf("hot reload: %zu new version(s) installed\n", installed);
-        std::fflush(stdout);
+        obs::Log(obs::LogLevel::kInfo, "hot_reload",
+                 {{"versions_installed", std::to_string(installed)}});
       }
     }
   }
 
   const bool drained = server.Shutdown(drain);
   const WireStats stats = server.StatsSnapshot();
-  std::printf("\nshutdown (%s): %llu connections, %llu frames, %llu batches, "
-              "%llu queries, %llu errors, %llu shed, %llu read timeouts, "
-              "%llu idle timeouts\n",
-              drained ? "drained" : "drain deadline hit",
-              static_cast<unsigned long long>(stats.connections_accepted),
-              static_cast<unsigned long long>(stats.frames_received),
-              static_cast<unsigned long long>(stats.batches_answered),
-              static_cast<unsigned long long>(stats.queries_answered),
-              static_cast<unsigned long long>(stats.errors_returned),
-              static_cast<unsigned long long>(stats.connections_shed),
-              static_cast<unsigned long long>(stats.read_timeouts),
-              static_cast<unsigned long long>(stats.idle_timeouts));
+  obs::Log(obs::LogLevel::kInfo, "shutdown",
+           {{"drained", drained ? "true" : "false"},
+            {"connections", std::to_string(stats.connections_accepted)},
+            {"frames", std::to_string(stats.frames_received)},
+            {"batches", std::to_string(stats.batches_answered)},
+            {"queries", std::to_string(stats.queries_answered)},
+            {"errors", std::to_string(stats.errors_returned)},
+            {"shed", std::to_string(stats.connections_shed)},
+            {"read_timeouts", std::to_string(stats.read_timeouts)},
+            {"idle_timeouts", std::to_string(stats.idle_timeouts)}});
   return 0;
 }

@@ -51,14 +51,18 @@ bool SynopsisCatalog::Install(Slot* slot, DecodedSnapshot&& decoded,
   // PublishIfNewer, not Publish: between Reload's version check and the
   // store load finishing, an in-process publisher may have pushed a newer
   // version into this slot — a plain install would regress it.
+  bool installed;
   if (decoded.synopsis != nullptr) {
-    return slot->serving2d.PublishIfNewer(
+    installed = slot->serving2d.PublishIfNewer(
         std::shared_ptr<const Synopsis>(std::move(decoded.synopsis)),
         std::move(decoded.meta), version);
+  } else {
+    installed = slot->serving_nd.PublishIfNewer(
+        std::shared_ptr<const SynopsisNd>(std::move(decoded.synopsis_nd)),
+        std::move(decoded.meta), version);
   }
-  return slot->serving_nd.PublishIfNewer(
-      std::shared_ptr<const SynopsisNd>(std::move(decoded.synopsis_nd)),
-      std::move(decoded.meta), version);
+  if (installed) versions_installed_.Record();
+  return installed;
 }
 
 bool SynopsisCatalog::Reload(const std::string& name, std::string* error) {
@@ -92,6 +96,7 @@ size_t SynopsisCatalog::LoadAll(std::string* errors) {
 
 size_t SynopsisCatalog::ReloadAll(std::string* errors) {
   if (store_ == nullptr) return 0;
+  reload_sweeps_.Record();
   size_t installed = 0;
   // One directory scan for the whole sweep; per-name Reload would rescan
   // the directory once per name.
@@ -230,6 +235,18 @@ CatalogStatus SynopsisCatalog::AnswerBatchNd(const QueryEngine& engine,
 size_t SynopsisCatalog::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_.size();
+}
+
+std::vector<obs::EventSnapshot> SynopsisCatalog::EventsSnapshot() const {
+  std::vector<obs::EventSnapshot> events;
+  events.push_back(obs::SnapshotEvent("catalog_reload_sweeps", reload_sweeps_));
+  events.push_back(
+      obs::SnapshotEvent("catalog_versions_installed", versions_installed_));
+  if (store_ != nullptr) {
+    events.push_back(
+        obs::SnapshotEvent("store_publishes", store_->publish_events()));
+  }
+  return events;
 }
 
 }  // namespace dpgrid

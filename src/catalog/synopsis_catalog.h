@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/query_engine.h"
 #include "store/serving.h"
 #include "store/snapshot_store.h"
@@ -122,6 +123,12 @@ class SynopsisCatalog {
   /// Number of names with a slot (published or not).
   size_t size() const;
 
+  /// Lifecycle events for the METRICS op: reload sweeps run, versions
+  /// installed through this catalog, and (when a store is attached) the
+  /// store's publish count — each with the wall-clock second of its
+  /// latest occurrence.
+  std::vector<obs::EventSnapshot> EventsSnapshot() const;
+
  private:
   struct Slot {
     ServingSynopsis serving2d;
@@ -139,6 +146,10 @@ class SynopsisCatalog {
   // unique_ptr so slot addresses survive map rehash/rebalance; entries are
   // never erased.
   std::map<std::string, std::unique_ptr<Slot>> slots_;
+
+  // Lifecycle counters behind EventsSnapshot().
+  obs::EventCounter reload_sweeps_;
+  obs::EventCounter versions_installed_;
 };
 
 }  // namespace dpgrid

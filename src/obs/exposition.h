@@ -1,0 +1,34 @@
+#ifndef DPGRID_OBS_EXPOSITION_H_
+#define DPGRID_OBS_EXPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dpgrid {
+namespace obs {
+
+/// A top-level counter to expose next to the registry snapshot. The wire
+/// layer builds this list from its WireStats field table so the server
+/// counters, `remote-stats`, and both exposition formats all share one
+/// name source.
+struct NamedCounter {
+  const char* name;
+  uint64_t value;
+};
+
+/// Prometheus text exposition (one `dpgrid_`-prefixed family per
+/// counter/histogram, labels for op/dataset/stage/quantile).
+std::string ToPrometheusText(const std::vector<NamedCounter>& counters,
+                             const MetricsSnapshot& metrics);
+
+/// The same data as one JSON object with deterministic key order.
+std::string ToJson(const std::vector<NamedCounter>& counters,
+                   const MetricsSnapshot& metrics);
+
+}  // namespace obs
+}  // namespace dpgrid
+
+#endif  // DPGRID_OBS_EXPOSITION_H_

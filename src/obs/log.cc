@@ -1,0 +1,110 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace dpgrid {
+namespace obs {
+
+LogLevel ParseLogLevel(const char* value, LogLevel fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  std::string lower;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel LogThreshold() {
+  static const LogLevel threshold =
+      ParseLogLevel(std::getenv("DPGRID_LOG_LEVEL"), LogLevel::kInfo);
+  return threshold;
+}
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+void AppendValue(std::string* line, const std::string& value) {
+  const bool quote =
+      value.empty() ||
+      value.find_first_of(" \t\"=") != std::string::npos;
+  if (!quote) {
+    line->append(value);
+    return;
+  }
+  line->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') line->push_back('\\');
+    line->push_back(c);
+  }
+  line->push_back('"');
+}
+
+}  // namespace
+
+void Log(LogLevel level, const char* event,
+         std::initializer_list<LogField> fields) {
+  if (level == LogLevel::kOff || !LogEnabled(level)) return;
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc{};
+#ifndef _WIN32
+  gmtime_r(&secs, &utc);
+#else
+  gmtime_s(&utc, &secs);
+#endif
+  char stamp[40];
+  std::snprintf(stamp, sizeof(stamp),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, millis);
+
+  std::string line(stamp);
+  line += " level=";
+  line += LevelName(level);
+  line += " event=";
+  line += event;
+  for (const LogField& f : fields) {
+    line.push_back(' ');
+    line += f.key;
+    line.push_back('=');
+    AppendValue(&line, f.value);
+  }
+  line.push_back('\n');
+
+  std::FILE* out =
+      static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn)
+          ? stderr
+          : stdout;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+}  // namespace obs
+}  // namespace dpgrid

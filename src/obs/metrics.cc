@@ -1,0 +1,203 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <ctime>
+#include <mutex>
+
+namespace dpgrid {
+namespace obs {
+
+size_t ShardedCounter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+namespace {
+
+// Bucket 0 holds 0µs; bucket i holds [2^(i-1), 2^i - 1]µs; the last
+// bucket absorbs the overflow.
+size_t BucketIndex(uint64_t us) {
+  if (us == 0) return 0;
+  const size_t b = static_cast<size_t>(std::bit_width(us));
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+uint64_t UnixSeconds() {
+  return static_cast<uint64_t>(::time(nullptr));
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t us) {
+  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (prev < us && !max_us_.compare_exchange_weak(
+                          prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  snap.max_us = max_us_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum_us += other.sum_us;
+  max_us = std::max(max_us, other.max_us);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  d.count = count - earlier.count;
+  d.sum_us = sum_us - earlier.sum_us;
+  d.max_us = max_us;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  return d;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    seen += buckets[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i == 0) return 0.0;
+    const double lo = static_cast<double>(uint64_t{1} << (i - 1));
+    double hi = i + 1 < kHistogramBuckets
+                    ? static_cast<double>((uint64_t{1} << i) - 1)
+                    : static_cast<double>(max_us);
+    hi = std::min(hi, static_cast<double>(max_us));
+    if (hi < lo) return hi;
+    const double into_bucket =
+        (rank - static_cast<double>(seen - buckets[i])) /
+        static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(into_bucket, 0.0, 1.0);
+  }
+  return static_cast<double>(max_us);
+}
+
+void EventCounter::Record(uint64_t n) {
+  count_.fetch_add(n, std::memory_order_relaxed);
+  last_unix_s_.store(UnixSeconds(), std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry(size_t slow_trace_capacity)
+    : slow_ring_(slow_trace_capacity) {}
+
+void MetricsRegistry::OnRequest(uint32_t op, uint64_t bytes_in) {
+  OpCell& cell = ops_[std::min<size_t>(op, kMaxTrackedOps - 1)];
+  cell.requests.Increment();
+  cell.bytes_in.Add(bytes_in);
+}
+
+void MetricsRegistry::OnResponse(uint32_t op, uint64_t bytes_out,
+                                 bool error) {
+  OpCell& cell = ops_[std::min<size_t>(op, kMaxTrackedOps - 1)];
+  cell.bytes_out.Add(bytes_out);
+  if (error) cell.errors.Increment();
+}
+
+MetricsRegistry::DatasetCell* MetricsRegistry::DatasetFor(
+    const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(dataset_mu_);
+    auto it = datasets_.find(name);
+    if (it != datasets_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(dataset_mu_);
+  auto it = datasets_.find(name);
+  if (it != datasets_.end()) return it->second.get();
+  if (datasets_.size() >= kMaxTrackedDatasets) {
+    auto [overflow, inserted] =
+        datasets_.try_emplace(kOverflowDataset, nullptr);
+    if (inserted) overflow->second = std::make_unique<DatasetCell>();
+    return overflow->second.get();
+  }
+  it = datasets_.emplace(name, std::make_unique<DatasetCell>()).first;
+  return it->second.get();
+}
+
+void MetricsRegistry::OnBatch(const std::string& dataset, uint64_t queries,
+                              uint64_t engine_us, bool error) {
+  DatasetCell* cell = DatasetFor(dataset);
+  cell->batches.Increment();
+  cell->queries.Add(queries);
+  if (error) cell->errors.Increment();
+  cell->engine_us.Record(engine_us);
+}
+
+void MetricsRegistry::OnFrameDone(FrameTrace trace) {
+  const uint64_t total = trace.TotalUs();
+  ops_[std::min<size_t>(trace.op, kMaxTrackedOps - 1)].latency.Record(total);
+  for (size_t i = 0; i < kNumStages; ++i) {
+    stages_[i].Record(trace.stage_us[i]);
+  }
+  const uint64_t threshold =
+      slow_frame_us_.load(std::memory_order_relaxed);
+  if (threshold != 0 && total >= threshold) {
+    slow_frames_.fetch_add(1, std::memory_order_relaxed);
+    trace.unix_s = UnixSeconds();
+    slow_ring_.Push(trace);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.slow_frame_us = slow_frame_us();
+  snap.slow_frames = slow_frames_.load(std::memory_order_relaxed);
+  for (size_t op = 0; op < kMaxTrackedOps; ++op) {
+    const OpCell& cell = ops_[op];
+    OpMetricsSnapshot o;
+    o.op = static_cast<uint32_t>(op);
+    o.requests = cell.requests.Value();
+    o.errors = cell.errors.Value();
+    o.bytes_in = cell.bytes_in.Value();
+    o.bytes_out = cell.bytes_out.Value();
+    o.latency = cell.latency.Snapshot();
+    if (o.requests != 0 || o.latency.count != 0) {
+      snap.ops.push_back(std::move(o));
+    }
+  }
+  snap.stages.reserve(kNumStages);
+  for (size_t i = 0; i < kNumStages; ++i) {
+    snap.stages.push_back(stages_[i].Snapshot());
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(dataset_mu_);
+    snap.datasets.reserve(datasets_.size());
+    for (const auto& [name, cell] : datasets_) {  // map order = sorted
+      DatasetMetricsSnapshot d;
+      d.name = name;
+      d.batches = cell->batches.Value();
+      d.queries = cell->queries.Value();
+      d.errors = cell->errors.Value();
+      d.engine_us = cell->engine_us.Snapshot();
+      snap.datasets.push_back(std::move(d));
+    }
+  }
+  snap.slow_traces = slow_ring_.Snapshot();
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace dpgrid

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace dpgrid {
+namespace obs {
+
+const char* StageName(size_t stage) {
+  static constexpr const char* kNames[kNumStages] = {
+      "read", "decode", "queue_wait", "engine", "encode", "write"};
+  return stage < kNumStages ? kNames[stage] : "unknown";
+}
+
+namespace {
+
+void PackTrace(const FrameTrace& t, uint64_t words[]) {
+  words[0] = t.request_id;
+  words[1] = static_cast<uint64_t>(t.op) |
+             (static_cast<uint64_t>(t.queries) << 32);
+  words[2] = t.unix_s;
+  for (size_t i = 0; i < kNumStages; ++i) words[3 + i] = t.stage_us[i];
+  std::memcpy(&words[3 + kNumStages], t.dataset, kTraceDatasetBytes);
+}
+
+FrameTrace UnpackTrace(const uint64_t words[]) {
+  FrameTrace t;
+  t.request_id = words[0];
+  t.op = static_cast<uint32_t>(words[1]);
+  t.queries = static_cast<uint32_t>(words[1] >> 32);
+  t.unix_s = words[2];
+  for (size_t i = 0; i < kNumStages; ++i) t.stage_us[i] = words[3 + i];
+  std::memcpy(t.dataset, &words[3 + kNumStages], kTraceDatasetBytes);
+  t.dataset[kTraceDatasetBytes - 1] = '\0';
+  return t;
+}
+
+}  // namespace
+
+SlowTraceRing::SlowTraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void SlowTraceRing::Push(const FrameTrace& trace) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+  // Claim the slot: even -> odd. The acquire half keeps the payload
+  // stores below from moving above the claim; a failed CAS reloads the
+  // current value, so a writer that lapped the ring spins here until the
+  // in-progress write releases the slot.
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  for (;;) {
+    seq &= ~uint64_t{1};
+    if (slot.seq.compare_exchange_weak(seq, seq + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  uint64_t words[kTraceWords];
+  PackTrace(trace, words);
+  for (size_t i = 0; i < kTraceWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  // Release the slot at the next even generation; the release store
+  // publishes the payload to any reader that observes it.
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+std::vector<FrameTrace> SlowTraceRing::Snapshot() const {
+  std::vector<FrameTrace> out;
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t n = std::min<uint64_t>(head, capacity_);
+  out.reserve(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    const Slot& slot = slots_[(head - 1 - k) % capacity_];
+    const uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // unwritten or torn
+    uint64_t words[kTraceWords];
+    for (size_t i = 0; i < kTraceWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    // Standard seqlock validation: the payload reads must sit between two
+    // identical even generation reads or the copy may be torn.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+    out.push_back(UnpackTrace(words));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dpgrid

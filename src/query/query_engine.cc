@@ -27,6 +27,8 @@ void QueryEngine::Run(const SynopsisT& synopsis,
                       std::span<const QueryT> queries,
                       std::span<double> out) const {
   DPGRID_CHECK(queries.size() == out.size());
+  batches_answered_.Increment();
+  queries_answered_.Add(queries.size());
   if (queries.empty()) return;
   const int threads = num_threads();
   if (threads <= 1 || queries.size() < options_.min_parallel_batch) {

@@ -9,6 +9,7 @@
 #include "grid/synopsis.h"
 #include "nd/box_nd.h"
 #include "nd/synopsis_nd.h"
+#include "obs/metrics.h"
 #include "query/workload.h"
 
 namespace dpgrid {
@@ -72,12 +73,22 @@ class QueryEngine {
   /// Threads a batch will actually be sharded across.
   int num_threads() const;
 
+  /// Lifetime batch/query counts across every AnswerAll (empty batches
+  /// included), surfaced through the METRICS op. Relaxed sharded
+  /// counters: callers on any thread, no contention on the answer path.
+  uint64_t batches_answered() const { return batches_answered_.Value(); }
+  uint64_t queries_answered() const { return queries_answered_.Value(); }
+
  private:
   template <typename SynopsisT, typename QueryT>
   void Run(const SynopsisT& synopsis, std::span<const QueryT> queries,
            std::span<double> out) const;
 
   QueryEngineOptions options_;
+  // Counting is observation, not mutation of engine behavior — the
+  // answer path stays const.
+  mutable obs::ShardedCounter batches_answered_;
+  mutable obs::ShardedCounter queries_answered_;
 };
 
 }  // namespace dpgrid

@@ -564,6 +564,30 @@ bool QueryClient::Stats(WireStats* stats, std::string* error) {
       error);
 }
 
+bool QueryClient::Metrics(WireStats* stats, obs::MetricsSnapshot* metrics,
+                          std::string* error) {
+  return WithRetries(
+      [&](std::string* attempt_error) {
+        std::string body;
+        if (!RoundTrip(WireOp::kMetrics, "", &body, attempt_error)) {
+          return false;
+        }
+        MetricsResponse resp;
+        if (!DecodeMetricsResponse(body, &resp, attempt_error)) {
+          Close();
+          return false;
+        }
+        if (resp.status != WireStatus::kOk) {
+          return HandleWireError(resp.status, resp.message, nullptr,
+                                 attempt_error);
+        }
+        if (stats != nullptr) *stats = resp.stats;
+        if (metrics != nullptr) *metrics = std::move(resp.metrics);
+        return true;
+      },
+      error);
+}
+
 bool QueryClient::Health(ServerHealth* state, uint64_t* active_connections,
                          std::string* error) {
   return WithRetries(

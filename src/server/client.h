@@ -117,6 +117,14 @@ class QueryClient {
   /// Fetches the server's request counters.
   bool Stats(WireStats* stats, std::string* error);
 
+  /// Fetches the server's full telemetry snapshot: the STATS counters
+  /// plus per-op/per-dataset histograms, stage breakdowns, lifecycle
+  /// events, and retained slow-frame traces. Against a server predating
+  /// the METRICS op this fails loudly (the old server answers
+  /// MALFORMED_FRAME and closes). Either out-param may be nullptr.
+  bool Metrics(WireStats* stats, obs::MetricsSnapshot* metrics,
+               std::string* error);
+
   /// Fetches the server's lifecycle state (SERVING/DRAINING) and live
   /// connection count. Against a server predating the HEALTH op this
   /// fails loudly (the old server answers MALFORMED_FRAME and closes).

@@ -339,6 +339,7 @@ void EventLoopServer::ReadPass(const ConnPtr& c) {
         // First byte of a frame arms the slow-loris bound: the whole
         // frame must land within read_deadline_ms.
         c->frame_deadline = net::Deadline::AfterMs(opt.read_deadline_ms);
+        c->frame_start_us = obs::NowMicros();
       }
       c->header_got += static_cast<size_t>(r);
       if (c->header_got < kWireHeaderSize) continue;
@@ -366,7 +367,7 @@ void EventLoopServer::ReadPass(const ConnPtr& c) {
         std::memcpy(&raw_op, c->header + 8, sizeof(raw_op));
         const WireOp echo_op =
             raw_op >= static_cast<uint32_t>(WireOp::kQueryBatch) &&
-                    raw_op <= static_cast<uint32_t>(WireOp::kHealth)
+                    raw_op <= static_cast<uint32_t>(WireOp::kMetrics)
                 ? static_cast<WireOp>(raw_op)
                 : WireOp::kQueryBatch;
         StageMalformed(c, echo_op, request_id, std::move(frame_error));
@@ -453,6 +454,8 @@ void EventLoopServer::EnqueueFrame(const ConnPtr& c) {
   f.request_id = c->request_id;
   f.body = std::move(c->body);
   c->body.clear();
+  f.enqueue_us = obs::NowMicros();
+  f.read_us = f.enqueue_us - c->frame_start_us;
   {
     std::lock_guard<std::mutex> lock(c->mu);
     c->requests.push_back(std::move(f));
@@ -516,7 +519,12 @@ void EventLoopServer::RunHandler(const ConnPtr& c) {
           EncodeErrorBody(WireStatus::kMalformedFrame, f.error);
       resp.close_after = true;
     } else {
-      server_->DispatchFrame(f.op, f.body, &c->scratch);
+      resp.trace.request_id = f.request_id;
+      resp.trace.stage_us[obs::kStageRead] = f.read_us;
+      resp.trace.stage_us[obs::kStageQueueWait] =
+          obs::NowMicros() - f.enqueue_us;
+      server_->DispatchFrame(f.op, f.body, &c->scratch, &resp.trace);
+      resp.traced = true;
     }
     resp.body = std::move(c->scratch.response_body);
     c->scratch.response_body.clear();
@@ -575,6 +583,10 @@ void EventLoopServer::FlushResponses(const ConnPtr& c) {
     EncodeFrameHeaderTo(r.op, r.request_id, r.body, header, version);
     c->write_buf.append(header, kWireHeaderSize);
     c->write_buf.append(r.body);
+    if (r.traced) {
+      c->write_marks.push_back(
+          WriteMark{c->write_buf.size(), obs::NowMicros(), r.trace});
+    }
     if (was_flushed) {
       c->write_deadline = net::Deadline::AfterMs(EffectiveWriteDeadlineMs(c));
     }
@@ -601,6 +613,10 @@ void EventLoopServer::TryFlush(const ConnPtr& c) {
       // Progress re-arms the bound: the deadline fires only when the peer
       // takes nothing for a whole write_deadline_ms.
       c->write_deadline = net::Deadline::AfterMs(EffectiveWriteDeadlineMs(c));
+      // Frames fully handed to the kernel complete here, strictly before
+      // the peer can read their bytes — so a follow-up METRICS request
+      // always observes the prior frame's finished histograms.
+      CompleteWrites(c);
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
@@ -627,6 +643,16 @@ void EventLoopServer::TryFlush(const ConnPtr& c) {
       c->linger_deadline =
           net::Deadline::AfterMs(c->linger_ms > 0 ? c->linger_ms : 2000);
     }
+  }
+}
+
+void EventLoopServer::CompleteWrites(const ConnPtr& c) {
+  while (!c->write_marks.empty() &&
+         c->write_marks.front().end_off <= c->write_off) {
+    WriteMark& m = c->write_marks.front();
+    m.trace.stage_us[obs::kStageWrite] = obs::NowMicros() - m.start_us;
+    server_->metrics_.OnFrameDone(m.trace);
+    c->write_marks.pop_front();
   }
 }
 
@@ -724,6 +750,9 @@ void EventLoopServer::CloseAllConns() {
 void EventLoopServer::CloseConn(const ConnPtr& c) {
   if (c->closed) return;
   c->closed = true;
+  // Responses never fully handed to the kernel were not observed by the
+  // peer; their traces are dropped with the connection.
+  c->write_marks.clear();
   {
     std::lock_guard<std::mutex> lock(c->mu);
     c->dead = true;

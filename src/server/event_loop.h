@@ -67,6 +67,11 @@ class EventLoopServer {
     std::string body;
     bool malformed = false;
     std::string error;
+    /// Microseconds spent reading the frame (first header byte ->
+    /// verified body) and the NowMicros stamp at enqueue, so the handler
+    /// can charge its pickup delay to kStageQueueWait.
+    uint64_t read_us = 0;
+    uint64_t enqueue_us = 0;
   };
 
   // A handler-produced response awaiting its in-order write.
@@ -77,6 +82,22 @@ class EventLoopServer {
     /// Flush, half-close, and linger-close after this response (terminal
     /// error frames and shed verdicts).
     bool close_after = false;
+    /// Partially filled frame timing, completed by the write path
+    /// (kStageWrite) when the last byte reaches the kernel. Untraced
+    /// responses (malformed errors, shed verdicts) skip metrics, matching
+    /// the legacy engine.
+    obs::FrameTrace trace;
+    bool traced = false;
+  };
+
+  /// Watermark into a connection's write buffer: when write_off crosses
+  /// end_off, the corresponding frame's response is fully handed to the
+  /// kernel and its trace is finalized. Offsets never rebase — write_buf
+  /// only resets once fully drained, after all marks have popped.
+  struct WriteMark {
+    size_t end_off = 0;
+    uint64_t start_us = 0;
+    obs::FrameTrace trace;
   };
 
   struct Conn {
@@ -109,12 +130,16 @@ class EventLoopServer {
     bool peer_eof = false;
     /// Drain mode: refuse frames whose bytes have not already arrived.
     bool draining = false;
+    /// NowMicros when the current frame's first header byte arrived.
+    uint64_t frame_start_us = 0;
     net::Deadline frame_deadline = net::Deadline::None();
     net::Deadline idle_deadline = net::Deadline::None();
 
     // --- write state (loop thread only) ---------------------------------
     std::string write_buf;
     size_t write_off = 0;
+    /// Pending frame-trace watermarks, in write order (see WriteMark).
+    std::deque<WriteMark> write_marks;
     net::Deadline write_deadline = net::Deadline::None();
     /// Overrides options.write_deadline_ms when > 0 (shed verdicts use a
     /// tighter bound).
@@ -161,6 +186,8 @@ class EventLoopServer {
   void AfterProgress(const ConnPtr& c);
   void FlushResponses(const ConnPtr& c);
   void TryFlush(const ConnPtr& c);
+  /// Finalizes traces for responses write_off has fully covered.
+  void CompleteWrites(const ConnPtr& c);
   int EffectiveWriteDeadlineMs(const ConnPtr& c) const;
   void UpdateInterest(const ConnPtr& c);
   void SweepDeadlines();

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/env.h"
 #include "server/event_loop.h"
 #include "server/socket_io.h"
 
@@ -20,7 +21,12 @@ namespace dpgrid {
 
 QueryServer::QueryServer(SynopsisCatalog* catalog, const QueryEngine* engine,
                          QueryServerOptions options)
-    : catalog_(catalog), engine_(engine), options_(std::move(options)) {}
+    : catalog_(catalog),
+      engine_(engine),
+      options_(std::move(options)),
+      metrics_(options_.slow_trace_capacity) {
+  metrics_.set_slow_frame_us(options_.slow_frame_us);
+}
 
 QueryServer::~QueryServer() { Shutdown(); }
 
@@ -37,6 +43,20 @@ WireStats QueryServer::StatsSnapshot() const {
   s.read_timeouts = read_timeouts_.load();
   s.idle_timeouts = idle_timeouts_.load();
   return s;
+}
+
+obs::MetricsSnapshot QueryServer::MetricsSnapshotNow() const {
+  obs::MetricsSnapshot m = metrics_.Snapshot();
+  for (obs::OpMetricsSnapshot& o : m.ops) {
+    if (o.op >= static_cast<uint32_t>(WireOp::kQueryBatch) &&
+        o.op <= static_cast<uint32_t>(WireOp::kMetrics)) {
+      o.name = WireOpName(static_cast<WireOp>(o.op));
+    }
+  }
+  m.engine_batches = engine_->batches_answered();
+  m.engine_queries = engine_->queries_answered();
+  m.events = catalog_->EventsSnapshot();
+  return m;
 }
 
 size_t QueryServer::active_connections() const {
@@ -66,6 +86,12 @@ bool QueryServer::Start(std::string* error) {
     if (error != nullptr) *error = "server already started";
     return false;
   }
+  // Operational override for the slow-frame threshold (negative values
+  // clamp to 0, which disables trace retention).
+  options_.slow_frame_us = static_cast<uint64_t>(std::max<int64_t>(
+      0, EnvInt64("DPGRID_SLOW_FRAME_US",
+                  static_cast<int64_t>(options_.slow_frame_us))));
+  metrics_.set_slow_frame_us(options_.slow_frame_us);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     if (error != nullptr) {
@@ -439,6 +465,7 @@ void QueryServer::ServeFrames(int fd) {
     // body) must land within read_deadline_ms — the slow-loris bound. A
     // timeout gets no response (the peer is stalled, not confused) and
     // closes the connection.
+    const uint64_t frame_start_us = obs::NowMicros();
     const net::Deadline frame_deadline =
         net::Deadline::AfterMs(options_.read_deadline_ms);
     const net::Deadline write_deadline =
@@ -476,7 +503,7 @@ void QueryServer::ServeFrames(int fd) {
       std::memcpy(&raw_op, header + 8, sizeof(raw_op));
       const WireOp echo_op =
           raw_op >= static_cast<uint32_t>(WireOp::kQueryBatch) &&
-                  raw_op <= static_cast<uint32_t>(WireOp::kHealth)
+                  raw_op <= static_cast<uint32_t>(WireOp::kMetrics)
               ? static_cast<WireOp>(raw_op)
               : WireOp::kQueryBatch;
       malformed_frames_.fetch_add(1, std::memory_order_relaxed);
@@ -520,10 +547,17 @@ void QueryServer::ServeFrames(int fd) {
     }
 
     frames_received_.fetch_add(1, std::memory_order_relaxed);
-    DispatchFrame(op, body, &scratch);
+    // This engine has no queue: a frame goes from verified straight into
+    // dispatch, so kStageQueueWait stays 0 and stage sample counts still
+    // match the event-loop engine for the same traffic.
+    obs::FrameTrace trace;
+    trace.request_id = request_id;
+    trace.stage_us[obs::kStageRead] = obs::NowMicros() - frame_start_us;
+    DispatchFrame(op, body, &scratch, &trace);
     const std::string& resp_body = scratch.response_body;
     char resp_header[kWireHeaderSize];
     EncodeFrameHeaderTo(op, request_id, resp_body, resp_header, conn_version);
+    const uint64_t write_start_us = obs::NowMicros();
     io = net::WriteFull2Deadline(fd, resp_header, sizeof(resp_header),
                                  resp_body.data(), resp_body.size(),
                                  write_deadline);
@@ -534,6 +568,8 @@ void QueryServer::ServeFrames(int fd) {
       return;
     }
     if (io != net::IoResult::kOk) return;
+    trace.stage_us[obs::kStageWrite] = obs::NowMicros() - write_start_us;
+    metrics_.OnFrameDone(trace);
     if (body.capacity() > kRetainedBodyCapacity) {
       std::string().swap(body);
     }
@@ -577,7 +613,13 @@ bool QueryServer::UseEventLoop() const { return false; }
 #endif  // _WIN32
 
 void QueryServer::DispatchFrame(WireOp op, const std::string& body,
-                                ConnectionScratch* scratch) {
+                                ConnectionScratch* scratch,
+                                obs::FrameTrace* trace) {
+  // Counted at dispatch entry, not exit, so a METRICS frame's own request
+  // is already in the snapshot it serves — identically in both engines.
+  metrics_.OnRequest(static_cast<uint32_t>(op),
+                     kWireHeaderSize + body.size());
+  if (trace != nullptr) trace->op = static_cast<uint32_t>(op);
   WireStatus status = WireStatus::kOk;
   std::string& response_body = scratch->response_body;
   response_body.clear();
@@ -589,12 +631,25 @@ void QueryServer::DispatchFrame(WireOp op, const std::string& body,
       // over-limit batch is rejected before its queries are parsed. It
       // decodes into the connection's reused request object, so a steady
       // stream of similar batches parses allocation-free.
+      const uint64_t decode_start_us = obs::NowMicros();
       WireStatus reject = WireStatus::kMalformedRequest;
       if (!DecodeQueryBatchRequest(body, &req, &error,
                                    options_.max_batch_queries, &reject)) {
+        if (trace != nullptr) {
+          trace->stage_us[obs::kStageDecode] =
+              obs::NowMicros() - decode_start_us;
+        }
         status = reject;
         response_body = EncodeErrorBody(status, error);
         break;
+      }
+      const uint64_t engine_start_us = obs::NowMicros();
+      if (trace != nullptr) {
+        trace->stage_us[obs::kStageDecode] =
+            engine_start_us - decode_start_us;
+        trace->queries = static_cast<uint32_t>(
+            std::min<size_t>(req.count(), UINT32_MAX));
+        trace->SetDataset(req.name);
       }
       std::vector<double>& answers = scratch->answers;
       answers.resize(req.count());
@@ -605,6 +660,14 @@ void QueryServer::DispatchFrame(WireOp op, const std::string& body,
                                       answers, &version)
               : catalog_->AnswerBatchNd(*engine_, req.name, req.dims,
                                         req.queries_nd, answers, &version);
+      const uint64_t encode_start_us = obs::NowMicros();
+      if (trace != nullptr) {
+        trace->stage_us[obs::kStageEngine] =
+            encode_start_us - engine_start_us;
+      }
+      metrics_.OnBatch(req.name, req.count(),
+                       encode_start_us - engine_start_us,
+                       catalog_status != CatalogStatus::kOk);
       switch (catalog_status) {
         case CatalogStatus::kOk:
           batches_answered_.fetch_add(1, std::memory_order_relaxed);
@@ -624,30 +687,43 @@ void QueryServer::DispatchFrame(WireOp op, const std::string& body,
                           std::to_string(req.dims) + "-d queries");
           break;
       }
+      if (trace != nullptr) {
+        trace->stage_us[obs::kStageEncode] =
+            obs::NowMicros() - encode_start_us;
+      }
       break;
     }
     case WireOp::kListSynopses:
     case WireOp::kStats:
     case WireOp::kReload:
-    case WireOp::kHealth: {
+    case WireOp::kHealth:
+    case WireOp::kMetrics: {
       // These ops carry no request payload; enforcing that keeps protocol
       // v1 strict instead of silently committing to ignore-trailing-bytes
       // semantics.
+      const uint64_t handle_start_us = obs::NowMicros();
       if (!body.empty()) {
         status = WireStatus::kMalformedRequest;
         response_body = EncodeErrorBody(status, "request body must be empty");
-        break;
-      }
-      if (op == WireOp::kListSynopses) {
+      } else if (op == WireOp::kListSynopses) {
         response_body = EncodeListOkBody(catalog_->List());
       } else if (op == WireOp::kStats) {
         response_body = EncodeStatsOkBody(StatsSnapshot());
       } else if (op == WireOp::kHealth) {
         response_body = EncodeHealthOkBody(health(), active_connections());
+      } else if (op == WireOp::kMetrics) {
+        response_body =
+            EncodeMetricsOkBody(StatsSnapshot(), MetricsSnapshotNow());
       } else {
         const size_t installed = catalog_->ReloadAll(nullptr);
         RecordReloads(installed);
         response_body = EncodeReloadOkBody(installed);
+      }
+      // Bodyless ops have no decode/encode split worth separating; the
+      // whole handling lands in the engine stage.
+      if (trace != nullptr) {
+        trace->stage_us[obs::kStageEngine] =
+            obs::NowMicros() - handle_start_us;
       }
       break;
     }
@@ -655,6 +731,9 @@ void QueryServer::DispatchFrame(WireOp op, const std::string& body,
   if (status != WireStatus::kOk) {
     errors_returned_.fetch_add(1, std::memory_order_relaxed);
   }
+  metrics_.OnResponse(static_cast<uint32_t>(op),
+                      kWireHeaderSize + response_body.size(),
+                      status != WireStatus::kOk);
 }
 
 }  // namespace dpgrid

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "catalog/synopsis_catalog.h"
+#include "obs/metrics.h"
 #include "query/query_engine.h"
 #include "server/wire.h"
 
@@ -79,6 +80,16 @@ struct QueryServerOptions {
   /// Worker threads running frame handlers (responses still go out in
   /// request order per connection); values < 1 are clamped to 1.
   int handler_threads = 1;
+
+  // --- observability knobs ------------------------------------------------
+
+  /// Frames slower (end to end) than this many microseconds are retained
+  /// in the slow-trace ring served by the METRICS op; 0 disables
+  /// retention. Start() lets the DPGRID_SLOW_FRAME_US env var override
+  /// this value.
+  uint64_t slow_frame_us = 10'000;
+  /// How many slow-frame traces the ring retains (newest win).
+  size_t slow_trace_capacity = 64;
 };
 
 /// How long a graceful Shutdown lets in-flight frames finish.
@@ -173,6 +184,12 @@ class QueryServer {
   /// Consistent-enough snapshot of the per-request metrics counters.
   WireStats StatsSnapshot() const;
 
+  /// Full registry snapshot as served by the METRICS op: per-op and
+  /// per-dataset counters and histograms from the registry, merged with
+  /// the engine's batch/query counters and the catalog/store lifecycle
+  /// events, with op names filled in from WireOpName.
+  obs::MetricsSnapshot MetricsSnapshotNow() const;
+
   /// Credits `n` hot reloads to the STATS counters. The RELOAD op calls
   /// this internally; external reload drivers (e.g. dpgrid_server's
   /// DPGRID_RELOAD_SECS poll, which reloads the catalog directly) must
@@ -200,13 +217,18 @@ class QueryServer {
   bool DoShutdown(int drain_ms);
   /// Dispatches one verified frame into scratch->response_body (the
   /// caller frames it, writing header and body without another payload
-  /// copy).
+  /// copy). Records per-op request/response metrics; when `trace` is
+  /// non-null its decode/engine/encode stage timings and query count are
+  /// filled in (the caller owns read/queue/write timing and the final
+  /// OnFrameDone).
   void DispatchFrame(WireOp op, const std::string& body,
-                     ConnectionScratch* scratch);
+                     ConnectionScratch* scratch,
+                     obs::FrameTrace* trace = nullptr);
 
   SynopsisCatalog* catalog_;
   const QueryEngine* engine_;
   QueryServerOptions options_;
+  obs::MetricsRegistry metrics_;
 
   // Serializes Start/Shutdown; `started_` is only touched under it.
   std::mutex lifecycle_mu_;

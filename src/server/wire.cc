@@ -61,6 +61,24 @@ const char* WireStatusName(WireStatus status) {
   return "UNKNOWN";
 }
 
+const char* WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kQueryBatch:
+      return "QUERY_BATCH";
+    case WireOp::kListSynopses:
+      return "LIST_SYNOPSES";
+    case WireOp::kStats:
+      return "STATS";
+    case WireOp::kReload:
+      return "RELOAD";
+    case WireOp::kHealth:
+      return "HEALTH";
+    case WireOp::kMetrics:
+      return "METRICS";
+  }
+  return "UNKNOWN";
+}
+
 const char* ServerHealthName(ServerHealth state) {
   switch (state) {
     case ServerHealth::kServing:
@@ -134,7 +152,7 @@ bool DecodeFrameHeader(std::string_view header, WireOp* op,
   if (version_out != nullptr) *version_out = version;
   uint32_t raw_op = 0;
   if (!r.U32(&raw_op) || raw_op < static_cast<uint32_t>(WireOp::kQueryBatch) ||
-      raw_op > static_cast<uint32_t>(WireOp::kHealth)) {
+      raw_op > static_cast<uint32_t>(WireOp::kMetrics)) {
     return SetError(error, "unknown op code");
   }
   r.U64(request_id);
@@ -430,16 +448,10 @@ std::string EncodeStatsOkBody(const WireStats& stats) {
   ByteWriter w;
   w.U32(static_cast<uint32_t>(WireStatus::kOk));
   w.Str("");
-  w.U64(stats.connections_accepted);
-  w.U64(stats.frames_received);
-  w.U64(stats.malformed_frames);
-  w.U64(stats.batches_answered);
-  w.U64(stats.queries_answered);
-  w.U64(stats.errors_returned);
-  w.U64(stats.reloads_installed);
-  w.U64(stats.connections_shed);
-  w.U64(stats.read_timeouts);
-  w.U64(stats.idle_timeouts);
+  // The body stays the bare counters in struct order (no count prefix);
+  // the table just guarantees encoder, decoder, and every label consumer
+  // agree on that order.
+  for (const WireStatsField& f : kWireStatsFields) w.U64(stats.*f.field);
   return std::move(w).Take();
 }
 
@@ -453,17 +465,7 @@ bool DecodeStatsResponse(std::string_view body, StatsResponse* out,
     *out = std::move(resp);
     return true;
   }
-  WireStats& s = resp.stats;
-  r.U64(&s.connections_accepted);
-  r.U64(&s.frames_received);
-  r.U64(&s.malformed_frames);
-  r.U64(&s.batches_answered);
-  r.U64(&s.queries_answered);
-  r.U64(&s.errors_returned);
-  r.U64(&s.reloads_installed);
-  r.U64(&s.connections_shed);
-  r.U64(&s.read_timeouts);
-  r.U64(&s.idle_timeouts);
+  for (const WireStatsField& f : kWireStatsFields) r.U64(&(resp.stats.*f.field));
   if (!r.ok()) {
     return SetError(error, "truncated stats response: " + r.error());
   }
@@ -536,6 +538,230 @@ bool DecodeHealthResponse(std::string_view body, HealthResponse* out,
   resp.state = static_cast<ServerHealth>(raw_state);
   if (r.remaining() != 0) {
     return SetError(error, "trailing bytes in health response");
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+// --- METRICS ---------------------------------------------------------------
+
+namespace {
+
+void EncodeHistogram(ByteWriter* w, const obs::HistogramSnapshot& h) {
+  w->U64(h.count);
+  w->U64(h.sum_us);
+  w->U64(h.max_us);
+  w->U32(static_cast<uint32_t>(obs::kHistogramBuckets));
+  for (uint64_t b : h.buckets) w->U64(b);
+}
+
+// Strict: client and server ship together, so a bucket-count mismatch is
+// corruption or version skew, not something to paper over.
+bool DecodeHistogram(ByteReader* r, obs::HistogramSnapshot* h,
+                     std::string* error) {
+  uint32_t buckets = 0;
+  if (!r->U64(&h->count) || !r->U64(&h->sum_us) || !r->U64(&h->max_us) ||
+      !r->U32(&buckets)) {
+    return SetError(error, "truncated histogram: " + r->error());
+  }
+  if (buckets != obs::kHistogramBuckets) {
+    return SetError(error, "unexpected histogram bucket count");
+  }
+  for (size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+    if (!r->U64(&h->buckets[i])) {
+      return SetError(error, "truncated histogram buckets: " + r->error());
+    }
+  }
+  return true;
+}
+
+// Smallest possible wire footprint of one histogram; used to bound
+// claimed element counts against the bytes actually present.
+constexpr uint64_t kWireHistogramBytes =
+    3 * 8 + 4 + obs::kHistogramBuckets * 8;
+
+}  // namespace
+
+std::string EncodeMetricsOkBody(const WireStats& stats,
+                                const obs::MetricsSnapshot& metrics) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(WireStatus::kOk));
+  w.Str("");
+
+  w.U32(static_cast<uint32_t>(kNumWireStatsFields));
+  for (const WireStatsField& f : kWireStatsFields) w.U64(stats.*f.field);
+
+  w.U64(metrics.slow_frame_us);
+  w.U64(metrics.slow_frames);
+  w.U64(metrics.engine_batches);
+  w.U64(metrics.engine_queries);
+
+  w.U32(static_cast<uint32_t>(metrics.ops.size()));
+  for (const obs::OpMetricsSnapshot& o : metrics.ops) {
+    w.U32(o.op);
+    w.Str(o.name);
+    w.U64(o.requests);
+    w.U64(o.errors);
+    w.U64(o.bytes_in);
+    w.U64(o.bytes_out);
+    EncodeHistogram(&w, o.latency);
+  }
+
+  w.U32(static_cast<uint32_t>(metrics.stages.size()));
+  for (const obs::HistogramSnapshot& h : metrics.stages) {
+    EncodeHistogram(&w, h);
+  }
+
+  w.U32(static_cast<uint32_t>(metrics.datasets.size()));
+  for (const obs::DatasetMetricsSnapshot& d : metrics.datasets) {
+    w.Str(d.name);
+    w.U64(d.batches);
+    w.U64(d.queries);
+    w.U64(d.errors);
+    EncodeHistogram(&w, d.engine_us);
+  }
+
+  w.U32(static_cast<uint32_t>(metrics.events.size()));
+  for (const obs::EventSnapshot& e : metrics.events) {
+    w.Str(e.name);
+    w.U64(e.count);
+    w.U64(e.last_unix_s);
+  }
+
+  w.U32(static_cast<uint32_t>(metrics.slow_traces.size()));
+  for (const obs::FrameTrace& t : metrics.slow_traces) {
+    w.U64(t.request_id);
+    w.U32(t.op);
+    w.U32(t.queries);
+    w.Str(t.DatasetString());
+    w.U64(t.unix_s);
+    w.U32(static_cast<uint32_t>(obs::kNumStages));
+    for (uint64_t us : t.stage_us) w.U64(us);
+  }
+  return std::move(w).Take();
+}
+
+bool DecodeMetricsResponse(std::string_view body, MetricsResponse* out,
+                           std::string* error) {
+  ByteReader r(body);
+  MetricsResponse resp;
+  if (!ReadStatusPrefix(&r, &resp.status, &resp.message, error)) return false;
+  if (resp.status != WireStatus::kOk) {
+    if (!FinishErrorResponse(r, error)) return false;
+    *out = std::move(resp);
+    return true;
+  }
+
+  uint32_t counter_count = 0;
+  if (!r.U32(&counter_count)) {
+    return SetError(error, "truncated metrics response: " + r.error());
+  }
+  if (counter_count != kNumWireStatsFields) {
+    return SetError(error, "unexpected metrics counter count");
+  }
+  for (const WireStatsField& f : kWireStatsFields) {
+    if (!r.U64(&(resp.stats.*f.field))) {
+      return SetError(error, "truncated metrics counters: " + r.error());
+    }
+  }
+
+  obs::MetricsSnapshot& m = resp.metrics;
+  if (!r.U64(&m.slow_frame_us) || !r.U64(&m.slow_frames) ||
+      !r.U64(&m.engine_batches) || !r.U64(&m.engine_queries)) {
+    return SetError(error, "truncated metrics response: " + r.error());
+  }
+
+  uint32_t op_count = 0;
+  if (!r.U32(&op_count)) {
+    return SetError(error, "truncated metrics ops: " + r.error());
+  }
+  // Minimum per-op footprint: u32 op + empty str (u32 len) + 4 u64 +
+  // histogram.
+  if (op_count > r.remaining() / (4 + 4 + 4 * 8 + kWireHistogramBytes)) {
+    return SetError(error, "metrics op count exceeds body size");
+  }
+  m.ops.resize(op_count);
+  for (obs::OpMetricsSnapshot& o : m.ops) {
+    if (!r.U32(&o.op) || !r.Str(&o.name) || !r.U64(&o.requests) ||
+        !r.U64(&o.errors) || !r.U64(&o.bytes_in) || !r.U64(&o.bytes_out)) {
+      return SetError(error, "truncated metrics op: " + r.error());
+    }
+    if (!DecodeHistogram(&r, &o.latency, error)) return false;
+  }
+
+  uint32_t stage_count = 0;
+  if (!r.U32(&stage_count)) {
+    return SetError(error, "truncated metrics stages: " + r.error());
+  }
+  if (stage_count != obs::kNumStages) {
+    return SetError(error, "unexpected metrics stage count");
+  }
+  m.stages.resize(stage_count);
+  for (obs::HistogramSnapshot& h : m.stages) {
+    if (!DecodeHistogram(&r, &h, error)) return false;
+  }
+
+  uint32_t dataset_count = 0;
+  if (!r.U32(&dataset_count)) {
+    return SetError(error, "truncated metrics datasets: " + r.error());
+  }
+  if (dataset_count > r.remaining() / (4 + 3 * 8 + kWireHistogramBytes)) {
+    return SetError(error, "metrics dataset count exceeds body size");
+  }
+  m.datasets.resize(dataset_count);
+  for (obs::DatasetMetricsSnapshot& d : m.datasets) {
+    if (!r.Str(&d.name) || !r.U64(&d.batches) || !r.U64(&d.queries) ||
+        !r.U64(&d.errors)) {
+      return SetError(error, "truncated metrics dataset: " + r.error());
+    }
+    if (!DecodeHistogram(&r, &d.engine_us, error)) return false;
+  }
+
+  uint32_t event_count = 0;
+  if (!r.U32(&event_count)) {
+    return SetError(error, "truncated metrics events: " + r.error());
+  }
+  if (event_count > r.remaining() / (4 + 2 * 8)) {
+    return SetError(error, "metrics event count exceeds body size");
+  }
+  m.events.resize(event_count);
+  for (obs::EventSnapshot& e : m.events) {
+    if (!r.Str(&e.name) || !r.U64(&e.count) || !r.U64(&e.last_unix_s)) {
+      return SetError(error, "truncated metrics event: " + r.error());
+    }
+  }
+
+  uint32_t trace_count = 0;
+  if (!r.U32(&trace_count)) {
+    return SetError(error, "truncated metrics traces: " + r.error());
+  }
+  // u64 id + u32 op + u32 queries + empty str + u64 unix_s + u32 stage
+  // count + kNumStages u64.
+  if (trace_count >
+      r.remaining() / (8 + 4 + 4 + 4 + 8 + 4 + obs::kNumStages * 8)) {
+    return SetError(error, "metrics trace count exceeds body size");
+  }
+  m.slow_traces.resize(trace_count);
+  for (obs::FrameTrace& t : m.slow_traces) {
+    std::string dataset;
+    uint32_t trace_stages = 0;
+    if (!r.U64(&t.request_id) || !r.U32(&t.op) || !r.U32(&t.queries) ||
+        !r.Str(&dataset) || !r.U64(&t.unix_s) || !r.U32(&trace_stages)) {
+      return SetError(error, "truncated metrics trace: " + r.error());
+    }
+    if (trace_stages != obs::kNumStages) {
+      return SetError(error, "unexpected metrics trace stage count");
+    }
+    t.SetDataset(dataset);
+    for (size_t s = 0; s < obs::kNumStages; ++s) {
+      if (!r.U64(&t.stage_us[s])) {
+        return SetError(error, "truncated metrics trace stages: " + r.error());
+      }
+    }
+  }
+
+  if (r.remaining() != 0) {
+    return SetError(error, "trailing bytes in metrics response");
   }
   *out = std::move(resp);
   return true;

@@ -10,6 +10,7 @@
 #include "catalog/synopsis_catalog.h"
 #include "geo/rect.h"
 #include "nd/box_nd.h"
+#include "obs/metrics.h"
 
 namespace dpgrid {
 
@@ -62,17 +63,22 @@ inline constexpr uint32_t kWireMaxDims = 32;
 /// Operation codes. Responses carry the same op as the request they
 /// answer.
 ///
-/// kHealth is additive within protocol v1: a v1 server predating it
-/// answers a HEALTH frame with kMalformedFrame ("unknown op code") and
-/// closes the connection — a probe against an old server fails loudly
-/// instead of hanging, which is the degradation a health check wants.
+/// kHealth and kMetrics are additive within protocol v1: a server
+/// predating one of them answers such a frame with kMalformedFrame
+/// ("unknown op code") and closes the connection — a probe against an
+/// old server fails loudly instead of hanging, which is the degradation
+/// a health check or metrics scrape wants.
 enum class WireOp : uint32_t {
   kQueryBatch = 1,
   kListSynopses = 2,
   kStats = 3,
   kReload = 4,
   kHealth = 5,
+  kMetrics = 6,
 };
+
+/// Short identifier for logs/metrics labels, e.g. "QUERY_BATCH".
+const char* WireOpName(WireOp op);
 
 /// Response status codes.
 enum class WireStatus : uint32_t {
@@ -263,6 +269,31 @@ struct WireStats {
   uint64_t idle_timeouts = 0;
 };
 
+/// One WireStats counter: its wire/exposition name and where it lives in
+/// the struct. kWireStatsFields is THE name source — the STATS codec,
+/// `dpgrid_cli remote-stats`, and the Prometheus/JSON exposition all
+/// iterate it, so adding a counter means adding exactly one table row
+/// (and the struct field); nothing can silently drop it.
+struct WireStatsField {
+  const char* name;
+  uint64_t WireStats::*field;
+};
+
+inline constexpr WireStatsField kWireStatsFields[] = {
+    {"connections_accepted", &WireStats::connections_accepted},
+    {"frames_received", &WireStats::frames_received},
+    {"malformed_frames", &WireStats::malformed_frames},
+    {"batches_answered", &WireStats::batches_answered},
+    {"queries_answered", &WireStats::queries_answered},
+    {"errors_returned", &WireStats::errors_returned},
+    {"reloads_installed", &WireStats::reloads_installed},
+    {"connections_shed", &WireStats::connections_shed},
+    {"read_timeouts", &WireStats::read_timeouts},
+    {"idle_timeouts", &WireStats::idle_timeouts},
+};
+inline constexpr size_t kNumWireStatsFields =
+    sizeof(kWireStatsFields) / sizeof(kWireStatsFields[0]);
+
 /// Request body: empty. OK body: the ten u64 counters in struct order.
 std::string EncodeStatsOkBody(const WireStats& stats);
 
@@ -312,6 +343,36 @@ struct HealthResponse {
 };
 bool DecodeHealthResponse(std::string_view body, HealthResponse* out,
                           std::string* error);
+
+// --- METRICS ---------------------------------------------------------------
+
+/// Request body: empty. OK body:
+///   u32 counter count (== kNumWireStatsFields), that many u64 counters
+///     in kWireStatsFields order,
+///   u64 slow_frame_us, u64 slow_frames, u64 engine_batches,
+///   u64 engine_queries,
+///   u32 op count, per op: u32 op, str name, u64 requests, u64 errors,
+///     u64 bytes_in, u64 bytes_out, histogram,
+///   u32 stage count (== obs::kNumStages), that many histograms in
+///     obs::Stage order,
+///   u32 dataset count, per dataset: str name, u64 batches, u64 queries,
+///     u64 errors, histogram,
+///   u32 event count, per event: str name, u64 count, u64 last_unix_s,
+///   u32 trace count, per trace: u64 request_id, u32 op, u32 queries,
+///     str dataset, u64 unix_s, u32 stage count, that many u64 stage_us.
+/// A histogram is: u64 count, u64 sum_us, u64 max_us, u32 bucket count
+/// (== obs::kHistogramBuckets), that many u64 buckets.
+std::string EncodeMetricsOkBody(const WireStats& stats,
+                                const obs::MetricsSnapshot& metrics);
+
+struct MetricsResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  WireStats stats;
+  obs::MetricsSnapshot metrics;
+};
+bool DecodeMetricsResponse(std::string_view body, MetricsResponse* out,
+                           std::string* error);
 
 // --- shared error body -----------------------------------------------------
 

@@ -244,6 +244,7 @@ uint64_t SnapshotStore::PublishBytes(const std::string& name,
     return 0;
   }
   SyncDirectory(directory_);
+  publish_events_.Record();
   return version;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/snapshot.h"
 
 namespace dpgrid {
@@ -82,6 +83,11 @@ class SnapshotStore {
   /// must never escape the store directory, on reads as well as writes.
   static bool ValidName(const std::string& name);
 
+  /// Successful publishes through this store instance (every Publish
+  /// overload funnels through PublishBytes), with the wall-clock second
+  /// of the latest one — surfaced via the METRICS op.
+  const obs::EventCounter& publish_events() const { return publish_events_; }
+
  private:
   std::string PathFor(const std::string& name, uint64_t version) const;
 
@@ -90,6 +96,7 @@ class SnapshotStore {
   // publishing the same name through one store would otherwise pick the
   // same version and truncate each other's temp file.
   std::mutex publish_mu_;
+  obs::EventCounter publish_events_;
 };
 
 }  // namespace dpgrid

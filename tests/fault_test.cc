@@ -58,13 +58,15 @@ using test::FixedQueries;
 class FaultTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Keyed on the PID, not just the test name: ctest runs this binary
+    // twice in parallel (fault_test / fault_test_threaded), and two
+    // processes on the same test would otherwise remove_all each other's
+    // directories mid-test.
     dir_ = (std::filesystem::temp_directory_path() /
-            ("dpgrid_fault_test_" +
-             std::to_string(
-                 ::testing::UnitTest::GetInstance()->random_seed()) +
-             "_" + ::testing::UnitTest::GetInstance()
-                       ->current_test_info()
-                       ->name()))
+            ("dpgrid_fault_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name()))
                .string();
     std::filesystem::remove_all(dir_);
     Rng data_rng(321);

@@ -11,6 +11,8 @@
 //   - framing damage fails with a clean wire error and closes the
 //     connection; semantic errors fail only that request.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
 #include <filesystem>
@@ -27,6 +29,8 @@
 #include "grid/uniform_grid.h"
 #include "nd/dataset_nd.h"
 #include "nd/uniform_grid_nd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query_engine.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -43,13 +47,15 @@ using test::FixedQueries;
 class ServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Keyed on the PID, not just the test name: ctest runs this binary
+    // twice in parallel (server_test / server_test_threaded), and two
+    // processes on the same test would otherwise remove_all each other's
+    // directories mid-test.
     dir_ = (std::filesystem::temp_directory_path() /
-            ("dpgrid_server_test_" +
-             std::to_string(
-                 ::testing::UnitTest::GetInstance()->random_seed()) +
-             "_" + ::testing::UnitTest::GetInstance()
-                       ->current_test_info()
-                       ->name()))
+            ("dpgrid_server_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name()))
                .string();
     std::filesystem::remove_all(dir_);
     Rng data_rng(321);
@@ -627,6 +633,243 @@ TEST_F(ServerTest, PipelinedFramesComeBackInOrderAndBitwiseIdentical) {
   EXPECT_EQ(stats.batches_answered, (2000 + 127) / 128);
   EXPECT_EQ(stats.connections_accepted, 1u);
   EXPECT_EQ(stats.malformed_frames, 0u);
+}
+
+// --- METRICS ---------------------------------------------------------------
+
+TEST_F(ServerTest, MetricsOpReportsTrafficAndEvents) {
+  std::string error;
+  auto grid = MakeGrid(71);
+  ASSERT_EQ(store_->Publish("taxi", *grid, SnapshotMeta{1.0, "m"}, &error),
+            1u)
+      << error;
+  ASSERT_EQ(catalog_->LoadAll(nullptr), 1u);
+  QueryServerOptions opts;
+  opts.slow_frame_us = 1'000'000'000;  // nothing qualifies as slow
+  StartServer(opts);
+
+  QueryClient client;
+  Connect(&client);
+  const std::vector<Rect> queries = FixedQueries(data_->domain(), 500, 73);
+  std::vector<double> answers;
+  uint64_t version = 0;
+  constexpr int kBatches = 3;
+  for (int i = 0; i < kBatches; ++i) {
+    ASSERT_TRUE(client.QueryBatch("taxi", queries, &answers, &version,
+                                  nullptr, &error))
+        << error;
+  }
+  WireStatus status = WireStatus::kOk;
+  EXPECT_FALSE(client.QueryBatch("ghost", queries, &answers, &version,
+                                 &status, &error));
+  EXPECT_EQ(status, WireStatus::kNotFound);
+
+  WireStats stats;
+  obs::MetricsSnapshot metrics;
+  ASSERT_TRUE(client.Metrics(&stats, &metrics, &error)) << error;
+
+  // The STATS counters ride along in the METRICS body.
+  EXPECT_EQ(stats.batches_answered, kBatches);
+  EXPECT_EQ(stats.errors_returned, 1u);
+
+  // Per-op cells: 4 QUERY_BATCH frames (one errored), and the METRICS
+  // frame counts itself on admission, before the snapshot is taken.
+  auto find_op = [&metrics](WireOp op) -> const obs::OpMetricsSnapshot* {
+    for (const obs::OpMetricsSnapshot& o : metrics.ops) {
+      if (o.op == static_cast<uint32_t>(op)) return &o;
+    }
+    return nullptr;
+  };
+  const obs::OpMetricsSnapshot* qb = find_op(WireOp::kQueryBatch);
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->name, "QUERY_BATCH");
+  EXPECT_EQ(qb->requests, kBatches + 1u);
+  EXPECT_EQ(qb->errors, 1u);
+  EXPECT_GT(qb->bytes_in, 0u);
+  EXPECT_GT(qb->bytes_out, 0u);
+  // Frame latency lands only after the response is written, so the
+  // histogram holds all frames answered before this METRICS request.
+  EXPECT_EQ(qb->latency.count, kBatches + 1u);
+  const obs::OpMetricsSnapshot* me = find_op(WireOp::kMetrics);
+  ASSERT_NE(me, nullptr);
+  EXPECT_EQ(me->requests, 1u);
+  EXPECT_EQ(me->latency.count, 0u);  // still in flight when snapshotted
+
+  // Stage histograms: every completed frame recorded all six stages.
+  ASSERT_EQ(metrics.stages.size(), obs::kNumStages);
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    EXPECT_EQ(metrics.stages[i].count, kBatches + 1u) << obs::StageName(i);
+  }
+
+  // Per-dataset cells: "taxi" with the engine-stage histogram, "ghost"
+  // with its error.
+  ASSERT_EQ(metrics.datasets.size(), 2u);
+  EXPECT_EQ(metrics.datasets[0].name, "ghost");  // sorted by name
+  EXPECT_EQ(metrics.datasets[0].errors, 1u);
+  EXPECT_EQ(metrics.datasets[1].name, "taxi");
+  EXPECT_EQ(metrics.datasets[1].batches, kBatches);
+  EXPECT_EQ(metrics.datasets[1].queries, kBatches * queries.size());
+  EXPECT_EQ(metrics.datasets[1].errors, 0u);
+  EXPECT_EQ(metrics.datasets[1].engine_us.count, kBatches);
+
+  // Engine counters and catalog/store lifecycle events ride along.
+  EXPECT_EQ(metrics.engine_batches, kBatches);
+  EXPECT_EQ(metrics.engine_queries, kBatches * queries.size());
+  auto find_event = [&metrics](const std::string& name) -> uint64_t {
+    for (const obs::EventSnapshot& e : metrics.events) {
+      if (e.name == name) return e.count;
+    }
+    return ~uint64_t{0};
+  };
+  EXPECT_EQ(find_event("catalog_versions_installed"), 1u);
+  EXPECT_EQ(find_event("store_publishes"), 1u);
+  EXPECT_EQ(find_event("catalog_reload_sweeps"), 1u);  // LoadAll's sweep
+
+  // Nothing crossed the (absurd) slow threshold.
+  EXPECT_EQ(metrics.slow_frame_us, 1'000'000'000u);
+  EXPECT_EQ(metrics.slow_frames, 0u);
+  EXPECT_TRUE(metrics.slow_traces.empty());
+}
+
+TEST_F(ServerTest, SlowFramesAreRetainedWithStageBreakdown) {
+  std::string error;
+  auto grid = MakeGrid(75);
+  ASSERT_EQ(store_->Publish("taxi", *grid, SnapshotMeta{1.0, "s"}, &error),
+            1u)
+      << error;
+  ASSERT_EQ(catalog_->LoadAll(nullptr), 1u);
+  QueryServerOptions opts;
+  opts.slow_frame_us = 1;  // every non-instant frame is "slow"
+  opts.slow_trace_capacity = 4;
+  StartServer(opts);
+
+  QueryClient client;
+  Connect(&client);
+  const std::vector<Rect> queries = FixedQueries(data_->domain(), 2000, 77);
+  std::vector<double> answers;
+  uint64_t version = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client.QueryBatch("taxi", queries, &answers, &version,
+                                  nullptr, &error))
+        << error;
+  }
+  obs::MetricsSnapshot metrics;
+  ASSERT_TRUE(client.Metrics(nullptr, &metrics, &error)) << error;
+  // A 2000-query engine pass takes well over 1µs, so every batch frame
+  // crossed the threshold; the ring retains only the last 4.
+  EXPECT_GE(metrics.slow_frames, 6u);
+  ASSERT_EQ(metrics.slow_traces.size(), 4u);
+  for (const obs::FrameTrace& t : metrics.slow_traces) {
+    EXPECT_EQ(t.DatasetString(), "taxi");
+    EXPECT_EQ(t.queries, queries.size());
+    EXPECT_GE(t.TotalUs(), 1u);
+    EXPECT_GT(t.unix_s, 0u);
+  }
+}
+
+// The cross-engine contract: the same traffic against the epoll event
+// loop and the legacy thread-per-connection engine must produce METRICS
+// snapshots that agree on every deterministic field (only latency values
+// may differ — never sample counts).
+TEST_F(ServerTest, MetricsServedIdenticallyByBothEngines) {
+  std::string error;
+  auto grid = MakeGrid(81);
+  ASSERT_EQ(store_->Publish("taxi", *grid, SnapshotMeta{1.0, "x"}, &error),
+            1u)
+      << error;
+  ASSERT_EQ(catalog_->LoadAll(nullptr), 1u);
+
+  // Each server gets its own engine so engine_batches/engine_queries
+  // count only its traffic.
+  const QueryEngine engine_a{QueryEngineOptions{.num_threads = 1}};
+  const QueryEngine engine_b{QueryEngineOptions{.num_threads = 1}};
+  QueryServerOptions opts;
+  opts.slow_frame_us = 1'000'000'000;
+  opts.mode = ServeMode::kEventLoop;
+  QueryServer server_a(catalog_.get(), &engine_a, opts);
+  opts.mode = ServeMode::kThreadPerConnection;
+  QueryServer server_b(catalog_.get(), &engine_b, opts);
+  ASSERT_TRUE(server_a.Start(&error)) << error;
+  ASSERT_TRUE(server_b.Start(&error)) << error;
+  ASSERT_TRUE(server_a.event_loop_active());
+  ASSERT_FALSE(server_b.event_loop_active());
+
+  const std::vector<Rect> queries = FixedQueries(data_->domain(), 300, 83);
+  auto run_traffic = [&](uint16_t port, obs::MetricsSnapshot* out) {
+    QueryClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+    std::vector<double> answers;
+    uint64_t version = 0;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(client.QueryBatch("taxi", queries, &answers, &version,
+                                    nullptr, &error))
+          << error;
+    }
+    WireStatus status = WireStatus::kOk;
+    EXPECT_FALSE(client.QueryBatch("ghost", queries, &answers, &version,
+                                   &status, &error));
+    std::vector<CatalogEntryInfo> entries;
+    ASSERT_TRUE(client.ListSynopses(&entries, &error)) << error;
+    WireStats stats;
+    ASSERT_TRUE(client.Stats(&stats, &error)) << error;
+    ASSERT_TRUE(client.Metrics(nullptr, out, &error)) << error;
+  };
+
+  obs::MetricsSnapshot a;
+  obs::MetricsSnapshot b;
+  {
+    SCOPED_TRACE("event-loop");
+    run_traffic(server_a.port(), &a);
+  }
+  {
+    SCOPED_TRACE("thread-per-connection");
+    run_traffic(server_b.port(), &b);
+  }
+  server_a.Shutdown();
+  server_b.Shutdown();
+
+  EXPECT_EQ(a.slow_frame_us, b.slow_frame_us);
+  EXPECT_EQ(a.slow_frames, 0u);
+  EXPECT_EQ(b.slow_frames, 0u);
+  EXPECT_EQ(a.engine_batches, b.engine_batches);
+  EXPECT_EQ(a.engine_queries, b.engine_queries);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    SCOPED_TRACE(a.ops[i].name);
+    EXPECT_EQ(a.ops[i].op, b.ops[i].op);
+    EXPECT_EQ(a.ops[i].name, b.ops[i].name);
+    EXPECT_EQ(a.ops[i].requests, b.ops[i].requests);
+    EXPECT_EQ(a.ops[i].errors, b.ops[i].errors);
+    EXPECT_EQ(a.ops[i].bytes_in, b.ops[i].bytes_in);
+    EXPECT_EQ(a.ops[i].bytes_out, b.ops[i].bytes_out);
+    EXPECT_EQ(a.ops[i].latency.count, b.ops[i].latency.count);
+  }
+  ASSERT_EQ(a.stages.size(), obs::kNumStages);
+  ASSERT_EQ(b.stages.size(), obs::kNumStages);
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    // The legacy engine records queue_wait=0 rather than skipping the
+    // stage, so even the queue histogram agrees on sample count.
+    EXPECT_EQ(a.stages[i].count, b.stages[i].count) << obs::StageName(i);
+  }
+  ASSERT_EQ(a.datasets.size(), b.datasets.size());
+  for (size_t i = 0; i < a.datasets.size(); ++i) {
+    SCOPED_TRACE(a.datasets[i].name);
+    EXPECT_EQ(a.datasets[i].name, b.datasets[i].name);
+    EXPECT_EQ(a.datasets[i].batches, b.datasets[i].batches);
+    EXPECT_EQ(a.datasets[i].queries, b.datasets[i].queries);
+    EXPECT_EQ(a.datasets[i].errors, b.datasets[i].errors);
+    EXPECT_EQ(a.datasets[i].engine_us.count, b.datasets[i].engine_us.count);
+  }
+  // Events come from the shared catalog/store and nothing in the traffic
+  // records one, so the two reads agree exactly.
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].name, b.events[i].name);
+    EXPECT_EQ(a.events[i].count, b.events[i].count);
+    EXPECT_EQ(a.events[i].last_unix_s, b.events[i].last_unix_s);
+  }
+  EXPECT_TRUE(a.slow_traces.empty());
+  EXPECT_TRUE(b.slow_traces.empty());
 }
 
 TEST_F(ServerTest, ShutdownUnblocksIdleConnections) {

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "common/crc32c.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/wire.h"
 #include "store/snapshot.h"
 
@@ -556,6 +558,210 @@ TEST(WireHealthTest, ParseRetryAfterMsHandlesAbsentGarbledAndHugeHints) {
   // Advisory hints are clamped to one minute, even absurd ones.
   EXPECT_EQ(ParseRetryAfterMs("retry_after_ms=9999999999999999999999"),
             60'000u);
+}
+
+// --- METRICS ---------------------------------------------------------------
+
+// A snapshot exercising every section of the METRICS body: ops with
+// latency histograms, all six stage histograms, datasets, events, and a
+// retained slow-frame trace.
+obs::HistogramSnapshot MakeHist(uint64_t seed) {
+  obs::HistogramSnapshot h;
+  h.buckets[0] = seed;
+  h.buckets[5] = seed + 1;
+  h.buckets[obs::kHistogramBuckets - 1] = 2;  // overflow bucket
+  for (const uint64_t b : h.buckets) h.count += b;
+  h.sum_us = 1000 * seed + 17;
+  h.max_us = (uint64_t{1} << 40) + seed;
+  return h;
+}
+
+obs::MetricsSnapshot MakeMetricsSnapshot() {
+  obs::MetricsSnapshot snap;
+  snap.slow_frame_us = 10'000;
+  snap.slow_frames = 3;
+  snap.engine_batches = 44;
+  snap.engine_queries = 44'000;
+  obs::OpMetricsSnapshot op;
+  op.op = static_cast<uint32_t>(WireOp::kQueryBatch);
+  op.name = "QUERY_BATCH";
+  op.requests = 40;
+  op.errors = 2;
+  op.bytes_in = 123'456;
+  op.bytes_out = 654'321;
+  op.latency = MakeHist(7);
+  snap.ops.push_back(op);
+  op.op = static_cast<uint32_t>(WireOp::kStats);
+  op.name = "STATS";
+  op.requests = 4;
+  op.latency = MakeHist(1);
+  snap.ops.push_back(op);
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    snap.stages.push_back(MakeHist(i));
+  }
+  obs::DatasetMetricsSnapshot ds;
+  ds.name = "checkins";
+  ds.batches = 40;
+  ds.queries = 40'000;
+  ds.errors = 1;
+  ds.engine_us = MakeHist(9);
+  snap.datasets.push_back(ds);
+  snap.events.push_back(obs::EventSnapshot{"catalog_reload_sweeps", 5, 1754});
+  obs::FrameTrace trace;
+  trace.request_id = 77;
+  trace.op = static_cast<uint32_t>(WireOp::kQueryBatch);
+  trace.queries = 4096;
+  trace.unix_s = 1754'000'000;
+  for (size_t i = 0; i < obs::kNumStages; ++i) trace.stage_us[i] = 100 * i;
+  trace.SetDataset("checkins");
+  snap.slow_traces.push_back(trace);
+  return snap;
+}
+
+void ExpectHistEq(const obs::HistogramSnapshot& got,
+                  const obs::HistogramSnapshot& want) {
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_EQ(got.sum_us, want.sum_us);
+  EXPECT_EQ(got.max_us, want.max_us);
+  EXPECT_EQ(got.buckets, want.buckets);
+}
+
+TEST(WireMetricsTest, MetricsOpFramesRoundTrip) {
+  // kMetrics is additive within v1; the frame layer must accept op 6.
+  const std::string frame = EncodeFrame(WireOp::kMetrics, 88, "");
+  WireFrame decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeFrame(frame, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.op, WireOp::kMetrics);
+  EXPECT_EQ(decoded.request_id, 88u);
+  EXPECT_STREQ(WireOpName(WireOp::kMetrics), "METRICS");
+}
+
+TEST(WireMetricsTest, MetricsOkBodyRoundTrip) {
+  WireStats stats;
+  stats.connections_accepted = 3;
+  stats.frames_received = 100;
+  stats.queries_answered = 90'000;
+  stats.idle_timeouts = 6;
+  const obs::MetricsSnapshot snap = MakeMetricsSnapshot();
+
+  MetricsResponse resp;
+  std::string error;
+  ASSERT_TRUE(
+      DecodeMetricsResponse(EncodeMetricsOkBody(stats, snap), &resp, &error))
+      << error;
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  for (const WireStatsField& f : kWireStatsFields) {
+    EXPECT_EQ(resp.stats.*f.field, stats.*f.field) << f.name;
+  }
+  EXPECT_EQ(resp.metrics.slow_frame_us, snap.slow_frame_us);
+  EXPECT_EQ(resp.metrics.slow_frames, snap.slow_frames);
+  EXPECT_EQ(resp.metrics.engine_batches, snap.engine_batches);
+  EXPECT_EQ(resp.metrics.engine_queries, snap.engine_queries);
+  ASSERT_EQ(resp.metrics.ops.size(), snap.ops.size());
+  for (size_t i = 0; i < snap.ops.size(); ++i) {
+    EXPECT_EQ(resp.metrics.ops[i].op, snap.ops[i].op);
+    EXPECT_EQ(resp.metrics.ops[i].name, snap.ops[i].name);
+    EXPECT_EQ(resp.metrics.ops[i].requests, snap.ops[i].requests);
+    EXPECT_EQ(resp.metrics.ops[i].errors, snap.ops[i].errors);
+    EXPECT_EQ(resp.metrics.ops[i].bytes_in, snap.ops[i].bytes_in);
+    EXPECT_EQ(resp.metrics.ops[i].bytes_out, snap.ops[i].bytes_out);
+    ExpectHistEq(resp.metrics.ops[i].latency, snap.ops[i].latency);
+  }
+  ASSERT_EQ(resp.metrics.stages.size(), obs::kNumStages);
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    ExpectHistEq(resp.metrics.stages[i], snap.stages[i]);
+  }
+  ASSERT_EQ(resp.metrics.datasets.size(), 1u);
+  EXPECT_EQ(resp.metrics.datasets[0].name, "checkins");
+  EXPECT_EQ(resp.metrics.datasets[0].batches, 40u);
+  EXPECT_EQ(resp.metrics.datasets[0].queries, 40'000u);
+  EXPECT_EQ(resp.metrics.datasets[0].errors, 1u);
+  ExpectHistEq(resp.metrics.datasets[0].engine_us, snap.datasets[0].engine_us);
+  ASSERT_EQ(resp.metrics.events.size(), 1u);
+  EXPECT_EQ(resp.metrics.events[0].name, "catalog_reload_sweeps");
+  EXPECT_EQ(resp.metrics.events[0].count, 5u);
+  EXPECT_EQ(resp.metrics.events[0].last_unix_s, 1754u);
+  ASSERT_EQ(resp.metrics.slow_traces.size(), 1u);
+  const obs::FrameTrace& t = resp.metrics.slow_traces[0];
+  EXPECT_EQ(t.request_id, 77u);
+  EXPECT_EQ(t.op, static_cast<uint32_t>(WireOp::kQueryBatch));
+  EXPECT_EQ(t.queries, 4096u);
+  EXPECT_EQ(t.unix_s, 1754'000'000u);
+  EXPECT_EQ(t.DatasetString(), "checkins");
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    EXPECT_EQ(t.stage_us[i], 100 * i) << i;
+  }
+}
+
+TEST(WireMetricsTest, EmptySnapshotRoundTrips) {
+  // A freshly started server: no ops exercised, no datasets, no traces —
+  // but always exactly kNumStages stage histograms.
+  obs::MetricsSnapshot snap;
+  for (size_t i = 0; i < obs::kNumStages; ++i) snap.stages.emplace_back();
+  MetricsResponse resp;
+  std::string error;
+  ASSERT_TRUE(DecodeMetricsResponse(EncodeMetricsOkBody(WireStats{}, snap),
+                                    &resp, &error))
+      << error;
+  EXPECT_TRUE(resp.metrics.ops.empty());
+  EXPECT_TRUE(resp.metrics.datasets.empty());
+  EXPECT_TRUE(resp.metrics.slow_traces.empty());
+}
+
+TEST(WireMetricsTest, ErrorBodyDecodesThroughMetricsDecoder) {
+  const std::string body = EncodeErrorBody(WireStatus::kInternal, "bye");
+  MetricsResponse resp;
+  std::string error;
+  ASSERT_TRUE(DecodeMetricsResponse(body, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, WireStatus::kInternal);
+  EXPECT_EQ(resp.message, "bye");
+}
+
+TEST(WireMetricsTest, MalformedMetricsResponsesAreRejected) {
+  // A minimal OK body (empty snapshot, empty message) has a fixed layout,
+  // so section headers sit at known offsets:
+  //   0   u32 status              8   u32 counter count
+  //   12  10 x u64 counters       92  4 x u64 globals
+  //   124 u32 op count            128 u32 stage count
+  //   132 stage[0] u64 count/sum/max
+  //   156 u32 stage[0] bucket count
+  obs::MetricsSnapshot snap;
+  for (size_t i = 0; i < obs::kNumStages; ++i) snap.stages.emplace_back();
+  const std::string ok = EncodeMetricsOkBody(WireStats{}, snap);
+  auto patch_u32 = [](std::string body, size_t off, uint32_t v) {
+    std::memcpy(body.data() + off, &v, sizeof(v));
+    return body;
+  };
+  // One retained trace puts the per-trace stage count at a fixed distance
+  // from the end of the body: u32 stage count + kNumStages u64s.
+  obs::MetricsSnapshot traced = snap;
+  traced.slow_traces.emplace_back();
+  const std::string ok_traced = EncodeMetricsOkBody(WireStats{}, traced);
+  const size_t trace_stage_count_off =
+      ok_traced.size() - obs::kNumStages * 8 - 4;
+  const struct {
+    const char* name;
+    std::string body;
+  } kCases[] = {
+      {"empty body", std::string()},
+      {"truncated", ok.substr(0, ok.size() - 5)},
+      {"trailing bytes", ok + "zz"},
+      {"wrong counter count",
+       patch_u32(ok, 8, static_cast<uint32_t>(kNumWireStatsFields) - 1)},
+      {"op count exceeds body", patch_u32(ok, 124, 1u << 20)},
+      {"wrong stage count", patch_u32(ok, 128, obs::kNumStages + 1)},
+      {"wrong histogram bucket count",
+       patch_u32(ok, 156, obs::kHistogramBuckets - 1)},
+      {"wrong trace stage count",
+       patch_u32(ok_traced, trace_stage_count_off, obs::kNumStages - 1)},
+  };
+  for (const auto& c : kCases) {
+    MetricsResponse resp;
+    std::string error;
+    EXPECT_FALSE(DecodeMetricsResponse(c.body, &resp, &error)) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
 }
 
 TEST(WireResponseTest, MalformedResponsesAreRejected) {
