@@ -13,6 +13,7 @@
 #include "common/check.h"
 #include "common/clock.h"
 #include "common/env.h"
+#include "experiments/experiment.h"
 #include "metrics/table.h"
 #include "query/evaluator.h"
 
@@ -83,29 +84,41 @@ Scenario MakeScenario(const DatasetSpec& spec, double epsilon,
 
 MethodResult RunMethod(const std::string& name, const SynopsisFactory& factory,
                        const Scenario& scenario, const BenchConfig& config) {
+  // A one-cell trial grid through the shared experiments fan-out: the
+  // figure harnesses draw per-trial noise from the same derived streams
+  // as the report pipeline (keyed by label, so the same label reproduces
+  // the same numbers in every figure) and aggregate in the same fixed
+  // order, with trials sharded across the process-wide pool.
+  experiments::ExperimentConfig grid_config;
+  grid_config.scale = config.scale;
+  grid_config.trials = config.trials;
+  grid_config.queries_per_size = config.queries_per_size;
+  grid_config.num_sizes = static_cast<int>(scenario.workload.num_sizes());
+  grid_config.seed = config.seed;
+  grid_config.epsilons = {scenario.epsilon};
+  int64_t queries_per_trial = 0;
+  for (const auto& group : scenario.workload.queries) {
+    queries_per_trial += static_cast<int64_t>(group.size());
+  }
+  const std::vector<experiments::CellResult> cells = experiments::RunTrialGrid(
+      scenario.dataset_name, experiments::StreamKey(scenario.dataset_name),
+      {name}, {experiments::StreamKey(name)}, scenario.workload.num_sizes(),
+      grid_config, queries_per_trial,
+      [&](size_t, size_t, Rng& rng, double* build_seconds) {
+        const double t0 = NowSeconds();
+        std::unique_ptr<Synopsis> synopsis =
+            factory(scenario.dataset, scenario.epsilon, rng);
+        *build_seconds = NowSeconds() - t0;
+        return EvaluateSynopsis(*synopsis, scenario.workload, scenario.truth,
+                                scenario.rho);
+      },
+      nullptr);
+  DPGRID_CHECK(cells.size() == 1);
   MethodResult result;
   result.name = name;
-  const size_t num_sizes = scenario.workload.num_sizes();
-  result.mean_rel_by_size.assign(num_sizes, 0.0);
-  std::vector<double> pooled_rel;
-  std::vector<double> pooled_abs;
-  for (int t = 0; t < config.trials; ++t) {
-    Rng rng(config.seed + 977 * static_cast<uint64_t>(t + 1));
-    std::unique_ptr<Synopsis> synopsis =
-        factory(scenario.dataset, scenario.epsilon, rng);
-    auto errors = EvaluateSynopsis(*synopsis, scenario.workload,
-                                   scenario.truth, scenario.rho);
-    for (size_t s = 0; s < num_sizes; ++s) {
-      result.mean_rel_by_size[s] +=
-          Mean(errors[s].relative) / config.trials;
-    }
-    auto rel = PoolRelative(errors);
-    auto abs = PoolAbsolute(errors);
-    pooled_rel.insert(pooled_rel.end(), rel.begin(), rel.end());
-    pooled_abs.insert(pooled_abs.end(), abs.begin(), abs.end());
-  }
-  result.rel_summary = ComputeSummary(pooled_rel);
-  result.abs_summary = ComputeSummary(pooled_abs);
+  result.mean_rel_by_size = cells[0].mean_rel_by_size;
+  result.rel_summary = cells[0].rel;
+  result.abs_summary = cells[0].abs;
   return result;
 }
 

@@ -87,7 +87,12 @@ Scenario MakeScenario(const DatasetSpec& spec, double epsilon,
                       const BenchConfig& config);
 
 /// Builds `factory` `config.trials` times with fresh noise and evaluates
-/// each build on the scenario's workload.
+/// each build on the scenario's workload. Runs through the shared
+/// experiments::RunTrialGrid fan-out: trials are sharded across the
+/// process-wide pool, per-trial noise comes from the derived stream keyed
+/// by (dataset, label), and aggregation order is fixed — so results are
+/// deterministic under config.seed and a label reproduces the same
+/// numbers in every figure harness.
 MethodResult RunMethod(const std::string& name, const SynopsisFactory& factory,
                        const Scenario& scenario, const BenchConfig& config);
 

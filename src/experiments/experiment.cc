@@ -147,21 +147,14 @@ Scenario2D MakeScenario2D(const DatasetSpec& spec,
                     std::move(workload), rho};
 }
 
-// Builds one trial's synopsis and returns its per-size error samples,
-// reporting how long the build alone took via *build_seconds.
-using TrialEvaluator = std::function<std::vector<SizeErrors>(
-    size_t method_idx, size_t eps_idx, Rng& rng, double* build_seconds)>;
+}  // namespace
 
-// The shared methods × epsilons × trials fan-out: jobs run across the
-// process-wide pool, each trial on an independent stream derived from
-// (seed, dataset_key, method, epsilon, trial); aggregation then runs on
-// one thread in a fixed order, so the report is byte-identical however
-// the jobs were scheduled.
-// `method_keys[m]` is the method's CANONICAL index (its position in
-// MethodNames(), not in the possibly-filtered `methods` vector): trial
-// seed streams are keyed by it, so a filtered run (--figure, or
-// config.methods) draws exactly the noise the full run draws for the
-// same method and reproduces the full run's numbers cell for cell.
+// See the header for the contract. `method_keys[m]` is the method's
+// CANONICAL index (its position in MethodNames(), not in the possibly
+// filtered `methods` vector): trial seed streams are keyed by it, so a
+// filtered run (--figure, or config.methods) draws exactly the noise the
+// full run draws for the same method and reproduces the full run's
+// numbers cell for cell.
 std::vector<CellResult> RunTrialGrid(const std::string& dataset_name,
                                      uint64_t dataset_key,
                                      const std::vector<std::string>& methods,
@@ -244,6 +237,18 @@ std::vector<CellResult> RunTrialGrid(const std::string& dataset_name,
   }
   return cells;
 }
+
+uint64_t StreamKey(const std::string& label) {
+  // FNV-1a, 64-bit.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
 
 void RunScenario(const Scenario2D& scenario, uint64_t dataset_idx,
                  const std::vector<std::string>& methods,

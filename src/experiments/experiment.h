@@ -2,10 +2,16 @@
 #define DPGRID_EXPERIMENTS_EXPERIMENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "metrics/error.h"
+
+namespace dpgrid {
+class Rng;
+struct SizeErrors;
+}  // namespace dpgrid
 
 namespace dpgrid {
 namespace experiments {
@@ -139,6 +145,37 @@ void ApplyFigureFilter(ExperimentConfig* config, int figure);
 /// Runs the configured grid. Deterministic under config.seed; trials are
 /// sharded across the process-wide thread pool.
 ExperimentResults RunExperiments(const ExperimentConfig& config);
+
+/// Builds one trial's synopsis and returns its per-size error samples,
+/// reporting how long the build alone took via *build_seconds. The rng is
+/// already seeded with the trial's derived stream.
+using TrialEvaluator = std::function<std::vector<SizeErrors>(
+    size_t method_idx, size_t eps_idx, Rng& rng, double* build_seconds)>;
+
+/// The shared methods × epsilons × trials fan-out behind every report cell:
+/// jobs run across the process-wide pool, each trial on an independent
+/// stream derived from (config.seed, dataset_key, method_keys[m], epsilon,
+/// trial); aggregation then runs on one thread in a fixed order, so the
+/// output is byte-identical however the jobs were scheduled. Exposed so the
+/// bench_fig* harnesses reuse this loop instead of duplicating it.
+/// `method_keys[m]` is the method's stream key — its canonical index in
+/// MethodNames() for report methods, or StreamKey(label) for bench-only
+/// variants — so a filtered run draws exactly the noise the full run draws
+/// for the same method. Pass timings == nullptr to skip wall-clock capture.
+std::vector<CellResult> RunTrialGrid(const std::string& dataset_name,
+                                     uint64_t dataset_key,
+                                     const std::vector<std::string>& methods,
+                                     const std::vector<uint64_t>& method_keys,
+                                     size_t num_sizes,
+                                     const ExperimentConfig& config,
+                                     int64_t queries_per_trial,
+                                     const TrialEvaluator& evaluate,
+                                     std::vector<MethodTiming>* timings);
+
+/// Stable trial-stream key for a dataset or method label outside the
+/// canonical enumerations (bench figure variants like "A14,5"): FNV-1a of
+/// the label, so the same label draws the same noise in every harness.
+uint64_t StreamKey(const std::string& label);
 
 }  // namespace experiments
 }  // namespace dpgrid

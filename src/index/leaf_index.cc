@@ -57,100 +57,6 @@ namespace leaf_internal {
 
 namespace {
 
-/// Reused per-thread buffers for the sort/answer/accumulate pipeline.
-struct PairScratch {
-  std::vector<CellPair> sorted;
-  std::vector<CellPair> tmp;
-  std::vector<uint32_t> counts;
-  std::vector<uint32_t> region_start;
-  std::vector<uint32_t> local_counts;
-  std::vector<double> contrib;
-  // Short-run pairs batched per kernel class (0 = generic, 1 = 1x1
-  // leaves), with each entry's position in the sorted array so the
-  // flushed contributions land in their slots.
-  std::vector<CellPair> pending[2];
-  std::vector<uint32_t> pending_pos[2];
-  std::vector<double> pending_contrib;
-};
-
-PairScratch& GetPairScratch() {
-  thread_local PairScratch scratch;
-  return scratch;
-}
-
-/// Buckets are kept at 256 (kPairSortBuckets) so the MSD scatter writes
-/// only a handful of active cache lines — a wide single pass fans the
-/// scatter across the whole output array and loses more to write misses
-/// than the regional second pass costs.
-constexpr uint32_t kSinglePassBits = 8;
-static_assert((1u << kSinglePassBits) == kPairSortBuckets);
-
-/// Stable sort by cell id, using the emitter-maintained bucket histogram
-/// (no counting pass). Returns the sorted array (one of the scratch
-/// buffers); stability keeps every query's pairs in their emission order.
-const CellPair* SortPairsByCell(const CellPair* pairs, size_t n,
-                                size_t num_cells, const uint32_t* hist,
-                                PairScratch* s) {
-  s->sorted.resize(n);
-  uint32_t bits = 1;
-  while ((size_t{1} << bits) < num_cells) ++bits;
-  const uint32_t shift = bits > kSinglePassBits ? bits - kSinglePassBits : 0;
-  const uint32_t buckets = 1u << (bits - shift);
-  // Region offsets straight from the histogram.
-  s->region_start.assign(buckets + 1, 0);
-  s->counts.assign(buckets, 0);
-  uint32_t pos = 0;
-  for (uint32_t b = 0; b < buckets; ++b) {
-    s->region_start[b] = pos;
-    s->counts[b] = pos;
-    pos += hist[b];
-  }
-  s->region_start[buckets] = pos;
-  DPGRID_CHECK_MSG(pos == n, "pair histogram does not match pair count");
-  if (shift == 0) {
-    // One scatter finishes the sort: buckets == cells.
-    uint32_t* c = s->counts.data();
-    for (size_t i = 0; i < n; ++i) {
-      s->sorted[c[pairs[i].cell]++] = pairs[i];
-    }
-    return s->sorted.data();
-  }
-  // MSD first: one scatter by the high bits partitions the pairs into
-  // at most 256 contiguous regions of tmp (cells [b*2^shift, (b+1)*2^shift)
-  // land in region b), then each region is finished with a stable counting
-  // sort over its low bits. Unlike an LSD second pass, the finishing
-  // scatters stay inside one region — L1-sized for any realistic chunk —
-  // instead of spraying across the whole output array.
-  s->tmp.resize(n);
-  {
-    uint32_t* c = s->counts.data();
-    for (size_t i = 0; i < n; ++i) {
-      s->tmp[c[pairs[i].cell >> shift]++] = pairs[i];
-    }
-  }
-  const uint32_t local_buckets = 1u << shift;
-  const uint32_t local_mask = local_buckets - 1;
-  for (uint32_t b = 0; b < buckets; ++b) {
-    const uint32_t lo = s->region_start[b];
-    const uint32_t hi = s->region_start[b + 1];
-    if (lo == hi) continue;
-    const CellPair* in = s->tmp.data() + lo;
-    CellPair* out = s->sorted.data() + lo;
-    const size_t len = hi - lo;
-    s->local_counts.assign(local_buckets, 0);
-    uint32_t* c = s->local_counts.data();
-    for (size_t i = 0; i < len; ++i) ++c[in[i].cell & local_mask];
-    uint32_t pos = 0;
-    for (uint32_t v = 0; v < local_buckets; ++v) {
-      const uint32_t count = c[v];
-      c[v] = pos;
-      pos += count;
-    }
-    for (size_t i = 0; i < len; ++i) out[c[in[i].cell & local_mask]++] = in[i];
-  }
-  return s->sorted.data();
-}
-
 /// Same-cell runs at least this long get the hoisted-view kernel; shorter
 /// runs batch up for the generic pair-lane kernel.
 constexpr size_t kViewRunMin = 6;
@@ -163,15 +69,14 @@ void AccumulateCellPairs(const FlatLeafIndex2D& index, const Rect* queries,
                          const CellPair* pairs, size_t n,
                          const uint32_t* bucket_hist, double* out) {
   if (n == 0) return;
-  using leaf_internal::GetPairScratch;
-  using leaf_internal::PairScratch;
+  using pair_sort::PairScratch;
   DPGRID_CHECK_MSG(index.num_cells() < (size_t{1} << (2 * 13)),
                    "flat leaf index exceeds the pair sort's key range");
-  PairScratch& s = GetPairScratch();
+  PairScratch& s = pair_sort::GetPairScratch();
 
   // Group by cell (stable): leaf corner accesses become ascending arena
   // sweeps and repeat-cell runs stay hot in L1.
-  const CellPair* sp = leaf_internal::SortPairsByCell(
+  const CellPair* sp = pair_sort::SortPairsByCell(
       pairs, n, index.num_cells(), bucket_hist, &s);
   s.contrib.resize(n);
   double* contrib = s.contrib.data();

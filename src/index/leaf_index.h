@@ -7,6 +7,7 @@
 #include "geo/rect.h"
 #include "grid/grid_counts.h"
 #include "index/frac_kernel.h"
+#include "index/pair_sort.h"
 #include "index/prefix_sum2d.h"
 
 namespace dpgrid {
@@ -62,11 +63,7 @@ class FlatLeafIndex2D {
   /// Right-shift that maps a cell id to its sort bucket (at most
   /// kPairSortBuckets buckets). Emitters use it to histogram pairs while
   /// writing them, saving the sort's counting pass.
-  uint32_t pair_sort_shift() const {
-    uint32_t bits = 1;
-    while ((size_t{1} << bits) < views_.size()) ++bits;
-    return bits > 8 ? bits - 8 : 0;
-  }
+  uint32_t pair_sort_shift() const { return PairSortShift(views_.size()); }
 
   /// Pointer-based view of cell `i` for the scalar kernel — a handful of
   /// register moves, no heap indirection.
@@ -91,12 +88,6 @@ class FlatLeafIndex2D {
   std::vector<CellView> views_;
 };
 
-/// One (query, leaf cell) border job emitted by a batch decomposition.
-struct CellPair {
-  uint32_t query = 0;  // index into the batch's query array
-  uint32_t cell = 0;   // flat level-1 cell index
-};
-
 /// Answers every border job and accumulates it: out[p.query] += the
 /// fractional answer of queries[p.query] against leaf cell p.cell, each
 /// contribution bitwise-identical to index.MakeView(cell).Answer(query).
@@ -118,7 +109,6 @@ struct CellPair {
 /// `bucket_hist` (kPairSortBuckets entries) must hold the histogram of
 /// `pairs[i].cell >> index.pair_sort_shift()` — emitters maintain it for
 /// free while writing pairs, which saves the sort a counting pass.
-inline constexpr size_t kPairSortBuckets = 256;
 void AccumulateCellPairs(const FlatLeafIndex2D& index, const Rect* queries,
                          const CellPair* pairs, size_t n,
                          const uint32_t* bucket_hist, double* out);

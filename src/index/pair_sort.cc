@@ -1,0 +1,84 @@
+#include "index/pair_sort.h"
+
+#include "common/check.h"
+
+namespace dpgrid {
+namespace pair_sort {
+
+PairScratch& GetPairScratch() {
+  thread_local PairScratch scratch;
+  return scratch;
+}
+
+namespace {
+
+constexpr uint32_t kSinglePassBits = 8;
+static_assert((1u << kSinglePassBits) == kPairSortBuckets);
+
+}  // namespace
+
+const CellPair* SortPairsByCell(const CellPair* pairs, size_t n,
+                                size_t num_cells, const uint32_t* hist,
+                                PairScratch* s) {
+  s->sorted.resize(n);
+  uint32_t bits = 1;
+  while ((size_t{1} << bits) < num_cells) ++bits;
+  const uint32_t shift = bits > kSinglePassBits ? bits - kSinglePassBits : 0;
+  const uint32_t buckets = 1u << (bits - shift);
+  // Region offsets straight from the histogram.
+  s->region_start.assign(buckets + 1, 0);
+  s->counts.assign(buckets, 0);
+  uint32_t pos = 0;
+  for (uint32_t b = 0; b < buckets; ++b) {
+    s->region_start[b] = pos;
+    s->counts[b] = pos;
+    pos += hist[b];
+  }
+  s->region_start[buckets] = pos;
+  DPGRID_CHECK_MSG(pos == n, "pair histogram does not match pair count");
+  if (shift == 0) {
+    // One scatter finishes the sort: buckets == cells.
+    uint32_t* c = s->counts.data();
+    for (size_t i = 0; i < n; ++i) {
+      s->sorted[c[pairs[i].cell]++] = pairs[i];
+    }
+    return s->sorted.data();
+  }
+  // MSD first: one scatter by the high bits partitions the pairs into
+  // at most 256 contiguous regions of tmp (cells [b*2^shift, (b+1)*2^shift)
+  // land in region b), then each region is finished with a stable counting
+  // sort over its low bits. Unlike an LSD second pass, the finishing
+  // scatters stay inside one region — L1-sized for any realistic chunk —
+  // instead of spraying across the whole output array.
+  s->tmp.resize(n);
+  {
+    uint32_t* c = s->counts.data();
+    for (size_t i = 0; i < n; ++i) {
+      s->tmp[c[pairs[i].cell >> shift]++] = pairs[i];
+    }
+  }
+  const uint32_t local_buckets = 1u << shift;
+  const uint32_t local_mask = local_buckets - 1;
+  for (uint32_t b = 0; b < buckets; ++b) {
+    const uint32_t lo = s->region_start[b];
+    const uint32_t hi = s->region_start[b + 1];
+    if (lo == hi) continue;
+    const CellPair* in = s->tmp.data() + lo;
+    CellPair* out = s->sorted.data() + lo;
+    const size_t len = hi - lo;
+    s->local_counts.assign(local_buckets, 0);
+    uint32_t* c = s->local_counts.data();
+    for (size_t i = 0; i < len; ++i) ++c[in[i].cell & local_mask];
+    uint32_t pos = 0;
+    for (uint32_t v = 0; v < local_buckets; ++v) {
+      const uint32_t count = c[v];
+      c[v] = pos;
+      pos += count;
+    }
+    for (size_t i = 0; i < len; ++i) out[c[in[i].cell & local_mask]++] = in[i];
+  }
+  return s->sorted.data();
+}
+
+}  // namespace pair_sort
+}  // namespace dpgrid

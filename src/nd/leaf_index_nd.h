@@ -2,12 +2,31 @@
 #define DPGRID_ND_LEAF_INDEX_ND_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "index/pair_sort.h"
 #include "nd/box_nd.h"
 #include "nd/grid_nd.h"
 
 namespace dpgrid {
+
+/// Raw-pointer view of a FlatLeafIndexNd for the batch kernels: every
+/// per-cell field as a gather-friendly SoA array. Axis-indexed arrays are
+/// laid out cell * kMaxDims + axis, so a kernel reaches field `axis` of
+/// cell c with base pointer `array + axis` and gather index `c << 3`
+/// (kMaxDims == 8). Borrowed; must not outlive the index.
+struct NdKernelIndex {
+  const double* arena = nullptr;       // all corner arrays, concatenated
+  const double* origin = nullptr;      // cell * kMaxDims + axis
+  const double* inv_extent = nullptr;  // cell * kMaxDims + axis
+  const double* sizes_f = nullptr;     // n_a as double (clamp bound)
+  const int32_t* sizes32 = nullptr;    // cell * kMaxDims + axis
+  const int32_t* strides32 = nullptr;  // cell * kMaxDims + axis
+  const int32_t* offsets32 = nullptr;  // per cell: corner-array start
+  const double* unit_total = nullptr;  // per cell: whole-leaf BlockSum
+  size_t dims = 0;
+};
 
 /// The d-dimensional counterpart of FlatLeafIndex2D: every leaf grid's
 /// prefix-sum corner array in one contiguous arena, and every leaf's
@@ -21,7 +40,10 @@ namespace dpgrid {
 /// PrefixViewNd::FractionalSum over the arena — the exact code the
 /// scalar path runs via PrefixSumNd, so answers stay bitwise-identical
 /// while skipping two std::optional dereferences and three heap objects
-/// per (query, cell).
+/// per (query, cell). Alongside the scalar-view fields it keeps int32
+/// mirrors of offsets/sizes/strides (plus sizes as doubles and per-cell
+/// whole-leaf totals) so the SIMD pair kernels can gather geometry with
+/// 32-bit lane indices.
 class FlatLeafIndexNd {
  public:
   static constexpr size_t kMaxDims = PrefixSumNd::kMaxDims;
@@ -59,6 +81,27 @@ class FlatLeafIndexNd {
     }
   }
 
+  /// True when cell `i` is a 1^d leaf (every axis one cell) — the kernel
+  /// dispatcher's cheap specialization test.
+  bool IsUnitLeaf(size_t i) const { return unit_[i] != 0; }
+
+  /// Whole-leaf BlockSum of cell `i`, precomputed at Add time with the
+  /// same scalar inclusion-exclusion the query path runs — the 1^d
+  /// kernel's register constant.
+  double UnitTotal(size_t i) const { return unit_total_[i]; }
+
+  /// Right-shift mapping a cell id to its sort bucket (see PairSortShift).
+  uint32_t pair_sort_shift() const { return PairSortShift(offsets_.size()); }
+
+  /// Raw SoA view for the batch kernels.
+  NdKernelIndex KernelIndex() const {
+    return NdKernelIndex{arena_.data(),     origin_.data(),
+                         inv_extent_.data(), sizes_f_.data(),
+                         sizes32_.data(),   strides32_.data(),
+                         offsets32_.data(), unit_total_.data(),
+                         dims_};
+  }
+
  private:
   size_t dims_ = 0;
   std::vector<double> arena_;
@@ -67,7 +110,36 @@ class FlatLeafIndexNd {
   std::vector<size_t> strides_;     // cell * kMaxDims + axis
   std::vector<double> origin_;      // cell * kMaxDims + axis
   std::vector<double> inv_extent_;  // cell * kMaxDims + axis
+  // Kernel SoA mirrors (32-bit lane indexable) + specialization data.
+  std::vector<double> sizes_f_;     // cell * kMaxDims + axis
+  std::vector<int32_t> sizes32_;    // cell * kMaxDims + axis
+  std::vector<int32_t> strides32_;  // cell * kMaxDims + axis
+  std::vector<int32_t> offsets32_;  // per cell
+  std::vector<double> unit_total_;  // per cell
+  std::vector<uint8_t> unit_;       // per cell: 1 iff all sizes == 1
 };
+
+/// Answers every (query, leaf-cell) border job of an N-d batch and
+/// accumulates it: out[p.query] += the fractional answer of query
+/// p.query against leaf cell p.cell, each contribution bitwise-identical
+/// to index.View(cell).FractionalSum after index.ToCellCoords.
+///
+/// Queries arrive as an axis-major SoA copy of the chunk's boxes:
+/// qlo[a * qstride + p.query] / qhi[...] hold box coordinates of axis a
+/// (BoxNd stores its bounds in per-box heap vectors, so the emitter
+/// transposes once and the kernels gather lanes from flat arrays).
+///
+/// Contract: within one query, pairs must be emitted with strictly
+/// ascending cell ids. Contributions are accumulated per query in
+/// exactly that order — the scalar path's FP accumulation sequence —
+/// because the cell grouping is a stable sort (see AccumulateCellPairs).
+///
+/// `bucket_hist` (kPairSortBuckets entries) must hold the histogram of
+/// `pairs[i].cell >> index.pair_sort_shift()`.
+void AccumulateCellPairsNd(const FlatLeafIndexNd& index, const double* qlo,
+                           const double* qhi, size_t qstride,
+                           const CellPair* pairs, size_t n,
+                           const uint32_t* bucket_hist, double* out);
 
 }  // namespace dpgrid
 

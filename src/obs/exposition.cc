@@ -122,6 +122,14 @@ std::string ToPrometheusText(const std::vector<NamedCounter>& counters,
   AppendU64(&out, m.engine_batches);
   out.append("\ndpgrid_engine_queries_total ");
   AppendU64(&out, m.engine_queries);
+  out.append("\ndpgrid_engine_batches_2d_total ");
+  AppendU64(&out, m.engine_batches_2d);
+  out.append("\ndpgrid_engine_queries_2d_total ");
+  AppendU64(&out, m.engine_queries_2d);
+  out.append("\ndpgrid_engine_batches_nd_total ");
+  AppendU64(&out, m.engine_batches_nd);
+  out.append("\ndpgrid_engine_queries_nd_total ");
+  AppendU64(&out, m.engine_queries_nd);
   out.push_back('\n');
 
   for (const OpMetricsSnapshot& o : m.ops) {
@@ -212,6 +220,14 @@ std::string ToJson(const std::vector<NamedCounter>& counters,
   AppendU64(&out, m.engine_batches);
   out.append(",\"engine_queries\":");
   AppendU64(&out, m.engine_queries);
+  out.append(",\"engine_batches_2d\":");
+  AppendU64(&out, m.engine_batches_2d);
+  out.append(",\"engine_queries_2d\":");
+  AppendU64(&out, m.engine_queries_2d);
+  out.append(",\"engine_batches_nd\":");
+  AppendU64(&out, m.engine_batches_nd);
+  out.append(",\"engine_queries_nd\":");
+  AppendU64(&out, m.engine_queries_nd);
 
   out.append(",\"ops\":[");
   for (size_t i = 0; i < m.ops.size(); ++i) {

@@ -155,6 +155,12 @@ struct MetricsSnapshot {
   uint64_t slow_frames = 0;
   uint64_t engine_batches = 0;
   uint64_t engine_queries = 0;
+  // The engine totals above split by query family (2-D Rect vs N-d
+  // BoxNd); each total is the sum of its two splits.
+  uint64_t engine_batches_2d = 0;
+  uint64_t engine_queries_2d = 0;
+  uint64_t engine_batches_nd = 0;
+  uint64_t engine_queries_nd = 0;
   std::vector<OpMetricsSnapshot> ops;       // ops with traffic, ascending
   std::vector<HistogramSnapshot> stages;    // kNumStages, Stage order
   std::vector<DatasetMetricsSnapshot> datasets;  // sorted by name

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <type_traits>
 
 #include "common/check.h"
 
@@ -29,6 +30,13 @@ void QueryEngine::Run(const SynopsisT& synopsis,
   DPGRID_CHECK(queries.size() == out.size());
   batches_answered_.Increment();
   queries_answered_.Add(queries.size());
+  if constexpr (std::is_same_v<QueryT, BoxNd>) {
+    batches_nd_.Increment();
+    queries_nd_.Add(queries.size());
+  } else {
+    batches_2d_.Increment();
+    queries_2d_.Add(queries.size());
+  }
   if (queries.empty()) return;
   const int threads = num_threads();
   if (threads <= 1 || queries.size() < options_.min_parallel_batch) {

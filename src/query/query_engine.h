@@ -79,6 +79,15 @@ class QueryEngine {
   uint64_t batches_answered() const { return batches_answered_.Value(); }
   uint64_t queries_answered() const { return queries_answered_.Value(); }
 
+  /// The same lifetime counts split by query family — Rect batches
+  /// against 2-D synopses vs BoxNd batches against N-d synopses — so
+  /// dashboards can tell which serving pipeline the traffic exercises.
+  /// Each total above is the sum of its two splits.
+  uint64_t batches_answered_2d() const { return batches_2d_.Value(); }
+  uint64_t queries_answered_2d() const { return queries_2d_.Value(); }
+  uint64_t batches_answered_nd() const { return batches_nd_.Value(); }
+  uint64_t queries_answered_nd() const { return queries_nd_.Value(); }
+
  private:
   template <typename SynopsisT, typename QueryT>
   void Run(const SynopsisT& synopsis, std::span<const QueryT> queries,
@@ -89,6 +98,10 @@ class QueryEngine {
   // answer path stays const.
   mutable obs::ShardedCounter batches_answered_;
   mutable obs::ShardedCounter queries_answered_;
+  mutable obs::ShardedCounter batches_2d_;
+  mutable obs::ShardedCounter queries_2d_;
+  mutable obs::ShardedCounter batches_nd_;
+  mutable obs::ShardedCounter queries_nd_;
 };
 
 }  // namespace dpgrid

@@ -55,6 +55,10 @@ obs::MetricsSnapshot QueryServer::MetricsSnapshotNow() const {
   }
   m.engine_batches = engine_->batches_answered();
   m.engine_queries = engine_->queries_answered();
+  m.engine_batches_2d = engine_->batches_answered_2d();
+  m.engine_queries_2d = engine_->queries_answered_2d();
+  m.engine_batches_nd = engine_->batches_answered_nd();
+  m.engine_queries_nd = engine_->queries_answered_nd();
   m.events = catalog_->EventsSnapshot();
   return m;
 }

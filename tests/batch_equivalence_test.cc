@@ -214,5 +214,24 @@ TEST_F(BatchEquivalenceNdTest, QueryEngineNdShardingIsTransparent) {
   }
 }
 
+// Several pool threads run the N-d leaf-kernel pipeline concurrently on
+// one shared grid — the race TSan is there to catch if the pipeline's
+// thread_local pair scratch were ever shared across threads.
+TEST_F(BatchEquivalenceNdTest, AdaptiveGridNdShardedPipelineIsTransparent) {
+  Rng rng(15);
+  AdaptiveGridNd ag(*data_, 1.0, rng);
+  ASSERT_TRUE(ag.flat_index().built());
+  QueryEngineOptions opts;
+  opts.num_threads = 4;
+  opts.batch_size = 16;
+  opts.min_parallel_batch = 1;
+  QueryEngine engine(opts);
+  std::vector<double> out = engine.AnswerAll(ag, queries_);
+  ASSERT_EQ(out.size(), queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_EQ(out[i], ag.Answer(queries_[i]));
+  }
+}
+
 }  // namespace
 }  // namespace dpgrid

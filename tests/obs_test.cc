@@ -355,6 +355,10 @@ MetricsSnapshot ExpositionSample() {
   snap.slow_frames = 2;
   snap.engine_batches = 5;
   snap.engine_queries = 500;
+  snap.engine_batches_2d = 3;
+  snap.engine_queries_2d = 300;
+  snap.engine_batches_nd = 2;
+  snap.engine_queries_nd = 200;
   OpMetricsSnapshot op;
   op.op = 1;
   op.name = "QUERY_BATCH";
@@ -388,6 +392,9 @@ TEST(ExpositionTest, PrometheusTextContainsFamiliesAndLabels) {
   EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
   EXPECT_NE(text.find("stage=\"queue_wait\""), std::string::npos);
   EXPECT_NE(text.find("dpgrid_slow_frames_total 2"), std::string::npos);
+  EXPECT_NE(text.find("dpgrid_engine_batches_2d_total 3"), std::string::npos);
+  EXPECT_NE(text.find("dpgrid_engine_queries_nd_total 200"),
+            std::string::npos);
   EXPECT_NE(text.find("dpgrid_event_total{event=\"store_publishes\"} 3"),
             std::string::npos);
   // Label values are escaped, not emitted raw.
@@ -404,6 +411,8 @@ TEST(ExpositionTest, JsonIsStructurallySound) {
   EXPECT_NE(json.find("\"ops\""), std::string::npos);
   EXPECT_NE(json.find("\"QUERY_BATCH\""), std::string::npos);
   EXPECT_NE(json.find("\"slow_traces\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine_batches_2d\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"engine_queries_nd\":200"), std::string::npos);
   EXPECT_NE(json.find("\"quo\\\"te\""), std::string::npos);
   // Balanced braces/brackets outside strings — a cheap structural check
   // that catches a missing comma-vs-bracket slip.

@@ -15,6 +15,8 @@
 #include "grid/uniform_grid.h"
 #include "index/range_count_index.h"
 #include "metrics/error.h"
+#include "nd/adaptive_grid_nd.h"
+#include "nd/dataset_nd.h"
 #include "query/evaluator.h"
 #include "query/query_engine.h"
 #include "query/workload.h"
@@ -108,6 +110,35 @@ TEST(QueryEngineTest, AnswerWorkloadMatchesGroupShapes) {
       EXPECT_EQ(answers[s][i], ug.Answer(w.queries[s][i]));
     }
   }
+}
+
+// The engine keeps per-family counters (2-D Rect vs N-d BoxNd) next to
+// the totals; each total must be the sum of its two splits.
+TEST(QueryEngineTest, CountersSplitByQueryFamily) {
+  Rng rng(7);
+  Dataset data = MakeUniformDataset(Rect{0, 0, 100, 100}, 5000, rng);
+  UniformGrid ug(data, 1.0, rng);
+  const BoxNd domain(std::vector<double>(3, 0.0),
+                     std::vector<double>(3, 10.0));
+  const DatasetNd data_nd = MakeUniformDatasetNd(domain, 5000, rng);
+  const AdaptiveGridNd ag(data_nd, 1.0, rng);
+
+  QueryEngine engine;
+  const std::vector<Rect> rects(7, Rect{1, 1, 9, 9});
+  const std::vector<BoxNd> boxes(
+      5, BoxNd(std::vector<double>(3, 1.0), std::vector<double>(3, 9.0)));
+  engine.AnswerAll(ug, rects);
+  engine.AnswerAll(ag, boxes);
+  engine.AnswerAll(ag, boxes);
+
+  EXPECT_EQ(engine.batches_answered_2d(), 1u);
+  EXPECT_EQ(engine.queries_answered_2d(), rects.size());
+  EXPECT_EQ(engine.batches_answered_nd(), 2u);
+  EXPECT_EQ(engine.queries_answered_nd(), 2 * boxes.size());
+  EXPECT_EQ(engine.batches_answered(),
+            engine.batches_answered_2d() + engine.batches_answered_nd());
+  EXPECT_EQ(engine.queries_answered(),
+            engine.queries_answered_2d() + engine.queries_answered_nd());
 }
 
 // EvaluateSynopsis must produce identical error samples whatever engine

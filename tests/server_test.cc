@@ -715,6 +715,12 @@ TEST_F(ServerTest, MetricsOpReportsTrafficAndEvents) {
   // Engine counters and catalog/store lifecycle events ride along.
   EXPECT_EQ(metrics.engine_batches, kBatches);
   EXPECT_EQ(metrics.engine_queries, kBatches * queries.size());
+  // The server serves 2-D Rect batches, so the per-family split puts
+  // everything in the 2d bins and nothing in the nd bins.
+  EXPECT_EQ(metrics.engine_batches_2d, kBatches);
+  EXPECT_EQ(metrics.engine_queries_2d, kBatches * queries.size());
+  EXPECT_EQ(metrics.engine_batches_nd, 0u);
+  EXPECT_EQ(metrics.engine_queries_nd, 0u);
   auto find_event = [&metrics](const std::string& name) -> uint64_t {
     for (const obs::EventSnapshot& e : metrics.events) {
       if (e.name == name) return e.count;
@@ -833,6 +839,10 @@ TEST_F(ServerTest, MetricsServedIdenticallyByBothEngines) {
   EXPECT_EQ(b.slow_frames, 0u);
   EXPECT_EQ(a.engine_batches, b.engine_batches);
   EXPECT_EQ(a.engine_queries, b.engine_queries);
+  EXPECT_EQ(a.engine_batches_2d, b.engine_batches_2d);
+  EXPECT_EQ(a.engine_queries_2d, b.engine_queries_2d);
+  EXPECT_EQ(a.engine_batches_nd, b.engine_batches_nd);
+  EXPECT_EQ(a.engine_queries_nd, b.engine_queries_nd);
   ASSERT_EQ(a.ops.size(), b.ops.size());
   for (size_t i = 0; i < a.ops.size(); ++i) {
     SCOPED_TRACE(a.ops[i].name);

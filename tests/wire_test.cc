@@ -582,6 +582,10 @@ obs::MetricsSnapshot MakeMetricsSnapshot() {
   snap.slow_frames = 3;
   snap.engine_batches = 44;
   snap.engine_queries = 44'000;
+  snap.engine_batches_2d = 30;
+  snap.engine_queries_2d = 30'000;
+  snap.engine_batches_nd = 14;
+  snap.engine_queries_nd = 14'000;
   obs::OpMetricsSnapshot op;
   op.op = static_cast<uint32_t>(WireOp::kQueryBatch);
   op.name = "QUERY_BATCH";
@@ -658,6 +662,10 @@ TEST(WireMetricsTest, MetricsOkBodyRoundTrip) {
   EXPECT_EQ(resp.metrics.slow_frames, snap.slow_frames);
   EXPECT_EQ(resp.metrics.engine_batches, snap.engine_batches);
   EXPECT_EQ(resp.metrics.engine_queries, snap.engine_queries);
+  EXPECT_EQ(resp.metrics.engine_batches_2d, snap.engine_batches_2d);
+  EXPECT_EQ(resp.metrics.engine_queries_2d, snap.engine_queries_2d);
+  EXPECT_EQ(resp.metrics.engine_batches_nd, snap.engine_batches_nd);
+  EXPECT_EQ(resp.metrics.engine_queries_nd, snap.engine_queries_nd);
   ASSERT_EQ(resp.metrics.ops.size(), snap.ops.size());
   for (size_t i = 0; i < snap.ops.size(); ++i) {
     EXPECT_EQ(resp.metrics.ops[i].op, snap.ops[i].op);
@@ -722,10 +730,10 @@ TEST(WireMetricsTest, MalformedMetricsResponsesAreRejected) {
   // A minimal OK body (empty snapshot, empty message) has a fixed layout,
   // so section headers sit at known offsets:
   //   0   u32 status              8   u32 counter count
-  //   12  10 x u64 counters       92  4 x u64 globals
-  //   124 u32 op count            128 u32 stage count
-  //   132 stage[0] u64 count/sum/max
-  //   156 u32 stage[0] bucket count
+  //   12  10 x u64 counters       92  8 x u64 globals
+  //   156 u32 op count            160 u32 stage count
+  //   164 stage[0] u64 count/sum/max
+  //   188 u32 stage[0] bucket count
   obs::MetricsSnapshot snap;
   for (size_t i = 0; i < obs::kNumStages; ++i) snap.stages.emplace_back();
   const std::string ok = EncodeMetricsOkBody(WireStats{}, snap);
@@ -749,10 +757,10 @@ TEST(WireMetricsTest, MalformedMetricsResponsesAreRejected) {
       {"trailing bytes", ok + "zz"},
       {"wrong counter count",
        patch_u32(ok, 8, static_cast<uint32_t>(kNumWireStatsFields) - 1)},
-      {"op count exceeds body", patch_u32(ok, 124, 1u << 20)},
-      {"wrong stage count", patch_u32(ok, 128, obs::kNumStages + 1)},
+      {"op count exceeds body", patch_u32(ok, 156, 1u << 20)},
+      {"wrong stage count", patch_u32(ok, 160, obs::kNumStages + 1)},
       {"wrong histogram bucket count",
-       patch_u32(ok, 156, obs::kHistogramBuckets - 1)},
+       patch_u32(ok, 188, obs::kHistogramBuckets - 1)},
       {"wrong trace stage count",
        patch_u32(ok_traced, trace_stage_count_off, obs::kNumStages - 1)},
   };
